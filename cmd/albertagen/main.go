@@ -1,0 +1,109 @@
+// Command albertagen exercises the workload generators: for each benchmark
+// that can procedurally create workloads (every one except 500.perlbench_r,
+// matching the paper), it generates n fresh workloads from a seed and
+// verifies they run.
+//
+//	albertagen -bench 505.mcf_r -n 5 -seed 42
+//	albertagen -all -n 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to generate workloads for")
+		all    = flag.Bool("all", false, "generate for every generator-capable benchmark")
+		n      = flag.Int("n", 3, "workloads to generate")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		verify = flag.Bool("verify", true, "run each generated workload to verify it")
+		outDir = flag.String("out", "", "write workloads with a natural file format to this directory")
+	)
+	flag.Parse()
+	if err := run(*bench, *all, *n, *seed, *verify, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "albertagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, all bool, n int, seed int64, verify bool, outDir string) error {
+	suite, err := benchmarks.Suite()
+	if err != nil {
+		return err
+	}
+	var targets []core.Benchmark
+	if all {
+		targets = suite.Benchmarks()
+	} else if bench != "" {
+		b, ok := suite.Lookup(bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", bench)
+		}
+		targets = []core.Benchmark{b}
+	} else {
+		return fmt.Errorf("pass -bench <name> or -all")
+	}
+
+	for _, b := range targets {
+		gen, ok := b.(core.Generator)
+		if !ok {
+			fmt.Printf("%-18s cannot generate workloads (matches the paper: no Alberta workloads)\n", b.Name())
+			continue
+		}
+		ws, err := gen.GenerateWorkloads(seed, n)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name(), err)
+		}
+		for _, w := range ws {
+			line := fmt.Sprintf("%-18s %-12s", b.Name(), w.WorkloadName())
+			if verify {
+				p := perf.NewWithOptions(perf.Options{Stride: 4})
+				res, err := b.Run(w, p)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", b.Name(), w.WorkloadName(), err)
+				}
+				rep := p.Report()
+				line += fmt.Sprintf(" checksum=%016x cycles=%d", res.Checksum, rep.Cycles)
+			}
+			fmt.Println(line)
+			if outDir != "" {
+				if err := writeWorkloadFiles(outDir, b, w); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeWorkloadFiles renders the workload to disk when the benchmark has a
+// natural file format (the form the Alberta Workloads site distributes).
+func writeWorkloadFiles(outDir string, b core.Benchmark, w core.Workload) error {
+	renderer, ok := b.(core.FileRenderer)
+	if !ok {
+		return nil
+	}
+	files, err := renderer.RenderWorkload(w)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(outDir, b.Name(), w.WorkloadName())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-18s %-12s wrote %d files to %s\n", b.Name(), w.WorkloadName(), len(files), dir)
+	return nil
+}

@@ -1,0 +1,182 @@
+// Command albertarun runs the characterization experiments and regenerates
+// the paper's tables and figures:
+//
+//	albertarun -table1          # Table I: 2006→2017 evolution + modeled times
+//	albertarun -table2          # Table II: workload-sensitivity summary
+//	albertarun -fig1            # Figure 1 data: top-down per workload
+//	albertarun -fig2            # Figure 2 data: method coverage per workload
+//	albertarun -fdo             # FDO cross-validation study
+//	albertarun -bench 557.xz_r  # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchmarks"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fdo"
+	"repro/internal/harness"
+	"repro/internal/optstudy"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "reproduce Table I")
+		table2   = flag.Bool("table2", false, "reproduce Table II")
+		fig1     = flag.Bool("fig1", false, "emit Figure 1 data (xalancbmk vs xz)")
+		fig2     = flag.Bool("fig2", false, "emit Figure 2 data (deepsjeng vs xz)")
+		fdoRun   = flag.Bool("fdo", false, "run the FDO cross-validation study")
+		clusterK = flag.Int("cluster", 0, "cluster each benchmark's workloads into k groups (Berube workload reduction)")
+		optStudy = flag.Bool("optstudy", false, "run the optimization-level variation study")
+		report   = flag.Bool("report", false, "emit the per-benchmark report (execution time bars, top-down, hot methods)")
+		kernels  = flag.Bool("kernels", false, "rank benchmarks by how poorly a single-workload kernel represents them")
+		bench    = flag.String("bench", "", "restrict to one benchmark (e.g. 505.mcf_r)")
+		reps     = flag.Int("reps", 3, "repetitions per workload (paper: 3)")
+		stride   = flag.Int("stride", 1, "profiler event sampling stride (1 = exact)")
+		listAll  = flag.Bool("list", false, "list benchmarks and workload inventories")
+	)
+	flag.Parse()
+
+	if err := run(*table1, *table2, *fig1, *fig2, *fdoRun, *listAll, *bench, *reps, *stride, *clusterK, *optStudy, *report, *kernels); err != nil {
+		fmt.Fprintln(os.Stderr, "albertarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table1, table2, fig1, fig2, fdoRun, listAll bool, bench string, reps, stride, clusterK int, optStudy, report, kernels bool) error {
+	if !table1 && !table2 && !fig1 && !fig2 && !fdoRun && !listAll && clusterK == 0 && !optStudy && !report && !kernels {
+		table2 = true // default action
+	}
+	opts := harness.Options{Reps: reps, Stride: stride}
+
+	suite, err := benchmarks.CharacterizedSuite()
+	if err != nil {
+		return err
+	}
+	if listAll {
+		full, err := benchmarks.Suite()
+		if err != nil {
+			return err
+		}
+		for _, b := range full.Benchmarks() {
+			ws, err := b.Workloads()
+			if err != nil {
+				return err
+			}
+			counts := map[core.Kind]int{}
+			for _, w := range ws {
+				counts[w.WorkloadKind()]++
+			}
+			fmt.Printf("%-18s %-34s train=%d refrate=%d alberta=%d\n",
+				b.Name(), b.Area(), counts[core.KindTrain], counts[core.KindRefrate], counts[core.KindAlberta])
+		}
+		return nil
+	}
+	if fdoRun {
+		for _, p := range fdo.StudyPrograms() {
+			cv, err := fdo.CrossValidate(p)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fdo.FormatCrossValidation(cv))
+			fmt.Println()
+		}
+		return nil
+	}
+	if optStudy {
+		rows, err := optstudy.Run(fdo.StudyPrograms())
+		if err != nil {
+			return err
+		}
+		fmt.Print(optstudy.Format(rows))
+		return nil
+	}
+
+	if bench != "" {
+		b, ok := suite.Lookup(bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (try -list)", bench)
+		}
+		suite, err = core.NewSuite(b)
+		if err != nil {
+			return err
+		}
+	}
+
+	results, err := harness.RunSuite(suite, opts)
+	if err != nil {
+		return err
+	}
+	if kernels {
+		rows, err := harness.KernelRepresentativeness(results)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatKernelRows(rows))
+		return nil
+	}
+	if report {
+		for _, name := range results.SortedBenchmarks() {
+			fmt.Println(harness.BenchmarkReport(name, results[name]))
+		}
+		return nil
+	}
+	if clusterK > 0 {
+		for _, name := range results.SortedBenchmarks() {
+			ms := results[name]
+			k := clusterK
+			if k > len(ms) {
+				k = len(ms)
+			}
+			reps, cl, err := cluster.Representatives(ms, k)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cluster.FormatClustering(name, ms, cl, reps))
+		}
+		return nil
+	}
+	if table1 {
+		fmt.Print(harness.FormatTableI(harness.TableI(results)))
+		fmt.Println()
+	}
+	if table2 {
+		rows, err := harness.TableII(results)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatTableII(rows))
+	}
+	if fig1 {
+		series, err := harness.Figure1(results, pick(results, bench, "523.xalancbmk_r", "557.xz_r")...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatFigure1(series))
+	}
+	if fig2 {
+		series, err := harness.Figure2(results, 6, pick(results, bench, "531.deepsjeng_r", "557.xz_r")...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatFigure2(series))
+	}
+	return nil
+}
+
+// pick returns the figure benchmarks, honoring a -bench restriction.
+func pick(results harness.SuiteResults, bench string, defaults ...string) []string {
+	if bench != "" {
+		return []string{bench}
+	}
+	var out []string
+	for _, d := range defaults {
+		if _, ok := results[d]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Command onefile combines multiple mini-C source files into a single
+// compilation unit suitable as a 502.gcc_r workload, reproducing the
+// OneFile tool of the Alberta Workloads (static-name mangling, per-file
+// preprocessing).
+//
+//	onefile a.c b.c main.c > combined.c
+//	onefile -check a.c b.c main.c   # also compile and run the result
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/onefile"
+)
+
+func main() {
+	check := flag.Bool("check", false, "compile and run the combined unit to validate it")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: onefile [-check] file.c...")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *check); err != nil {
+		fmt.Fprintln(os.Stderr, "onefile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, check bool) error {
+	var files []onefile.SourceFile
+	for _, path := range paths {
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, onefile.SourceFile{Name: path, Content: string(content)})
+	}
+	combined, err := onefile.Combine(files)
+	if err != nil {
+		return err
+	}
+	fmt.Print(combined)
+	if check {
+		unit, err := cc.CompileSource(combined, cc.O2, nil, nil)
+		if err != nil {
+			return fmt.Errorf("combined unit does not compile: %w", err)
+		}
+		res, err := cc.Run(unit, cc.VMOptions{})
+		if err != nil {
+			return fmt.Errorf("combined unit does not run: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "onefile: ok (main returned %d, %d prints)\n", res.Return, res.Printed)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// FDO cross-validation: the study the paper says the Alberta Workloads
+// make possible (Section VII). For each bundled input-sensitive program it
+// compares three evaluation methodologies:
+//
+//  1. the criticized practice — train and evaluate on the SAME input;
+//  2. the fixed train/ref pair — train on one input, evaluate on another;
+//  3. leave-one-out cross-validation over all inputs (the paper's
+//     recommendation, possible only with many workloads).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fdo"
+)
+
+func main() {
+	for _, p := range fdo.StudyPrograms() {
+		fmt.Printf("=== %s (%d inputs) ===\n", p.Name, len(p.Inputs))
+
+		// Methodology 1: train == eval (hidden learning).
+		self, err := fdo.TrainEval(p, p.Inputs[0].Name, p.Inputs[0].Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("self-trained  (train=%s eval=%s):  %.3fx\n",
+			p.Inputs[0].Name, p.Inputs[0].Name, self.Speedup)
+
+		// Methodology 2: one fixed train/ref pair.
+		pair, err := fdo.TrainEval(p, p.Inputs[0].Name, p.Inputs[1].Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fixed pair    (train=%s eval=%s):  %.3fx\n",
+			p.Inputs[0].Name, p.Inputs[1].Name, pair.Speedup)
+
+		// Methodology 3: cross-validation.
+		cv, err := fdo.CrossValidate(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(fdo.FormatCrossValidation(cv))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,153 @@
+package deepsjeng
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// Position is one analysis task: a FEN position and its ply depth, matching
+// the paper's workload format ("a chess position in FEN ... and the depth
+// to which this position should be analyzed").
+type Position struct {
+	FEN   string
+	Depth int
+}
+
+// Workload is a set of positions, as produced by the Alberta workload
+// script (eight positions per workload in the paper's nine workloads).
+type Workload struct {
+	core.Meta
+	Positions []Position
+}
+
+// GeneratePositions plays deterministic weak-engine games from the start
+// position and records middlegame positions. It substitutes for the Arasan
+// test-suite file the paper's script reads.
+func GeneratePositions(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for len(out) < n {
+		b := StartPosition()
+		plies := 8 + rng.Intn(30)
+		ok := true
+		for i := 0; i < plies; i++ {
+			moves := b.LegalMoves()
+			if len(moves) == 0 {
+				ok = false
+				break
+			}
+			// Prefer captures occasionally to create sharp positions.
+			var m Move
+			if rng.Intn(3) == 0 {
+				captures := moves[:0:0]
+				for _, c := range moves {
+					if b.Squares[c.To] != Empty {
+						captures = append(captures, c)
+					}
+				}
+				if len(captures) > 0 {
+					m = captures[rng.Intn(len(captures))]
+				} else {
+					m = moves[rng.Intn(len(moves))]
+				}
+			} else {
+				m = moves[rng.Intn(len(moves))]
+			}
+			b.MakeMove(m)
+		}
+		if ok && len(b.LegalMoves()) > 0 {
+			out = append(out, b.FEN())
+		}
+	}
+	return out
+}
+
+// Benchmark is the 531.deepsjeng_r reproduction.
+type Benchmark struct{}
+
+// New returns the benchmark.
+func New() *Benchmark { return &Benchmark{} }
+
+// Name implements core.Benchmark.
+func (*Benchmark) Name() string { return "531.deepsjeng_r" }
+
+// Area implements core.Benchmark.
+func (*Benchmark) Area() string { return "AI: alpha-beta tree search" }
+
+// suitePositions is the shared position pool (the stand-in for Arasan's 946
+// test positions); generated once, deterministically.
+var suitePositions = GeneratePositions(977, 96)
+
+// workloadFromPool builds a workload of n positions drawn from the pool
+// with depths in [minDepth, maxDepth], mirroring the Alberta script's
+// parameters (positions per workload, ply-depth range).
+func workloadFromPool(name string, kind core.Kind, seed int64, n, minDepth, maxDepth int) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := Workload{Meta: core.Meta{Name: name, Kind: kind}}
+	for i := 0; i < n; i++ {
+		w.Positions = append(w.Positions, Position{
+			FEN:   suitePositions[rng.Intn(len(suitePositions))],
+			Depth: minDepth + rng.Intn(maxDepth-minDepth+1),
+		})
+	}
+	return w
+}
+
+// Workloads returns SPEC-style inputs plus nine Alberta workloads of eight
+// positions each (the paper's counts; ply depths are scaled down from 11-16
+// to 3-5 so the modeled engine finishes in reasonable wall time).
+func (b *Benchmark) Workloads() ([]core.Workload, error) {
+	ws := []core.Workload{
+		workloadFromPool("test", core.KindTest, 1, 2, 2, 2),
+		workloadFromPool("train", core.KindTrain, 2, 4, 3, 4),
+		workloadFromPool("refrate", core.KindRefrate, 3, 6, 4, 5),
+	}
+	for i := 0; i < 9; i++ {
+		ws = append(ws, workloadFromPool(
+			fmt.Sprintf("alberta.%d", i+1), core.KindAlberta,
+			100+int64(i), 8, 3, 5))
+	}
+	return ws, nil
+}
+
+// GenerateWorkloads implements core.Generator.
+func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("deepsjeng: n must be positive, got %d", n)
+	}
+	var out []core.Workload
+	for i := 0; i < n; i++ {
+		out = append(out, workloadFromPool(
+			fmt.Sprintf("gen.%d", i), core.KindAlberta, seed+int64(i), 8, 3, 5))
+	}
+	return out, nil
+}
+
+// Run implements core.Benchmark: analyze every position to its depth.
+func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	dw, ok := w.(Workload)
+	if !ok {
+		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	sum := core.NewChecksum()
+	for i, pos := range dw.Positions {
+		board, err := ParseFEN(pos.FEN)
+		if err != nil {
+			return core.Result{}, fmt.Errorf("deepsjeng: %s position %d: %w", dw.Name, i, err)
+		}
+		searcher := NewSearcher(board, 18, p)
+		res := searcher.Analyze(pos.Depth)
+		sum = sum.AddUint64(res.Nodes).
+			AddUint64(uint64(int64(res.Score))).
+			AddUint64(uint64(res.BestMove.From)<<8 | uint64(res.BestMove.To))
+	}
+	return core.Result{
+		Benchmark: b.Name(),
+		Workload:  dw.Name,
+		Kind:      dw.WorkloadKind(),
+		Checksum:  sum.Value(),
+	}, nil
+}

@@ -1,0 +1,22 @@
+package deepsjeng
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the EPD-style position list
+// the workload script emits (FEN plus the analysis depth).
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	dw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	var sb strings.Builder
+	for _, pos := range dw.Positions {
+		fmt.Fprintf(&sb, "%s ; depth %d\n", pos.FEN, pos.Depth)
+	}
+	return map[string][]byte{dw.Name + ".epd": []byte(sb.String())}, nil
+}

@@ -1,0 +1,31 @@
+package exchange2
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the 81-character puzzle
+// seeds the workload processes plus the per-seed puzzle count, matching
+// the benchmark's input format.
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	xw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	var sb strings.Builder
+	for _, si := range xw.SeedIndices {
+		if si < 0 || si >= len(seeds) {
+			return nil, fmt.Errorf("exchange2: seed index %d out of range", si)
+		}
+		sb.WriteString(seeds[si].String())
+		sb.WriteByte('\n')
+	}
+	control := fmt.Sprintf("puzzles_per_seed %d\nrng_seed %d\n", xw.PerSeed, xw.RNGSeed)
+	return map[string][]byte{
+		"puzzles.txt": []byte(sb.String()),
+		"control.txt": []byte(control),
+	}, nil
+}

@@ -1,0 +1,129 @@
+package cc
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalVar
+	Funcs   []*Func
+}
+
+// GlobalVar is a file-scope variable or array.
+type GlobalVar struct {
+	Name      string
+	ArraySize int // 0 for scalars
+	Init      int64
+	Static    bool
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Static bool
+}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// Block is a { ... } statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local int variable with an optional initializer.
+type DeclStmt struct {
+	Name string
+	Init Expr // nil means zero
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns a value (nil X returns 0).
+type ReturnStmt struct {
+	X Expr
+}
+
+func (*Block) isStmt()      {}
+func (*DeclStmt) isStmt()   {}
+func (*ExprStmt) isStmt()   {}
+func (*IfStmt) isStmt()     {}
+func (*WhileStmt) isStmt()  {}
+func (*ForStmt) isStmt()    {}
+func (*ReturnStmt) isStmt() {}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	V int64
+}
+
+// VarExpr references a scalar variable.
+type VarExpr struct {
+	Name string
+}
+
+// IndexExpr references an array element.
+type IndexExpr struct {
+	Name string
+	Idx  Expr
+}
+
+// CallExpr calls a function (or the print builtin).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is -x or !x or ~x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// AssignExpr assigns to a variable or array element. Op is "" for plain
+// assignment or the compound operator ("+", "-"...).
+type AssignExpr struct {
+	Target Expr // *VarExpr or *IndexExpr
+	Op     string
+	Value  Expr
+}
+
+func (*NumExpr) isExpr()    {}
+func (*VarExpr) isExpr()    {}
+func (*IndexExpr) isExpr()  {}
+func (*CallExpr) isExpr()   {}
+func (*UnaryExpr) isExpr()  {}
+func (*BinaryExpr) isExpr() {}
+func (*AssignExpr) isExpr() {}

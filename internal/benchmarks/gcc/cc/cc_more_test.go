@@ -1,0 +1,293 @@
+package cc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCompoundAssignmentOperators(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int x = 100;
+  x += 5;
+  x -= 3;
+  x *= 2;
+  x /= 4;
+  x %= 40;
+  x <<= 2;
+  x >>= 1;
+  x &= 127;
+  x |= 64;
+  x ^= 8;
+  return x;
+}
+`, O0)
+	// 100+5-3=102, *2=204, /4=51, %40=11, <<2=44, >>1=22, &127=22,
+	// |64=86, ^8=94.
+	if res.Return != 94 {
+		t.Errorf("return = %d, want 94", res.Return)
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int a = -5;
+  int b = !0;
+  int c = !7;
+  int d = ~0;
+  return a * 100 + b * 10 + c + d;
+}
+`, O0)
+	if res.Return != -491 {
+		t.Errorf("return = %d, want -491", res.Return)
+	}
+}
+
+func TestScopeShadowing(t *testing.T) {
+	res := mustRun(t, `
+int x = 1;
+int main() {
+  int r = x;
+  {
+    int x = 2;
+    r = r * 10 + x;
+    {
+      int x = 3;
+      r = r * 10 + x;
+    }
+    r = r * 10 + x;
+  }
+  r = r * 10 + x;
+  return r;
+}
+`, O0)
+	if res.Return != 12321 {
+		t.Errorf("return = %d, want 12321", res.Return)
+	}
+}
+
+func TestForLoopVariants(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int s = 0;
+  int i = 0;
+  for (i = 2; i < 5; i++) { s += i; }
+  for (; i < 8;) { s += 100; i++; }
+  for (int j = 0; j < 2; j = j + 1) { s += 1000; }
+  return s;
+}
+`, O0)
+	// 2+3+4 + 300 + 2000 = 2309.
+	if res.Return != 2309 {
+		t.Errorf("return = %d, want 2309", res.Return)
+	}
+}
+
+func TestGlobalDeclList(t *testing.T) {
+	res := mustRun(t, `
+int a, b = 3, c[4];
+int main() {
+  c[1] = a + b;
+  return c[1];
+}
+`, O0)
+	if res.Return != 3 {
+		t.Errorf("return = %d, want 3", res.Return)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	res := mustRun(t, `
+int g = 0;
+void bump(int n) { g = g + n; return; }
+int main() {
+  bump(4);
+  bump(5);
+	return g;
+}
+`, O0)
+	if res.Return != 9 {
+		t.Errorf("return = %d, want 9", res.Return)
+	}
+}
+
+func TestStaticKeywordAccepted(t *testing.T) {
+	res := mustRun(t, `
+static int hidden = 7;
+static int get() { return hidden; }
+int main() { return get(); }
+`, O0)
+	if res.Return != 7 {
+		t.Errorf("return = %d, want 7", res.Return)
+	}
+}
+
+func TestDeepRecursionOverflows(t *testing.T) {
+	unit, err := CompileSource(`
+int down(int n) { return down(n + 1); }
+int main() { return down(0); }
+`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrStackOverflo) {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	unit, err := CompileSource(`int f() { return 1; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrNoMain) {
+		t.Errorf("err = %v, want ErrNoMain", err)
+	}
+}
+
+func TestMainWithParamsRejected(t *testing.T) {
+	unit, err := CompileSource(`int main(int argc) { return argc; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{}); err == nil {
+		t.Error("main with parameters should be rejected at run time")
+	}
+}
+
+func TestGlobalOverrideUnknownName(t *testing.T) {
+	unit, err := CompileSource(`int main() { return 0; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{Globals: map[string]int64{"nope": 1}}); err == nil {
+		t.Error("unknown global override should fail")
+	}
+}
+
+func TestGlobalOverrideChangesBehaviour(t *testing.T) {
+	unit, err := CompileSource(`int n = 1; int main() { return n * 3; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(unit, VMOptions{Globals: map[string]int64{"n": 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return != 27 {
+		t.Errorf("return = %d, want 27", res.Return)
+	}
+}
+
+func TestPreprocessUndefAndNesting(t *testing.T) {
+	src := `#define A
+#ifdef A
+#define B 2
+#undef A
+#endif
+#ifdef A
+int wrong = 1;
+#else
+int right = B;
+#endif
+#ifndef C
+#ifdef B
+int nested = B;
+#endif
+#endif
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "wrong") {
+		t.Errorf("undef failed: %q", out)
+	}
+	if !strings.Contains(out, "int right = 2;") || !strings.Contains(out, "int nested = 2;") {
+		t.Errorf("nesting failed: %q", out)
+	}
+}
+
+func TestPreprocessInactiveBranchSkipsDefines(t *testing.T) {
+	src := `#ifdef MISSING
+#define X 1
+#endif
+#ifdef X
+int leaked = X;
+#endif
+int ok = 0;
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "leaked") {
+		t.Errorf("define inside inactive branch leaked: %q", out)
+	}
+}
+
+func TestNestedLogicalShortCircuit(t *testing.T) {
+	res := mustRun(t, `
+int calls = 0;
+int tick(int v) { calls = calls + 1; return v; }
+int main() {
+  int a = tick(1) && tick(0) && tick(1);
+  int b = tick(0) || tick(1) || tick(1);
+  return calls * 10 + a + b;
+}
+`, O0)
+	// a: tick(1), tick(0) run (2 calls), third skipped → a=0.
+	// b: tick(0), tick(1) run (2 calls), third skipped → b=1.
+	if res.Return != 41 {
+		t.Errorf("return = %d, want 41", res.Return)
+	}
+}
+
+func TestFDOInliningStats(t *testing.T) {
+	src := `
+int helper(int x) { return ((x * 3 + 1) ^ (x >> 2)) % 997; }
+int main() {
+  int s = 0;
+  for (int i = 0; i < 3000; i++) { s += helper(i); }
+  print(s);
+  return s % 251;
+}
+`
+	// Static O2: helper is too big to inline.
+	base, err := CompileSource(src, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Inlined != 0 {
+		t.Errorf("static O2 inlined %d, want 0", base.Inlined)
+	}
+	// Collect a profile and recompile: the hot call site gets inlined.
+	profile := NewProfile()
+	if _, err := Run(base, VMOptions{Collect: profile}); err != nil {
+		t.Fatal(err)
+	}
+	fdoUnit, err := CompileSource(src, O2, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdoUnit.Inlined == 0 {
+		t.Error("FDO compile should inline the hot helper")
+	}
+	// Semantics unchanged.
+	r1, err := Run(base, VMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(fdoUnit, VMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Return != r2.Return || r1.Output != r2.Output {
+		t.Error("FDO inlining changed semantics")
+	}
+	if r2.Steps >= r1.Steps {
+		t.Errorf("FDO steps %d should be below base %d", r2.Steps, r1.Steps)
+	}
+}

@@ -1,0 +1,458 @@
+package cc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// mustRun compiles and executes src at the given level.
+func mustRun(t *testing.T, src string, level OptLevel) RunResult {
+	t.Helper()
+	unit, err := CompileSource(src, level, nil, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := Run(unit, VMOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int x = 42; // comment\n/* block */ x <<= 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind != TokEOF {
+			texts = append(texts, tk.Text)
+		}
+	}
+	want := []string{"int", "x", "=", "42", ";", "x", "<<=", "2", ";"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("int x = $;"); !errors.Is(err, ErrLex) {
+		t.Errorf("err = %v, want ErrLex", err)
+	}
+	if _, err := Lex("/* unterminated"); !errors.Is(err, ErrLex) {
+		t.Errorf("err = %v, want ErrLex", err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := mustRun(t, `
+int main() { return 2 + 3 * 4 - 10 / 2; }
+`, O0)
+	if res.Return != 9 {
+		t.Errorf("return = %d, want 9", res.Return)
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	res := mustRun(t, `
+int main() { return (2 + 3) * 4 % 7 == 6 && 1 < 2; }
+`, O0)
+	if res.Return != 1 {
+		t.Errorf("return = %d, want 1", res.Return)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	res := mustRun(t, `
+int g = 5;
+int arr[10];
+int main() {
+  arr[3] = g * 2;
+  arr[4] = arr[3] + 1;
+  g = arr[4];
+  return g;
+}
+`, O0)
+	if res.Return != 11 {
+		t.Errorf("return = %d, want 11", res.Return)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := mustRun(t, `
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) { sum += i; } else { sum -= 1; }
+  }
+  int j = 0;
+  while (j < 3) { sum = sum + 100; j++; }
+  return sum;
+}
+`, O0)
+	// evens 0+2+4+6+8=20, minus 5 odds, plus 300.
+	if res.Return != 315 {
+		t.Errorf("return = %d, want 315", res.Return)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := mustRun(t, `
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }
+`, O0)
+	if res.Return != 610 {
+		t.Errorf("fib(15) = %d, want 610", res.Return)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	res := mustRun(t, `
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && bump();
+  int b = 1 || bump();
+  return g * 10 + a + b;
+}
+`, O0)
+	// Neither bump should run: g=0, a=0, b=1.
+	if res.Return != 1 {
+		t.Errorf("return = %d, want 1", res.Return)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	r1 := mustRun(t, `int main() { print(1); print(2); return 0; }`, O0)
+	r2 := mustRun(t, `int main() { print(2); print(1); return 0; }`, O0)
+	if r1.Printed != 2 || r2.Printed != 2 {
+		t.Fatalf("printed = %d/%d", r1.Printed, r2.Printed)
+	}
+	if r1.Output == r2.Output {
+		t.Error("output checksum should be order sensitive")
+	}
+}
+
+func TestOptimizationLevelsAgree(t *testing.T) {
+	src := `
+int acc = 0;
+int sq(int x) { return x * x; }
+int cube(int x) { return x * sq(x); }
+int main() {
+  for (int i = 1; i <= 20; i++) {
+    if (i % 3 == 0) { acc += cube(i); } else { acc += sq(i) + 0; }
+    acc = acc * 1;
+  }
+  if (0) { acc = 12345; }
+  print(acc);
+  return acc % 100000;
+}
+`
+	var want int64
+	var wantOut uint64
+	for i, level := range []OptLevel{O0, O1, O2, O3} {
+		res := mustRun(t, src, level)
+		if i == 0 {
+			want = res.Return
+			wantOut = res.Output
+			continue
+		}
+		if res.Return != want || res.Output != wantOut {
+			t.Errorf("%v: return=%d output=%x, want %d/%x", level, res.Return, res.Output, want, wantOut)
+		}
+	}
+}
+
+func TestOptimizationReducesSteps(t *testing.T) {
+	src := `
+int sq(int x) { return x * x; }
+int main() {
+  int s = 0;
+  for (int i = 0; i < 1000; i++) { s += sq(i) + 0 * i; }
+  return s % 1000;
+}
+`
+	steps := func(level OptLevel) uint64 {
+		unit, err := CompileSource(src, level, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(unit, VMOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps
+	}
+	if s0, s3 := steps(O0), steps(O3); s3 >= s0 {
+		t.Errorf("-O3 steps (%d) should be below -O0 (%d)", s3, s0)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	e := foldExpr(&BinaryExpr{Op: "+", L: &NumExpr{V: 2}, R: &BinaryExpr{Op: "*", L: &NumExpr{V: 3}, R: &NumExpr{V: 4}}})
+	n, ok := e.(*NumExpr)
+	if !ok || n.V != 14 {
+		t.Errorf("folded to %#v, want 14", e)
+	}
+	// x*1 → x
+	x := &VarExpr{Name: "x"}
+	if got := foldExpr(&BinaryExpr{Op: "*", L: x, R: &NumExpr{V: 1}}); got != Expr(x) {
+		t.Errorf("x*1 folded to %#v", got)
+	}
+	// Division by zero must not fold.
+	dz := foldExpr(&BinaryExpr{Op: "/", L: &NumExpr{V: 1}, R: &NumExpr{V: 0}})
+	if _, isNum := dz.(*NumExpr); isNum {
+		t.Error("1/0 must not fold to a constant")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	unit, err := CompileSource(`int a[4]; int main() { return a[9]; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("err = %v, want ErrOutOfBounds", err)
+	}
+	unit, err = CompileSource(`int z = 0; int main() { return 5 / z; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("err = %v, want ErrDivByZero", err)
+	}
+	unit, err = CompileSource(`int main() { while (1) { } return 0; }`, O0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, VMOptions{StepLimit: 1000}); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`int main() { return x; }`,            // undeclared variable
+		`int main() { return f(1); }`,         // undeclared function
+		`int a; int a; int main(){return 0;}`, // duplicate global
+		`int f(){return 0;} int f(){return 1;} int main(){return 0;}`,
+		`int a[3]; int main() { return a; }`, // array used as scalar
+		`int main() { print(1, 2); return 0; }`,
+	}
+	for _, src := range bad {
+		if _, err := CompileSource(src, O0, nil, nil); err == nil {
+			t.Errorf("compile of %q should fail", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int main() {`,
+		`int main() { 3 = x; }`,
+		`int main() { return ; ; }`,
+		`void v;`,
+		`int a[0];`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse of %q should fail", src)
+		}
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	src := `#define N 10
+#define FLAG
+#ifdef FLAG
+int x = N;
+#else
+int x = 1;
+#endif
+#ifndef MISSING
+int y = N;
+#endif
+#include "other.h"
+`
+	out, err := Preprocess(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int x = 10;") {
+		t.Errorf("macro expansion failed: %q", out)
+	}
+	if strings.Contains(out, "int x = 1;") {
+		t.Errorf("dead branch leaked: %q", out)
+	}
+	if !strings.Contains(out, "int y = 10;") {
+		t.Errorf("ifndef failed: %q", out)
+	}
+	if strings.Contains(out, "include") {
+		t.Errorf("#include not stripped: %q", out)
+	}
+}
+
+func TestPreprocessErrors(t *testing.T) {
+	for _, src := range []string{"#endif\n", "#else\n", "#ifdef X\n", "#define\n"} {
+		if _, err := Preprocess(src); !errors.Is(err, ErrPreprocess) {
+			t.Errorf("Preprocess(%q) err = %v, want ErrPreprocess", src, err)
+		}
+	}
+}
+
+func TestProfileCollection(t *testing.T) {
+	src := `
+int main() {
+  int hot = 0;
+  for (int i = 0; i < 100; i++) {
+    if (i % 10 == 0) { hot += 1; }
+  }
+  return hot;
+}
+`
+	unit, err := CompileSource(src, O1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := NewProfile()
+	res, err := Run(unit, VMOptions{Collect: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return != 10 {
+		t.Fatalf("return = %d", res.Return)
+	}
+	if len(profile.Branches) == 0 {
+		t.Fatal("no branch counts collected")
+	}
+	total := uint64(0)
+	for _, bc := range profile.Branches {
+		total += bc.Total
+	}
+	if total < 100 {
+		t.Errorf("branch events = %d, want ≥ 100", total)
+	}
+}
+
+func TestFDOLayoutPreservesSemantics(t *testing.T) {
+	src := `
+int classify(int x) {
+  if (x % 7 == 0) { return 1; } else { return 0; }
+}
+int main() {
+  int n = 0;
+  for (int i = 0; i < 500; i++) { n += classify(i); }
+  return n;
+}
+`
+	unit, err := CompileSource(src, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(unit, VMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := NewProfile()
+	if _, err := Run(unit, VMOptions{Collect: profile}); err != nil {
+		t.Fatal(err)
+	}
+	fdoUnit, err := CompileSource(src, O2, profile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdo, err := Run(fdoUnit, VMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdo.Return != base.Return {
+		t.Errorf("FDO changed semantics: %d vs %d", fdo.Return, base.Return)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a := NewProfile()
+	a.Branches[1] = &BranchCount{Taken: 3, Total: 10}
+	a.CallSites[2] = 5
+	b := NewProfile()
+	b.Branches[1] = &BranchCount{Taken: 1, Total: 4}
+	b.Branches[9] = &BranchCount{Taken: 2, Total: 2}
+	b.CallSites[2] = 7
+	a.Merge(b)
+	if a.Branches[1].Taken != 4 || a.Branches[1].Total != 14 {
+		t.Errorf("merged branch = %+v", a.Branches[1])
+	}
+	if a.Branches[9].Total != 2 || a.CallSites[2] != 12 {
+		t.Error("merge missed entries")
+	}
+}
+
+func TestUnitChecksumStability(t *testing.T) {
+	src := `int main() { return 42; }`
+	u1, err := CompileSource(src, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := CompileSource(src, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Checksum() != u2.Checksum() {
+		t.Error("checksum unstable")
+	}
+	u3, err := CompileSource(`int main() { return 43; }`, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u3.Checksum() == u1.Checksum() {
+		t.Error("checksum insensitive to code changes")
+	}
+}
+
+func TestCompilerProfiled(t *testing.T) {
+	p := perf.New()
+	src := `
+int sq(int x) { return x * x; }
+int main() { int s = 0; for (int i = 0; i < 5; i++) { s += sq(i); } return s; }
+`
+	if _, err := CompileSource(src, O3, nil, p); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report()
+	for _, m := range []string{"preprocess", "parse", "codegen"} {
+		if rep.Coverage[m] == 0 {
+			t.Errorf("method %s missing from compile coverage", m)
+		}
+	}
+}
+
+func TestVMProfiled(t *testing.T) {
+	unit, err := CompileSource(`
+int work(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }
+int main() { return work(200) % 97; }
+`, O2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := perf.New()
+	if _, err := Run(unit, VMOptions{Prof: p}); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report()
+	if rep.Coverage["vm:work"] == 0 || rep.Coverage["vm:main"] == 0 {
+		t.Errorf("vm coverage missing: %v", rep.Coverage)
+	}
+}
+
+func TestOptLevelString(t *testing.T) {
+	if O2.String() != "-O2" || OptLevel(9).String() == "" {
+		t.Error("OptLevel.String misbehaves")
+	}
+}

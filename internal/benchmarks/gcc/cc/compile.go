@@ -1,0 +1,522 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a bytecode opcode for the stack VM.
+type Op uint8
+
+// Opcodes.
+const (
+	OpConst  Op = iota // push constant A
+	OpLoadL            // push local[A]
+	OpStoreL           // pop into local[A]
+	OpLoadG            // push global[A]
+	OpStoreG           // pop into global[A]
+	OpALoad            // pop index; push array[A][index]
+	OpAStore           // pop index, pop value; array[A][index] = value
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpNeg
+	OpNot
+	OpBNot
+	OpBool  // normalize top of stack to 0/1
+	OpJmp   // jump to A
+	OpJz    // pop; jump to A when zero (branch node B)
+	OpJnz   // pop; jump to A when non-zero (branch node B)
+	OpCall  // call function A with its declared arg count (call site B)
+	OpRet   // return top of stack (or 0 when stack frame empty)
+	OpPrint // pop and append to output
+	OpPop   // discard top of stack
+	OpDup   // duplicate top of stack
+)
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op Op
+	A  int64 // operand: constant value, slot, target pc, or function index
+	B  int32 // auxiliary: branch/call-site node ID
+}
+
+// CompiledFunc is one function's bytecode.
+type CompiledFunc struct {
+	Name      string
+	NumParams int
+	NumLocals int
+	Code      []Instr
+}
+
+// Unit is a compiled program image.
+type Unit struct {
+	Funcs      []*CompiledFunc
+	FuncIndex  map[string]int
+	NumGlobals int
+	GlobalInit []int64
+	// GlobalIndex maps scalar global names to their slots (inputs are
+	// injected by overriding initial values; see VMOptions.Globals).
+	GlobalIndex map[string]int
+	Arrays      []int // array sizes, indexed by array slot
+	// Inlined reports how many call sites the optimizer inlined.
+	Inlined int
+}
+
+// ErrCompile reports a semantic error.
+var ErrCompile = errors.New("cc: compile error")
+
+// symbol kinds in the global scope.
+type globalSym struct {
+	isArray bool
+	slot    int
+}
+
+// compiler generates bytecode for one function.
+type compiler struct {
+	unit    *Unit
+	ids     *nodeIDs
+	profile *Profile
+	globals map[string]globalSym
+	funcs   map[string]int
+	arity   map[string]int
+
+	code   []Instr
+	locals []map[string]int
+	nLoc   int
+	maxLoc int
+}
+
+// coldJumpThreshold is the jump-taken probability below which codegen lays
+// an if/else out in inverted polarity (FDO branch layout). The default
+// layout (JZ to else) executes no unconditional jump on the cond-false
+// path, so it already favors a frequently-taken JZ; inversion pays off only
+// when the JZ is rarely taken (cond usually true), putting the then-path on
+// the jump-free fallthrough.
+const coldJumpThreshold = 0.4
+
+// Compile lowers an optimized program to bytecode. The profile, when
+// non-nil, drives branch-layout decisions.
+func Compile(prog *Program, ids *nodeIDs, profile *Profile) (*Unit, error) {
+	unit := &Unit{FuncIndex: map[string]int{}, GlobalIndex: map[string]int{}}
+	globals := map[string]globalSym{}
+	for _, g := range prog.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate global %q", ErrCompile, g.Name)
+		}
+		if g.ArraySize > 0 {
+			globals[g.Name] = globalSym{isArray: true, slot: len(unit.Arrays)}
+			unit.Arrays = append(unit.Arrays, g.ArraySize)
+		} else {
+			globals[g.Name] = globalSym{slot: unit.NumGlobals}
+			unit.GlobalIndex[g.Name] = unit.NumGlobals
+			unit.GlobalInit = append(unit.GlobalInit, g.Init)
+			unit.NumGlobals++
+		}
+	}
+	funcs := map[string]int{}
+	arity := map[string]int{}
+	for i, fn := range prog.Funcs {
+		if _, dup := funcs[fn.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate function %q", ErrCompile, fn.Name)
+		}
+		funcs[fn.Name] = i
+		arity[fn.Name] = len(fn.Params)
+		unit.FuncIndex[fn.Name] = i
+	}
+	for _, fn := range prog.Funcs {
+		c := &compiler{unit: unit, ids: ids, profile: profile, globals: globals, funcs: funcs, arity: arity}
+		cf, err := c.compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		unit.Funcs = append(unit.Funcs, cf)
+	}
+	return unit, nil
+}
+
+func (c *compiler) compileFunc(fn *Func) (*CompiledFunc, error) {
+	c.pushScope()
+	for _, p := range fn.Params {
+		c.declare(p)
+	}
+	if err := c.stmt(fn.Body); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, fn.Name)
+	}
+	c.popScope()
+	// Implicit return 0.
+	c.emit(Instr{Op: OpConst, A: 0})
+	c.emit(Instr{Op: OpRet})
+	return &CompiledFunc{
+		Name:      fn.Name,
+		NumParams: len(fn.Params),
+		NumLocals: c.maxLoc,
+		Code:      c.code,
+	}, nil
+}
+
+func (c *compiler) emit(i Instr) int {
+	c.code = append(c.code, i)
+	return len(c.code) - 1
+}
+
+func (c *compiler) patch(at int, target int) {
+	c.code[at].A = int64(target)
+}
+
+func (c *compiler) pushScope() {
+	c.locals = append(c.locals, map[string]int{})
+}
+
+func (c *compiler) popScope() {
+	top := c.locals[len(c.locals)-1]
+	c.nLoc -= len(top)
+	c.locals = c.locals[:len(c.locals)-1]
+}
+
+func (c *compiler) declare(name string) int {
+	slot := c.nLoc
+	c.locals[len(c.locals)-1][name] = slot
+	c.nLoc++
+	if c.nLoc > c.maxLoc {
+		c.maxLoc = c.nLoc
+	}
+	return slot
+}
+
+// resolve finds name as a local slot (ok) or returns ok=false.
+func (c *compiler) resolveLocal(name string) (int, bool) {
+	for i := len(c.locals) - 1; i >= 0; i-- {
+		if slot, ok := c.locals[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// jumpProb returns the profiled probability that branch id's jump is taken
+// (-1 when unknown).
+func (c *compiler) jumpProb(id int) float64 {
+	if c.profile == nil || id == 0 {
+		return -1
+	}
+	bc, ok := c.profile.Branches[id]
+	if !ok || bc.Total == 0 {
+		return -1
+	}
+	return float64(bc.Taken) / float64(bc.Total)
+}
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		c.pushScope()
+		for _, child := range st.Stmts {
+			if err := c.stmt(child); err != nil {
+				return err
+			}
+		}
+		c.popScope()
+		return nil
+	case *DeclStmt:
+		slot := c.declare(st.Name)
+		if st.Init != nil {
+			if err := c.expr(st.Init); err != nil {
+				return err
+			}
+		} else {
+			c.emit(Instr{Op: OpConst, A: 0})
+		}
+		c.emit(Instr{Op: OpStoreL, A: int64(slot)})
+		return nil
+	case *ExprStmt:
+		if err := c.expr(st.X); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpPop})
+		return nil
+	case *IfStmt:
+		return c.ifStmt(st)
+	case *WhileStmt:
+		return c.whileStmt(st)
+	case *ForStmt:
+		return c.forStmt(st)
+	case *ReturnStmt:
+		if st.X != nil {
+			if err := c.expr(st.X); err != nil {
+				return err
+			}
+		} else {
+			c.emit(Instr{Op: OpConst, A: 0})
+		}
+		c.emit(Instr{Op: OpRet})
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown statement %T", ErrCompile, s)
+	}
+}
+
+// ifStmt emits an if/else with profile-guided layout: when the jump-taken
+// probability is high, polarity is inverted so the hot successor falls
+// through.
+func (c *compiler) ifStmt(st *IfStmt) error {
+	id := c.ids.ifs[st]
+	if err := c.expr(st.Cond); err != nil {
+		return err
+	}
+	prob := c.jumpProb(id)
+	invert := prob >= 0 && prob < coldJumpThreshold && st.Else != nil
+	if !invert {
+		// cond; JZ else; then; JMP end; else:; end:
+		jz := c.emit(Instr{Op: OpJz, B: int32(id)})
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			c.patch(jz, len(c.code))
+			return nil
+		}
+		jmp := c.emit(Instr{Op: OpJmp})
+		c.patch(jz, len(c.code))
+		if err := c.stmt(st.Else); err != nil {
+			return err
+		}
+		c.patch(jmp, len(c.code))
+		return nil
+	}
+	// Inverted: cond; JNZ then; else; JMP end; then:; end:
+	jnz := c.emit(Instr{Op: OpJnz, B: int32(id)})
+	if err := c.stmt(st.Else); err != nil {
+		return err
+	}
+	jmp := c.emit(Instr{Op: OpJmp})
+	c.patch(jnz, len(c.code))
+	if err := c.stmt(st.Then); err != nil {
+		return err
+	}
+	c.patch(jmp, len(c.code))
+	return nil
+}
+
+// whileStmt emits a rotated loop (test at the bottom): one taken jump per
+// iteration instead of two.
+func (c *compiler) whileStmt(st *WhileStmt) error {
+	id := c.ids.whiles[st]
+	jmp := c.emit(Instr{Op: OpJmp}) // jump to test
+	bodyStart := len(c.code)
+	if err := c.stmt(st.Body); err != nil {
+		return err
+	}
+	c.patch(jmp, len(c.code))
+	if err := c.expr(st.Cond); err != nil {
+		return err
+	}
+	c.emit(Instr{Op: OpJnz, A: int64(bodyStart), B: int32(id)})
+	return nil
+}
+
+func (c *compiler) forStmt(st *ForStmt) error {
+	id := c.ids.fors[st]
+	c.pushScope()
+	defer c.popScope()
+	if st.Init != nil {
+		if err := c.stmt(st.Init); err != nil {
+			return err
+		}
+	}
+	jmp := -1
+	if st.Cond != nil {
+		jmp = c.emit(Instr{Op: OpJmp}) // to test
+	}
+	bodyStart := len(c.code)
+	if err := c.stmt(st.Body); err != nil {
+		return err
+	}
+	if st.Post != nil {
+		if err := c.stmt(st.Post); err != nil {
+			return err
+		}
+	}
+	if st.Cond == nil {
+		c.emit(Instr{Op: OpJmp, A: int64(bodyStart)})
+		return nil
+	}
+	c.patch(jmp, len(c.code))
+	if err := c.expr(st.Cond); err != nil {
+		return err
+	}
+	c.emit(Instr{Op: OpJnz, A: int64(bodyStart), B: int32(id)})
+	return nil
+}
+
+var binOps = map[string]Op{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+}
+
+func (c *compiler) expr(e Expr) error {
+	switch x := e.(type) {
+	case *NumExpr:
+		c.emit(Instr{Op: OpConst, A: x.V})
+		return nil
+	case *VarExpr:
+		if slot, ok := c.resolveLocal(x.Name); ok {
+			c.emit(Instr{Op: OpLoadL, A: int64(slot)})
+			return nil
+		}
+		if g, ok := c.globals[x.Name]; ok && !g.isArray {
+			c.emit(Instr{Op: OpLoadG, A: int64(g.slot)})
+			return nil
+		}
+		return fmt.Errorf("%w: undeclared variable %q", ErrCompile, x.Name)
+	case *IndexExpr:
+		g, ok := c.globals[x.Name]
+		if !ok || !g.isArray {
+			return fmt.Errorf("%w: %q is not an array", ErrCompile, x.Name)
+		}
+		if err := c.expr(x.Idx); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpALoad, A: int64(g.slot)})
+		return nil
+	case *UnaryExpr:
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "-":
+			c.emit(Instr{Op: OpNeg})
+		case "!":
+			c.emit(Instr{Op: OpNot})
+		case "~":
+			c.emit(Instr{Op: OpBNot})
+		default:
+			return fmt.Errorf("%w: unary %q", ErrCompile, x.Op)
+		}
+		return nil
+	case *BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return c.logical(x)
+		}
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		if err := c.expr(x.R); err != nil {
+			return err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			return fmt.Errorf("%w: binary %q", ErrCompile, x.Op)
+		}
+		c.emit(Instr{Op: op})
+		return nil
+	case *CallExpr:
+		return c.call(x)
+	case *AssignExpr:
+		return c.assign(x)
+	default:
+		return fmt.Errorf("%w: unknown expression %T", ErrCompile, e)
+	}
+}
+
+// logical emits short-circuit && / || leaving a 0/1 value.
+func (c *compiler) logical(x *BinaryExpr) error {
+	id := c.ids.logic[x]
+	if err := c.expr(x.L); err != nil {
+		return err
+	}
+	c.emit(Instr{Op: OpDup})
+	var jshort int
+	if x.Op == "&&" {
+		jshort = c.emit(Instr{Op: OpJz, B: int32(id)})
+	} else {
+		jshort = c.emit(Instr{Op: OpJnz, B: int32(id)})
+	}
+	c.emit(Instr{Op: OpPop})
+	if err := c.expr(x.R); err != nil {
+		return err
+	}
+	c.patch(jshort, len(c.code))
+	c.emit(Instr{Op: OpBool})
+	return nil
+}
+
+// call emits a function call or the print builtin.
+func (c *compiler) call(x *CallExpr) error {
+	for _, a := range x.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+	}
+	if x.Name == "print" {
+		if len(x.Args) != 1 {
+			return fmt.Errorf("%w: print takes one argument", ErrCompile)
+		}
+		c.emit(Instr{Op: OpPrint})
+		c.emit(Instr{Op: OpConst, A: 0}) // print's value
+		return nil
+	}
+	idx, ok := c.funcs[x.Name]
+	if !ok {
+		return fmt.Errorf("%w: undeclared function %q", ErrCompile, x.Name)
+	}
+	if want := c.arity[x.Name]; len(x.Args) != want {
+		return fmt.Errorf("%w: %q called with %d args, takes %d", ErrCompile, x.Name, len(x.Args), want)
+	}
+	c.emit(Instr{Op: OpCall, A: int64(idx), B: int32(c.ids.calls[x])})
+	return nil
+}
+
+// assign emits an assignment, leaving the assigned value on the stack.
+func (c *compiler) assign(x *AssignExpr) error {
+	value := x.Value
+	if x.Op != "" {
+		value = &BinaryExpr{Op: x.Op, L: x.Target, R: x.Value}
+	}
+	switch target := x.Target.(type) {
+	case *VarExpr:
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpDup})
+		if slot, ok := c.resolveLocal(target.Name); ok {
+			c.emit(Instr{Op: OpStoreL, A: int64(slot)})
+			return nil
+		}
+		if g, ok := c.globals[target.Name]; ok && !g.isArray {
+			c.emit(Instr{Op: OpStoreG, A: int64(g.slot)})
+			return nil
+		}
+		return fmt.Errorf("%w: undeclared variable %q", ErrCompile, target.Name)
+	case *IndexExpr:
+		g, ok := c.globals[target.Name]
+		if !ok || !g.isArray {
+			return fmt.Errorf("%w: %q is not an array", ErrCompile, target.Name)
+		}
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpDup})
+		if err := c.expr(target.Idx); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpAStore, A: int64(g.slot)})
+		return nil
+	default:
+		return fmt.Errorf("%w: bad assignment target %T", ErrCompile, x.Target)
+	}
+}

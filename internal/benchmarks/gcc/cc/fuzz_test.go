@@ -1,0 +1,29 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompileSourceNeverPanics feeds token soup to the full pipeline: every
+// input must produce a value or an error, never a panic.
+func TestCompileSourceNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tokens := []string{
+		"int", "void", "return", "if", "else", "while", "for", "static",
+		"main", "x", "f", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+		"+", "-", "*", "/", "%", "<", ">", "==", "&&", "||", "42", "0",
+		"#define A 1\n", "#ifdef A\n", "#endif\n",
+	}
+	for trial := 0; trial < 3000; trial++ {
+		src := ""
+		for k := 0; k < rng.Intn(24); k++ {
+			src += tokens[rng.Intn(len(tokens))] + " "
+		}
+		unit, err := CompileSource(src, OptLevel(rng.Intn(4)), nil, nil)
+		if err == nil && unit != nil {
+			// Compiled token soup must also execute safely (bounded).
+			_, _ = Run(unit, VMOptions{StepLimit: 10000})
+		}
+	}
+}

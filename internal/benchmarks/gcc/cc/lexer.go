@@ -1,0 +1,123 @@
+// Package cc is a miniature C-like compiler: preprocessor, lexer, parser,
+// AST optimizer, bytecode generator and stack virtual machine. It plays two
+// roles in the reproduction: it is the program under study for 502.gcc_r
+// (whose workloads are single preprocessed compilation units), and it is the
+// substrate for the Feedback-Directed Optimization study (profile-guided
+// inlining and branch layout with edge profiles collected by the VM).
+//
+// The language: int-typed variables, one-dimensional int arrays, functions,
+// if/else, while, for, return, and the usual C operator set, plus a print()
+// builtin whose output stream is the program's checksummed result.
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and punctuation
+	TokKeyword // int, if, else, while, for, return, void
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset, for error messages
+	Line int
+}
+
+// keywords of the mini language.
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "void": true, "static": true,
+}
+
+// ErrLex reports a lexing failure.
+var ErrLex = errors.New("cc: lex error")
+
+// punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+// Lex tokenizes src (after preprocessing).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	pos := 0
+	line := 1
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == '\n':
+			line++
+			pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			pos++
+		case strings.HasPrefix(src[pos:], "//"):
+			for pos < len(src) && src[pos] != '\n' {
+				pos++
+			}
+		case strings.HasPrefix(src[pos:], "/*"):
+			end := strings.Index(src[pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("%w: unterminated comment at line %d", ErrLex, line)
+			}
+			line += strings.Count(src[pos:pos+2+end+2], "\n")
+			pos += 2 + end + 2
+		case c >= '0' && c <= '9':
+			start := pos
+			for pos < len(src) && (src[pos] >= '0' && src[pos] <= '9' || src[pos] == 'x' ||
+				(src[pos] >= 'a' && src[pos] <= 'f') || (src[pos] >= 'A' && src[pos] <= 'F')) {
+				pos++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:pos], Pos: start, Line: line})
+		case isIdentStart(c):
+			start := pos
+			for pos < len(src) && isIdentChar(src[pos]) {
+				pos++
+			}
+			text := src[start:pos]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Pos: start, Line: line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[pos:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Pos: pos, Line: line})
+					pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("%w: unexpected byte %q at line %d", ErrLex, c, line)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: pos, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,626 @@
+package cc
+
+import "fmt"
+
+// OptLevel selects the optimization pipeline.
+type OptLevel int
+
+// Optimization levels.
+const (
+	O0 OptLevel = iota // parse + codegen only
+	O1                 // constant folding, algebraic simplification
+	O2                 // + dead-branch elimination, small-function inlining
+	O3                 // + aggressive inlining
+)
+
+// BranchCount is an edge profile entry.
+type BranchCount struct {
+	Taken, Total uint64
+}
+
+// Profile is feedback collected by the VM: per-static-branch outcome counts
+// and per-call-site execution counts, keyed by the stable node IDs assigned
+// by Number.
+type Profile struct {
+	Branches  map[int]*BranchCount
+	CallSites map[int]uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{Branches: map[int]*BranchCount{}, CallSites: map[int]uint64{}}
+}
+
+// Merge adds other's counts into p (the paper's combined-profiling
+// methodology [Berube]: feedback from multiple training runs).
+func (p *Profile) Merge(other *Profile) {
+	for id, bc := range other.Branches {
+		if cur, ok := p.Branches[id]; ok {
+			cur.Taken += bc.Taken
+			cur.Total += bc.Total
+		} else {
+			p.Branches[id] = &BranchCount{Taken: bc.Taken, Total: bc.Total}
+		}
+	}
+	for id, n := range other.CallSites {
+		p.CallSites[id] += n
+	}
+}
+
+// node IDs are attached out-of-band to avoid cluttering every AST node:
+// the numbering pass fills these maps. IDs survive cloning during inlining
+// because clones share the original nodes' entries.
+type nodeIDs struct {
+	ifs    map[*IfStmt]int
+	whiles map[*WhileStmt]int
+	fors   map[*ForStmt]int
+	logic  map[*BinaryExpr]int
+	calls  map[*CallExpr]int
+	next   int
+}
+
+// Number assigns stable IDs to every branch-carrying and call node in
+// deterministic traversal order. It must run right after Parse, before any
+// transformation, so that two compiles of the same source agree on IDs.
+func Number(prog *Program) *nodeIDs {
+	ids := &nodeIDs{
+		ifs:    map[*IfStmt]int{},
+		whiles: map[*WhileStmt]int{},
+		fors:   map[*ForStmt]int{},
+		logic:  map[*BinaryExpr]int{},
+		calls:  map[*CallExpr]int{},
+		next:   1,
+	}
+	for _, fn := range prog.Funcs {
+		ids.numberStmt(fn.Body)
+	}
+	return ids
+}
+
+func (ids *nodeIDs) id() int { n := ids.next; ids.next++; return n }
+
+func (ids *nodeIDs) numberStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		for _, c := range st.Stmts {
+			ids.numberStmt(c)
+		}
+	case *DeclStmt:
+		if st.Init != nil {
+			ids.numberExpr(st.Init)
+		}
+	case *ExprStmt:
+		ids.numberExpr(st.X)
+	case *IfStmt:
+		ids.ifs[st] = ids.id()
+		ids.numberExpr(st.Cond)
+		ids.numberStmt(st.Then)
+		if st.Else != nil {
+			ids.numberStmt(st.Else)
+		}
+	case *WhileStmt:
+		ids.whiles[st] = ids.id()
+		ids.numberExpr(st.Cond)
+		ids.numberStmt(st.Body)
+	case *ForStmt:
+		ids.fors[st] = ids.id()
+		if st.Init != nil {
+			ids.numberStmt(st.Init)
+		}
+		if st.Cond != nil {
+			ids.numberExpr(st.Cond)
+		}
+		if st.Post != nil {
+			ids.numberStmt(st.Post)
+		}
+		ids.numberStmt(st.Body)
+	case *ReturnStmt:
+		if st.X != nil {
+			ids.numberExpr(st.X)
+		}
+	}
+}
+
+func (ids *nodeIDs) numberExpr(e Expr) {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		ids.numberExpr(x.X)
+	case *BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			ids.logic[x] = ids.id()
+		}
+		ids.numberExpr(x.L)
+		ids.numberExpr(x.R)
+	case *IndexExpr:
+		ids.numberExpr(x.Idx)
+	case *CallExpr:
+		ids.calls[x] = ids.id()
+		for _, a := range x.Args {
+			ids.numberExpr(a)
+		}
+	case *AssignExpr:
+		ids.numberExpr(x.Target)
+		ids.numberExpr(x.Value)
+	}
+}
+
+// foldExpr performs constant folding and algebraic simplification.
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		x.X = foldExpr(x.X)
+		if n, ok := x.X.(*NumExpr); ok {
+			switch x.Op {
+			case "-":
+				return &NumExpr{V: -n.V}
+			case "!":
+				if n.V == 0 {
+					return &NumExpr{V: 1}
+				}
+				return &NumExpr{V: 0}
+			case "~":
+				return &NumExpr{V: ^n.V}
+			}
+		}
+		return x
+	case *BinaryExpr:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		l, lok := x.L.(*NumExpr)
+		r, rok := x.R.(*NumExpr)
+		if lok && rok && x.Op != "&&" && x.Op != "||" {
+			if v, ok := evalBinary(x.Op, l.V, r.V); ok {
+				return &NumExpr{V: v}
+			}
+		}
+		// Algebraic identities (safe: no side effects dropped when the
+		// discarded operand is a constant).
+		if rok {
+			switch {
+			case r.V == 0 && (x.Op == "+" || x.Op == "-" || x.Op == "|" || x.Op == "^" || x.Op == "<<" || x.Op == ">>"):
+				return x.L
+			case r.V == 1 && (x.Op == "*" || x.Op == "/"):
+				return x.L
+			}
+		}
+		if lok {
+			switch {
+			case l.V == 0 && (x.Op == "+" || x.Op == "|" || x.Op == "^"):
+				return x.R
+			case l.V == 1 && x.Op == "*":
+				return x.R
+			}
+		}
+		return x
+	case *IndexExpr:
+		x.Idx = foldExpr(x.Idx)
+		return x
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = foldExpr(x.Args[i])
+		}
+		return x
+	case *AssignExpr:
+		x.Value = foldExpr(x.Value)
+		if ix, ok := x.Target.(*IndexExpr); ok {
+			ix.Idx = foldExpr(ix.Idx)
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+// evalBinary evaluates a constant binary op; division by zero is left for
+// run time.
+func evalBinary(op string, l, r int64) (int64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "&":
+		return l & r, true
+	case "|":
+		return l | r, true
+	case "^":
+		return l ^ r, true
+	case "<<":
+		return l << (uint64(r) & 63), true
+	case ">>":
+		return l >> (uint64(r) & 63), true
+	case "<":
+		return b2i(l < r), true
+	case "<=":
+		return b2i(l <= r), true
+	case ">":
+		return b2i(l > r), true
+	case ">=":
+		return b2i(l >= r), true
+	case "==":
+		return b2i(l == r), true
+	case "!=":
+		return b2i(l != r), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldStmt folds constants in a statement and eliminates dead branches.
+// It returns the (possibly replaced) statement; nil means the statement was
+// removed entirely.
+func foldStmt(s Stmt, elimDead bool) Stmt {
+	switch st := s.(type) {
+	case *Block:
+		out := st.Stmts[:0]
+		for _, c := range st.Stmts {
+			if f := foldStmt(c, elimDead); f != nil {
+				out = append(out, f)
+			}
+		}
+		st.Stmts = out
+		return st
+	case *DeclStmt:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+		return st
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+		return st
+	case *IfStmt:
+		st.Cond = foldExpr(st.Cond)
+		st.Then = foldStmt(st.Then, elimDead)
+		if st.Else != nil {
+			st.Else = foldStmt(st.Else, elimDead)
+		}
+		if elimDead {
+			if n, ok := st.Cond.(*NumExpr); ok {
+				if n.V != 0 {
+					return st.Then
+				}
+				if st.Else != nil {
+					return st.Else
+				}
+				return nil
+			}
+		}
+		return st
+	case *WhileStmt:
+		st.Cond = foldExpr(st.Cond)
+		st.Body = foldStmt(st.Body, elimDead)
+		if elimDead {
+			if n, ok := st.Cond.(*NumExpr); ok && n.V == 0 {
+				return nil
+			}
+		}
+		return st
+	case *ForStmt:
+		if st.Init != nil {
+			st.Init = foldStmt(st.Init, elimDead)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = foldStmt(st.Post, elimDead)
+		}
+		st.Body = foldStmt(st.Body, elimDead)
+		return st
+	case *ReturnStmt:
+		if st.X != nil {
+			st.X = foldExpr(st.X)
+		}
+		return st
+	default:
+		return s
+	}
+}
+
+// inliner replaces calls to single-return-statement functions with the
+// substituted return expression. With a profile, call sites whose count
+// clears the hot threshold are inlined even when the callee is larger.
+type inliner struct {
+	prog      *Program
+	ids       *nodeIDs
+	profile   *Profile
+	sizeLimit int
+	// hotFraction is the share of all dynamic calls above which a call
+	// site counts as hot.
+	hotFraction float64
+	totalCalls  uint64
+	// Inlined counts how many call sites were replaced (exposed for the
+	// gcc benchmark's statistics and the FDO ablation).
+	Inlined int
+}
+
+// exprSize measures an expression for the inlining budget.
+func exprSize(e Expr) int {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		return 1 + exprSize(x.X)
+	case *BinaryExpr:
+		return 1 + exprSize(x.L) + exprSize(x.R)
+	case *IndexExpr:
+		return 1 + exprSize(x.Idx)
+	case *CallExpr:
+		n := 2
+		for _, a := range x.Args {
+			n += exprSize(a)
+		}
+		return n
+	case *AssignExpr:
+		return 1 + exprSize(x.Target) + exprSize(x.Value)
+	default:
+		return 1
+	}
+}
+
+// inlinableBody returns the return expression of fn when fn consists of a
+// single return statement, else nil.
+func inlinableBody(fn *Func) Expr {
+	if fn.Body == nil || len(fn.Body.Stmts) != 1 {
+		return nil
+	}
+	ret, ok := fn.Body.Stmts[0].(*ReturnStmt)
+	if !ok || ret.X == nil {
+		return nil
+	}
+	return ret.X
+}
+
+// substitute clones expression e replacing parameter references with the
+// given argument expressions. Arguments must be side-effect free (the
+// caller checks); parameters may appear multiple times.
+func substitute(e Expr, params map[string]Expr) Expr {
+	switch x := e.(type) {
+	case *NumExpr:
+		return &NumExpr{V: x.V}
+	case *VarExpr:
+		if arg, ok := params[x.Name]; ok {
+			return arg
+		}
+		return &VarExpr{Name: x.Name}
+	case *IndexExpr:
+		return &IndexExpr{Name: x.Name, Idx: substitute(x.Idx, params)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: substitute(x.X, params)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: substitute(x.L, params), R: substitute(x.R, params)}
+	case *CallExpr:
+		c := &CallExpr{Name: x.Name}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, substitute(a, params))
+		}
+		return c
+	case *AssignExpr:
+		return &AssignExpr{Target: substitute(x.Target, params), Op: x.Op, Value: substitute(x.Value, params)}
+	default:
+		return e
+	}
+}
+
+// countUses counts references to the named variable in e.
+func countUses(e Expr, name string) int {
+	switch x := e.(type) {
+	case *VarExpr:
+		if x.Name == name {
+			return 1
+		}
+		return 0
+	case *IndexExpr:
+		return countUses(x.Idx, name)
+	case *UnaryExpr:
+		return countUses(x.X, name)
+	case *BinaryExpr:
+		return countUses(x.L, name) + countUses(x.R, name)
+	case *CallExpr:
+		n := 0
+		for _, a := range x.Args {
+			n += countUses(a, name)
+		}
+		return n
+	case *AssignExpr:
+		return countUses(x.Target, name) + countUses(x.Value, name)
+	default:
+		return 0
+	}
+}
+
+// trivialExpr reports whether duplicating e is free (a literal or a plain
+// variable reference).
+func trivialExpr(e Expr) bool {
+	switch e.(type) {
+	case *NumExpr, *VarExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// sideEffectFree reports whether e can be duplicated safely.
+func sideEffectFree(e Expr) bool {
+	switch x := e.(type) {
+	case *NumExpr, *VarExpr:
+		return true
+	case *IndexExpr:
+		return sideEffectFree(x.Idx)
+	case *UnaryExpr:
+		return sideEffectFree(x.X)
+	case *BinaryExpr:
+		return sideEffectFree(x.L) && sideEffectFree(x.R)
+	default:
+		return false
+	}
+}
+
+// run performs inlining over the whole program.
+func (in *inliner) run() {
+	funcsByName := map[string]*Func{}
+	for _, fn := range in.prog.Funcs {
+		funcsByName[fn.Name] = fn
+	}
+	var rewrite func(e Expr) Expr
+	rewrite = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *UnaryExpr:
+			x.X = rewrite(x.X)
+			return x
+		case *BinaryExpr:
+			x.L = rewrite(x.L)
+			x.R = rewrite(x.R)
+			return x
+		case *IndexExpr:
+			x.Idx = rewrite(x.Idx)
+			return x
+		case *AssignExpr:
+			x.Target = rewrite(x.Target)
+			x.Value = rewrite(x.Value)
+			return x
+		case *CallExpr:
+			for i := range x.Args {
+				x.Args[i] = rewrite(x.Args[i])
+			}
+			callee, ok := funcsByName[x.Name]
+			if !ok {
+				return x
+			}
+			body := inlinableBody(callee)
+			if body == nil || len(callee.Params) != len(x.Args) {
+				return x
+			}
+			limit := in.sizeLimit
+			if in.profile != nil && in.totalCalls > 0 {
+				// FDO: a call site is hot when it carries a meaningful
+				// share of all dynamic calls (relative, so combined
+				// profiles from many training runs are comparable to a
+				// single run's profile).
+				cnt := in.profile.CallSites[in.ids.calls[x]]
+				if float64(cnt) >= in.hotFraction*float64(in.totalCalls) {
+					limit *= 4 // hot call sites get a bigger budget
+				}
+			}
+			if exprSize(body) > limit {
+				return x
+			}
+			for i, a := range x.Args {
+				if !sideEffectFree(a) {
+					return x
+				}
+				// A parameter referenced more than once would duplicate
+				// its argument's computation: only trivial arguments
+				// (literals, plain variables) may be bound to such
+				// parameters.
+				if countUses(body, callee.Params[i]) > 1 && !trivialExpr(a) {
+					return x
+				}
+			}
+			params := map[string]Expr{}
+			for i, name := range callee.Params {
+				params[name] = x.Args[i]
+			}
+			in.Inlined++
+			return substitute(body, params)
+		default:
+			return e
+		}
+	}
+	var walkStmt func(s Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, c := range st.Stmts {
+				walkStmt(c)
+			}
+		case *DeclStmt:
+			if st.Init != nil {
+				st.Init = rewrite(st.Init)
+			}
+		case *ExprStmt:
+			st.X = rewrite(st.X)
+		case *IfStmt:
+			st.Cond = rewrite(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *WhileStmt:
+			st.Cond = rewrite(st.Cond)
+			walkStmt(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			if st.Cond != nil {
+				st.Cond = rewrite(st.Cond)
+			}
+			if st.Post != nil {
+				walkStmt(st.Post)
+			}
+			walkStmt(st.Body)
+		case *ReturnStmt:
+			if st.X != nil {
+				st.X = rewrite(st.X)
+			}
+		}
+	}
+	for _, fn := range in.prog.Funcs {
+		walkStmt(fn.Body)
+	}
+}
+
+// Optimize runs the pass pipeline for the given level. The profile, when
+// non-nil, drives FDO decisions (hot-call inlining here; branch layout in
+// codegen). It returns pass statistics for reporting.
+func Optimize(prog *Program, ids *nodeIDs, level OptLevel, profile *Profile) (inlined int) {
+	if level >= O1 {
+		for _, fn := range prog.Funcs {
+			fn.Body = foldStmt(fn.Body, level >= O2).(*Block)
+		}
+	}
+	if level >= O2 {
+		limit := 6
+		if level >= O3 {
+			limit = 16
+		}
+		in := &inliner{prog: prog, ids: ids, profile: profile, sizeLimit: limit, hotFraction: 0.02}
+		if profile != nil {
+			for _, n := range profile.CallSites {
+				in.totalCalls += n
+			}
+		}
+		in.run()
+		inlined = in.Inlined
+		// Re-fold: substitution exposes new constant expressions.
+		for _, fn := range prog.Funcs {
+			fn.Body = foldStmt(fn.Body, true).(*Block)
+		}
+	}
+	return inlined
+}
+
+// String names the level like a compiler flag.
+func (l OptLevel) String() string {
+	if l < O0 || l > O3 {
+		return fmt.Sprintf("OptLevel(%d)", int(l))
+	}
+	return [...]string{"-O0", "-O1", "-O2", "-O3"}[l]
+}

@@ -1,0 +1,474 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrParse reports a syntax error.
+var ErrParse = errors.New("cc: parse error")
+
+// parser consumes the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse builds the AST of a preprocessed compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return Token{}, fmt.Errorf("%w: line %d: expected %q, got %q", ErrParse, t.Line, text, t.Text)
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrParse, p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+// parseTopLevel parses one global declaration or function definition.
+func (p *parser) parseTopLevel(prog *Program) error {
+	static := p.accept(TokKeyword, "static")
+	isVoid := false
+	if p.accept(TokKeyword, "void") {
+		isVoid = true
+	} else if !p.accept(TokKeyword, "int") {
+		return p.errHere("expected type, got %q", p.cur().Text)
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return err
+	}
+	// Function definition?
+	if p.accept(TokPunct, "(") {
+		fn := &Func{Name: name.Text, Static: static}
+		if !p.accept(TokPunct, ")") {
+			for {
+				if p.accept(TokKeyword, "void") && p.at(TokPunct, ")") {
+					break
+				}
+				if _, err := p.expect(TokKeyword, "int"); err != nil {
+					return err
+				}
+				param, err := p.expect(TokIdent, "")
+				if err != nil {
+					return err
+				}
+				fn.Params = append(fn.Params, param.Text)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return err
+			}
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		fn.Body = body
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	if isVoid {
+		return p.errHere("void variable %q", name.Text)
+	}
+	// Global variable(s): int a, b = 3, c[10];
+	for {
+		g := &GlobalVar{Name: name.Text, Static: static}
+		if p.accept(TokPunct, "[") {
+			size, err := p.expect(TokNumber, "")
+			if err != nil {
+				return err
+			}
+			n, err := strconv.ParseInt(size.Text, 0, 64)
+			if err != nil || n <= 0 {
+				return p.errHere("bad array size %q", size.Text)
+			}
+			g.ArraySize = int(n)
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return err
+			}
+		} else if p.accept(TokPunct, "=") {
+			v, err := p.expect(TokNumber, "")
+			if err != nil {
+				return err
+			}
+			n, err := strconv.ParseInt(v.Text, 0, 64)
+			if err != nil {
+				return p.errHere("bad initializer %q", v.Text)
+			}
+			g.Init = n
+		}
+		prog.Globals = append(prog.Globals, g)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+		name, err = p.expect(TokIdent, "")
+		if err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(TokPunct, ";")
+	return err
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, p.errHere("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.parseBlock()
+	case p.accept(TokKeyword, "int"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(TokPunct, "=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Name: name.Text, Init: init}, nil
+	case p.accept(TokKeyword, "if"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(TokKeyword, "else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.accept(TokKeyword, "for"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init, post Stmt
+		var cond Expr
+		var err error
+		if !p.accept(TokPunct, ";") {
+			if p.at(TokKeyword, "int") {
+				init, err = p.parseStmt() // consumes the ';'
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{X: x}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !p.accept(TokPunct, ";") {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(TokPunct, ")") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			post = &ExprStmt{X: x}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+	case p.accept(TokKeyword, "return"):
+		var x Expr
+		var err error
+		if !p.at(TokPunct, ";") {
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x}, nil
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	}
+}
+
+// Operator precedence (binding powers), C-like.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+// compound assignment operators mapped to their binary op.
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		if t.Text == "=" {
+			p.pos++
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			if err := checkLValue(lhs); err != nil {
+				return nil, err
+			}
+			return &AssignExpr{Target: lhs, Value: rhs}, nil
+		}
+		if op, ok := compoundOps[t.Text]; ok {
+			p.pos++
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			if err := checkLValue(lhs); err != nil {
+				return nil, err
+			}
+			return &AssignExpr{Target: lhs, Op: op, Value: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func checkLValue(e Expr) error {
+	switch e.(type) {
+	case *VarExpr, *IndexExpr:
+		return nil
+	default:
+		return fmt.Errorf("%w: assignment to non-lvalue", ErrParse)
+	}
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec <= minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!" || t.Text == "~") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix ++/-- desugar to compound assignment (value semantics of
+	// the postfix result are not needed at statement level, the only
+	// position the generators use them in).
+	if p.at(TokPunct, "++") || p.at(TokPunct, "--") {
+		op := "+"
+		if p.cur().Text == "--" {
+			op = "-"
+		}
+		p.pos++
+		if err := checkLValue(x); err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Target: x, Op: op, Value: &NumExpr{V: 1}}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad number %q", ErrParse, t.Line, t.Text)
+		}
+		return &NumExpr{V: v}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		name := t.Text
+		if p.accept(TokPunct, "(") {
+			call := &CallExpr{Name: name}
+			if !p.accept(TokPunct, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		if p.accept(TokPunct, "[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Idx: idx}, nil
+		}
+		return &VarExpr{Name: name}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.pos++
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%w: line %d: unexpected %q", ErrParse, t.Line, t.Text)
+	}
+}

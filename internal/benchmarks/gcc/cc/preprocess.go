@@ -1,0 +1,125 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPreprocess reports a preprocessing failure.
+var ErrPreprocess = errors.New("cc: preprocess error")
+
+// Preprocess handles the directive subset the workloads use: object-like
+// #define, #undef, #ifdef/#ifndef/#else/#endif, and strips any other '#'
+// line. The gcc benchmark's inputs are single preprocessed compilation
+// units (the paper: "The input to this benchmark is a single file that must
+// be preprocessed").
+func Preprocess(src string) (string, error) {
+	defines := map[string]string{}
+	var out strings.Builder
+	// condStack holds whether each enclosing conditional branch is active.
+	type cond struct {
+		active    bool // this branch emits
+		everTaken bool // some branch of this conditional was taken
+	}
+	var stack []cond
+
+	emitting := func() bool {
+		for _, c := range stack {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for lineNo, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(strings.TrimPrefix(trimmed, "#"))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "define":
+				if !emitting() {
+					continue
+				}
+				if len(fields) < 2 {
+					return "", fmt.Errorf("%w: line %d: bare #define", ErrPreprocess, lineNo+1)
+				}
+				value := ""
+				if len(fields) > 2 {
+					value = strings.Join(fields[2:], " ")
+				}
+				defines[fields[1]] = value
+			case "undef":
+				if emitting() && len(fields) >= 2 {
+					delete(defines, fields[1])
+				}
+			case "ifdef", "ifndef":
+				if len(fields) < 2 {
+					return "", fmt.Errorf("%w: line %d: %s without name", ErrPreprocess, lineNo+1, fields[0])
+				}
+				_, defined := defines[fields[1]]
+				active := defined == (fields[0] == "ifdef")
+				stack = append(stack, cond{active: active, everTaken: active})
+			case "else":
+				if len(stack) == 0 {
+					return "", fmt.Errorf("%w: line %d: #else without #if", ErrPreprocess, lineNo+1)
+				}
+				top := &stack[len(stack)-1]
+				top.active = !top.everTaken
+				top.everTaken = top.everTaken || top.active
+			case "endif":
+				if len(stack) == 0 {
+					return "", fmt.Errorf("%w: line %d: #endif without #if", ErrPreprocess, lineNo+1)
+				}
+				stack = stack[:len(stack)-1]
+			default:
+				// #include and friends are stripped: workloads are
+				// single compilation units (OneFile's job).
+			}
+			continue
+		}
+		if !emitting() {
+			continue
+		}
+		out.WriteString(expandMacros(line, defines))
+		out.WriteByte('\n')
+	}
+	if len(stack) != 0 {
+		return "", fmt.Errorf("%w: unterminated conditional", ErrPreprocess)
+	}
+	return out.String(), nil
+}
+
+// expandMacros substitutes object-like macros at identifier boundaries,
+// one pass (no recursive expansion; sufficient for the generated
+// workloads).
+func expandMacros(line string, defines map[string]string) string {
+	if len(defines) == 0 {
+		return line
+	}
+	var sb strings.Builder
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if isIdentStart(c) {
+			start := i
+			for i < len(line) && isIdentChar(line[i]) {
+				i++
+			}
+			word := line[start:i]
+			if val, ok := defines[word]; ok {
+				sb.WriteString(val)
+			} else {
+				sb.WriteString(word)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}

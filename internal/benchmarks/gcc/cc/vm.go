@@ -1,0 +1,382 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// VM execution errors.
+var (
+	ErrNoMain       = errors.New("cc: program has no main")
+	ErrOutOfBounds  = errors.New("cc: array index out of bounds")
+	ErrDivByZero    = errors.New("cc: division by zero")
+	ErrStepLimit    = errors.New("cc: step limit exceeded")
+	ErrStackOverflo = errors.New("cc: call stack overflow")
+)
+
+// Synthetic address bases for the modeled hierarchy.
+const (
+	vmGlobalBase = 0x60_0000_0000
+	vmArrayBase  = 0x61_0000_0000
+	vmLocalBase  = 0x62_0000_0000
+	vmCodeBase   = 0x63_0000_0000
+)
+
+// RunResult is the outcome of executing a compiled unit.
+type RunResult struct {
+	// Return is main's return value.
+	Return int64
+	// Output checksums the print stream.
+	Output uint64
+	// Printed counts print calls.
+	Printed uint64
+	// Steps counts executed instructions.
+	Steps uint64
+}
+
+// VMOptions configure execution.
+type VMOptions struct {
+	// StepLimit bounds executed instructions (0 = default 50M).
+	StepLimit uint64
+	// Globals overrides initial values of named scalar globals — the
+	// mechanism by which one compiled program runs different inputs.
+	Globals map[string]int64
+	// Collect, when non-nil, receives branch and call-site counts (the
+	// FDO training run).
+	Collect *Profile
+	// Prof, when non-nil, receives modeled hardware events (the FDO
+	// evaluation run): function-level coverage, branch outcomes through
+	// the modeled predictor, memory traffic.
+	Prof *perf.Profiler
+}
+
+// frame is one call record.
+type frame struct {
+	fn     *CompiledFunc
+	pc     int
+	locals []int64
+	base   int // operand-stack base
+}
+
+// Run executes the unit's main function.
+func Run(u *Unit, opts VMOptions) (RunResult, error) {
+	mainIdx, ok := u.FuncIndex["main"]
+	if !ok {
+		return RunResult{}, ErrNoMain
+	}
+	limit := opts.StepLimit
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	globals := append([]int64(nil), u.GlobalInit...)
+	for name, v := range opts.Globals {
+		slot, ok := u.GlobalIndex[name]
+		if !ok {
+			return RunResult{}, fmt.Errorf("%w: no global %q to override", ErrCompile, name)
+		}
+		globals[slot] = v
+	}
+	arrays := make([][]int64, len(u.Arrays))
+	for i, size := range u.Arrays {
+		arrays[i] = make([]int64, size)
+	}
+
+	prof := opts.Prof
+	collect := opts.Collect
+
+	var res RunResult
+	outSum := core.NewChecksum()
+	stack := make([]int64, 0, 1024)
+	frames := make([]frame, 0, 64)
+
+	fn := u.Funcs[mainIdx]
+	if fn.NumParams != 0 {
+		return RunResult{}, fmt.Errorf("%w: main takes parameters", ErrCompile)
+	}
+	cur := frame{fn: fn, locals: make([]int64, fn.NumLocals)}
+	if prof != nil {
+		prof.Enter("vm:" + fn.Name)
+	}
+
+	pop := func() int64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v int64) { stack = append(stack, v) }
+
+	branchEvent := func(id int32, taken bool) {
+		if collect != nil && id != 0 {
+			bc, ok := collect.Branches[int(id)]
+			if !ok {
+				bc = &BranchCount{}
+				collect.Branches[int(id)] = bc
+			}
+			bc.Total++
+			if taken {
+				bc.Taken++
+			}
+		}
+		if prof != nil {
+			prof.Branch(uint64(id), taken)
+			if taken {
+				prof.Ops(1) // taken-jump fetch redirect
+			}
+		}
+	}
+
+	for {
+		if res.Steps >= limit {
+			return res, fmt.Errorf("%w after %d steps", ErrStepLimit, res.Steps)
+		}
+		res.Steps++
+		in := cur.fn.Code[cur.pc]
+		cur.pc++
+		if prof != nil {
+			prof.Ops(1)
+		}
+		switch in.Op {
+		case OpConst:
+			push(in.A)
+		case OpLoadL:
+			push(cur.locals[in.A])
+			if prof != nil {
+				prof.Load(vmLocalBase + uint64(len(frames))<<10 + uint64(in.A)*8)
+			}
+		case OpStoreL:
+			cur.locals[in.A] = pop()
+			if prof != nil {
+				prof.Store(vmLocalBase + uint64(len(frames))<<10 + uint64(in.A)*8)
+			}
+		case OpLoadG:
+			push(globals[in.A])
+			if prof != nil {
+				prof.Load(vmGlobalBase + uint64(in.A)*8)
+			}
+		case OpStoreG:
+			globals[in.A] = pop()
+			if prof != nil {
+				prof.Store(vmGlobalBase + uint64(in.A)*8)
+			}
+		case OpALoad:
+			idx := pop()
+			arr := arrays[in.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				return res, fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(arr))
+			}
+			push(arr[idx])
+			if prof != nil {
+				prof.Load(vmArrayBase + uint64(in.A)<<24 + uint64(idx)*8)
+			}
+		case OpAStore:
+			idx := pop()
+			val := pop()
+			arr := arrays[in.A]
+			if idx < 0 || idx >= int64(len(arr)) {
+				return res, fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(arr))
+			}
+			arr[idx] = val
+			if prof != nil {
+				prof.Store(vmArrayBase + uint64(in.A)<<24 + uint64(idx)*8)
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+			r := pop()
+			l := pop()
+			if (in.Op == OpDiv || in.Op == OpMod) && r == 0 {
+				return res, ErrDivByZero
+			}
+			v, _ := evalBinary(opToStr[in.Op], l, r)
+			push(v)
+			if in.Op == OpDiv || in.Op == OpMod {
+				if prof != nil {
+					prof.LongOps(1)
+				}
+			}
+		case OpNeg:
+			push(-pop())
+		case OpNot:
+			push(b2i(pop() == 0))
+		case OpBNot:
+			push(^pop())
+		case OpBool:
+			push(b2i(pop() != 0))
+		case OpJmp:
+			cur.pc = int(in.A)
+			if prof != nil {
+				prof.Jump()
+			}
+		case OpJz:
+			v := pop()
+			taken := v == 0
+			branchEvent(in.B, taken)
+			if taken {
+				cur.pc = int(in.A)
+			}
+		case OpJnz:
+			v := pop()
+			taken := v != 0
+			branchEvent(in.B, taken)
+			if taken {
+				cur.pc = int(in.A)
+			}
+		case OpCall:
+			callee := u.Funcs[in.A]
+			if len(frames) >= 512 {
+				return res, ErrStackOverflo
+			}
+			if collect != nil && in.B != 0 {
+				collect.CallSites[int(in.B)]++
+			}
+			locals := make([]int64, callee.NumLocals)
+			// Arguments were pushed left to right.
+			for i := callee.NumParams - 1; i >= 0; i-- {
+				locals[i] = pop()
+			}
+			frames = append(frames, cur)
+			cur = frame{fn: callee, locals: locals, base: len(stack)}
+			if prof != nil {
+				prof.Ops(6) // call overhead
+				prof.Enter("vm:" + callee.Name)
+			}
+		case OpRet:
+			v := pop()
+			if len(frames) == 0 {
+				res.Return = v
+				res.Output = outSum.Value()
+				if prof != nil {
+					prof.Leave()
+				}
+				return res, nil
+			}
+			stack = stack[:cur.base]
+			cur = frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			push(v)
+			if prof != nil {
+				prof.Ops(4) // return overhead
+				prof.Leave()
+			}
+		case OpPrint:
+			v := pop()
+			outSum = outSum.AddUint64(uint64(v))
+			res.Printed++
+		case OpPop:
+			pop()
+		case OpDup:
+			push(stack[len(stack)-1])
+		default:
+			return res, fmt.Errorf("%w: bad opcode %d", ErrCompile, in.Op)
+		}
+	}
+}
+
+// opToStr maps arithmetic opcodes back to their operator for evalBinary.
+var opToStr = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+}
+
+// CompileSource is the full front-to-back driver: preprocess, parse,
+// number, optimize, and lower. When prof is non-nil, the *compiler's own*
+// execution is instrumented (this is what the 502.gcc_r benchmark
+// measures). fdoProfile, when non-nil, drives FDO decisions.
+func CompileSource(src string, level OptLevel, fdoProfile *Profile, prof *perf.Profiler) (*Unit, error) {
+	if prof != nil {
+		prof.SetFootprint("preprocess", 3<<10)
+		prof.SetFootprint("lex", 4<<10)
+		prof.SetFootprint("parse", 8<<10)
+		prof.SetFootprint("fold_constants", 4<<10)
+		prof.SetFootprint("inline_functions", 3<<10)
+		prof.SetFootprint("codegen", 6<<10)
+	}
+	var pre string
+	var err error
+	if prof != nil {
+		prof.Enter("preprocess")
+		prof.Ops(uint64(len(src)) / 2)
+		for i := 0; i < len(src); i += 64 {
+			prof.Load(0x64_0000_0000 + uint64(i))
+		}
+	}
+	pre, err = Preprocess(src)
+	if prof != nil {
+		prof.Leave()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var prog *Program
+	if prof != nil {
+		prof.Enter("parse")
+		prof.Ops(uint64(len(pre)) * 2)
+		for i := 0; i < len(pre); i += 32 {
+			prof.Load(0x65_0000_0000 + uint64(i))
+			if i%160 == 0 {
+				prof.Branch(50, i%320 == 0)
+			}
+		}
+	}
+	prog, err = Parse(pre)
+	if prof != nil {
+		prof.Leave()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ids := Number(prog)
+
+	var inlined int
+	if prof != nil {
+		prof.Enter("fold_constants")
+		prof.Ops(uint64(ids.next) * 16)
+		prof.Leave()
+		prof.Enter("inline_functions")
+	}
+	inlined = Optimize(prog, ids, level, fdoProfile)
+	if prof != nil {
+		prof.Ops(uint64(len(prog.Funcs)) * 32)
+		prof.Leave()
+		prof.Enter("codegen")
+	}
+	unit, err := Compile(prog, ids, fdoProfile)
+	if prof != nil {
+		if unit != nil {
+			n := 0
+			for _, f := range unit.Funcs {
+				n += len(f.Code)
+			}
+			prof.Ops(uint64(n) * 6)
+			for i := 0; i < n; i++ {
+				prof.Store(vmCodeBase + uint64(i)*16)
+				if i%8 == 0 {
+					prof.Branch(51, i%16 == 0)
+				}
+			}
+		}
+		prof.Leave()
+	}
+	if err != nil {
+		return nil, err
+	}
+	unit.Inlined = inlined
+	return unit, nil
+}
+
+// Checksum folds a compiled unit into a stable value (the gcc benchmark's
+// output: the generated code).
+func (u *Unit) Checksum() uint64 {
+	sum := core.NewChecksum().AddUint64(uint64(u.NumGlobals)).AddUint64(uint64(len(u.Arrays)))
+	for _, f := range u.Funcs {
+		sum = sum.AddString(f.Name).AddUint64(uint64(f.NumLocals))
+		for _, in := range f.Code {
+			sum = sum.AddUint64(uint64(in.Op)).AddUint64(uint64(in.A))
+		}
+	}
+	return sum.Value()
+}

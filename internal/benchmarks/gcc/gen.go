@@ -1,0 +1,230 @@
+// Package gcc reproduces 502.gcc_r: the benchmark compiles single-file
+// preprocessed C programs. Workloads are mini-C compilation units produced
+// by a deterministic program generator (substituting for the "large
+// single-compilation-unit C programs" the Alberta set downloads) and by the
+// OneFile tool, which merges multi-file programs into one unit
+// (internal/onefile), as the paper describes for mcf, lbm and johnripper.
+package gcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenParams shape a generated program.
+type GenParams struct {
+	// Functions is the number of helper functions.
+	Functions int
+	// LoopDepth caps loop nesting in each function body.
+	LoopDepth int
+	// ExprDepth caps expression tree depth.
+	ExprDepth int
+	// Arrays is the number of global arrays.
+	Arrays int
+	// FixedArity, when positive, forces every helper to take exactly
+	// this many parameters (used by the multi-file generator so module
+	// entry points can call helpers without parsing their signatures).
+	FixedArity int
+	// Seed drives all choices.
+	Seed int64
+}
+
+// generator emits a deterministic, terminating mini-C program.
+type generator struct {
+	rng     *rand.Rand
+	p       GenParams
+	sb      strings.Builder
+	scalars []string
+	arrays  []string
+	arrLen  []int
+	funcs   []string // generated helper names with arities
+	arity   map[string]int
+	// allowCalls permits function calls in expressions; enabled only in
+	// main so helper-in-helper call chains cannot blow up run time.
+	allowCalls bool
+	locals     []string
+	indent     int
+}
+
+// GenerateProgram emits a compilable, terminating mini-C source file.
+func GenerateProgram(p GenParams) string {
+	g := &generator{rng: rand.New(rand.NewSource(p.Seed)), p: p, arity: map[string]int{}}
+	// Preprocessor header exercises the preprocess stage.
+	g.line("#define ITERS %d", 8+g.rng.Intn(24))
+	g.line("#define SCALE %d", 1+g.rng.Intn(5))
+	g.line("#ifdef UNUSED_FLAG")
+	g.line("int never_used;")
+	g.line("#endif")
+	// Globals.
+	nScalars := 2 + g.rng.Intn(4)
+	for i := 0; i < nScalars; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.scalars = append(g.scalars, name)
+		g.line("int %s = %d;", name, g.rng.Intn(100))
+	}
+	for i := 0; i < p.Arrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		size := 16 + g.rng.Intn(112)
+		g.arrays = append(g.arrays, name)
+		g.arrLen = append(g.arrLen, size)
+		g.line("int %s[%d];", name, size)
+	}
+	// Helper functions.
+	for i := 0; i < p.Functions; i++ {
+		g.genFunction(i)
+	}
+	g.genMain()
+	return g.sb.String()
+}
+
+func (g *generator) line(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// genFunction emits helper i; about half are tiny single-return functions
+// (inlining candidates), the rest have loops.
+func (g *generator) genFunction(i int) {
+	name := fmt.Sprintf("f%d", i)
+	arity := 1 + g.rng.Intn(3)
+	if g.p.FixedArity > 0 {
+		arity = g.p.FixedArity
+	}
+	g.arity[name] = arity
+	params := make([]string, arity)
+	for j := range params {
+		params[j] = fmt.Sprintf("int p%d", j)
+	}
+	g.line("int %s(%s) {", name, strings.Join(params, ", "))
+	g.indent++
+	g.locals = nil
+	for j := 0; j < arity; j++ {
+		g.locals = append(g.locals, fmt.Sprintf("p%d", j))
+	}
+	if g.rng.Intn(2) == 0 {
+		// Single-return function: inlinable.
+		g.line("return %s;", g.expr(min(g.p.ExprDepth, 3)))
+	} else {
+		g.line("int acc = %s;", g.expr(1))
+		g.locals = append(g.locals, "acc")
+		g.genLoop(g.p.LoopDepth, "acc")
+		g.line("return acc;")
+	}
+	g.indent--
+	g.line("}")
+	// Only functions defined earlier are callable (no forward refs), so
+	// register after emission.
+	g.funcs = append(g.funcs, name)
+}
+
+// genLoop emits a bounded for loop accumulating into target.
+func (g *generator) genLoop(depth int, target string) {
+	iv := fmt.Sprintf("i%d", depth)
+	bound := 4 + g.rng.Intn(28)
+	g.line("for (int %s = 0; %s < %d; %s++) {", iv, iv, bound, iv)
+	g.indent++
+	g.locals = append(g.locals, iv)
+	defer func() { g.locals = g.locals[:len(g.locals)-1] }()
+	// Body statements.
+	for s := 0; s < 1+g.rng.Intn(3); s++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			g.line("%s += %s;", target, g.expr(g.p.ExprDepth))
+		case 1:
+			if len(g.arrays) > 0 {
+				ai := g.rng.Intn(len(g.arrays))
+				g.line("%s[%s %% %d] = %s;", g.arrays[ai], iv, g.arrLen[ai], g.expr(2))
+			} else {
+				g.line("%s -= %s;", target, g.expr(2))
+			}
+		case 2:
+			g.line("if (%s %% %d == %d) { %s += %s; } else { %s -= 1; }",
+				iv, 2+g.rng.Intn(5), g.rng.Intn(2), target, g.expr(2), target)
+		case 3:
+			if depth > 1 && g.rng.Intn(2) == 0 {
+				g.genLoop(depth-1, target)
+			} else {
+				g.line("%s = %s ^ (%s >> 1);", target, target, target)
+			}
+		}
+	}
+	g.indent--
+	g.line("}")
+}
+
+// expr emits an expression of bounded depth over in-scope names.
+func (g *generator) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", 1+g.rng.Intn(50))
+		case 1:
+			if len(g.locals) > 0 {
+				return g.locals[g.rng.Intn(len(g.locals))]
+			}
+			return "1"
+		default:
+			if len(g.scalars) > 0 {
+				return g.scalars[g.rng.Intn(len(g.scalars))]
+			}
+			return "2"
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(len(ops))], g.expr(depth-1))
+	case 2:
+		// Division/modulo by a nonzero constant only.
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 2+g.rng.Intn(30))
+	case 3:
+		if len(g.arrays) > 0 {
+			ai := g.rng.Intn(len(g.arrays))
+			inner := g.expr(depth - 1)
+			return fmt.Sprintf("%s[(%s) %% %d & %d]", g.arrays[ai], inner, g.arrLen[ai], g.arrLen[ai]-1)
+		}
+		return g.expr(depth - 1)
+	case 4:
+		if g.allowCalls && len(g.funcs) > 0 {
+			name := g.funcs[g.rng.Intn(len(g.funcs))]
+			args := make([]string, g.arity[name])
+			for i := range args {
+				args[i] = g.expr(1)
+			}
+			return fmt.Sprintf("%s(%s)", name, strings.Join(args, ", "))
+		}
+		return g.expr(depth - 1)
+	default:
+		return fmt.Sprintf("(%s < %s)", g.expr(depth-1), g.expr(depth-1))
+	}
+}
+
+// genMain emits the driver.
+func (g *generator) genMain() {
+	g.line("int main() {")
+	g.indent++
+	g.allowCalls = true
+	g.locals = nil
+	g.line("int total = 0;")
+	g.locals = append(g.locals, "total")
+	g.line("for (int it = 0; it < ITERS; it++) {")
+	g.indent++
+	g.locals = append(g.locals, "it")
+	for _, fn := range g.funcs {
+		args := make([]string, g.arity[fn])
+		for i := range args {
+			args[i] = g.expr(1)
+		}
+		g.line("total += %s(%s);", fn, strings.Join(args, ", "))
+	}
+	g.line("total = total %% 1000000007;")
+	g.indent--
+	g.locals = g.locals[:1]
+	g.line("}")
+	g.line("print(total);")
+	g.line("return total %% 251;")
+	g.indent--
+	g.line("}")
+}

@@ -1,0 +1,20 @@
+package gcc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the single compilation unit
+// plus the option file naming the optimization level.
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	gw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	return map[string][]byte{
+		gw.Name + ".c":    []byte(gw.Source),
+		gw.Name + ".opts": []byte(gw.Level.String() + "\n"),
+	}, nil
+}

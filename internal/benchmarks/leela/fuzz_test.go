@@ -1,0 +1,21 @@
+package leela
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseSGFNeverPanics feeds random SGF-shaped noise to the parser.
+func TestParseSGFNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fragments := []string{"(;", ")", ";B[", ";W[", "]", "SZ[9", "SZ[", "aa", "zz", "[", ";"}
+	for trial := 0; trial < 3000; trial++ {
+		src := ""
+		for k := 0; k < rng.Intn(10); k++ {
+			src += fragments[rng.Intn(len(fragments))]
+		}
+		if g, err := ParseSGF(src); err == nil {
+			_, _, _ = g.Replay() // replay of parsed games must not panic
+		}
+	}
+}

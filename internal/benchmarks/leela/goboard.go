@@ -1,0 +1,310 @@
+// Package leela reproduces 541.leela_r: a Go-playing engine that takes an
+// incomplete game (board state plus move history) and plays it to the end
+// with a fixed number of Monte-Carlo tree-search simulations per move
+// (Section IV-A). The Alberta workloads' NNGS archive games are replaced by
+// deterministic self-play game prefixes; the culling script that removes
+// moves from the end of each game is reproduced as CullMoves.
+package leela
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Color of a point.
+type Color int8
+
+// Point states.
+const (
+	Vacant Color = iota
+	Black
+	White
+)
+
+// Opponent returns the other player.
+func (c Color) Opponent() Color {
+	switch c {
+	case Black:
+		return White
+	case White:
+		return Black
+	default:
+		return Vacant
+	}
+}
+
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case Black:
+		return "black"
+	case White:
+		return "white"
+	default:
+		return "vacant"
+	}
+}
+
+// PassMove is the move value representing a pass.
+const PassMove = -1
+
+// Board is a Go position with simple-ko tracking.
+type Board struct {
+	Size   int
+	points []Color
+	// koPoint is the point forbidden by simple ko (-1 when none).
+	koPoint int
+	// Captures by each player (index by Color).
+	captures [3]int
+	// scratch buffers for group search.
+	visited []int32
+	stamp   int32
+	queue   []int
+}
+
+// NewBoard returns an empty board of the given size (9, 13 or 19 in the
+// workloads; any size ≥ 3 is accepted).
+func NewBoard(size int) (*Board, error) {
+	if size < 3 || size > 25 {
+		return nil, fmt.Errorf("leela: unsupported board size %d", size)
+	}
+	return &Board{
+		Size:    size,
+		points:  make([]Color, size*size),
+		koPoint: -1,
+		visited: make([]int32, size*size),
+	}, nil
+}
+
+// At returns the point's color.
+func (b *Board) At(p int) Color { return b.points[p] }
+
+// Captures reports stones captured by c.
+func (b *Board) Captures(c Color) int { return b.captures[c] }
+
+// neighbors appends p's orthogonal neighbors to buf.
+func (b *Board) neighbors(p int, buf []int) []int {
+	n := b.Size
+	r, c := p/n, p%n
+	if r > 0 {
+		buf = append(buf, p-n)
+	}
+	if r < n-1 {
+		buf = append(buf, p+n)
+	}
+	if c > 0 {
+		buf = append(buf, p-1)
+	}
+	if c < n-1 {
+		buf = append(buf, p+1)
+	}
+	return buf
+}
+
+// groupHasLiberty reports whether the group containing p (of color col) has
+// at least one liberty, and records the group's points in b.queue.
+func (b *Board) groupHasLiberty(p int, col Color) bool {
+	b.stamp++
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, p)
+	b.visited[p] = b.stamp
+	var nbuf [4]int
+	hasLib := false
+	for i := 0; i < len(b.queue); i++ {
+		q := b.queue[i]
+		for _, nb := range b.neighbors(q, nbuf[:0]) {
+			switch b.points[nb] {
+			case Vacant:
+				hasLib = true
+			case col:
+				if b.visited[nb] != b.stamp {
+					b.visited[nb] = b.stamp
+					b.queue = append(b.queue, nb)
+				}
+			}
+		}
+	}
+	return hasLib
+}
+
+// removeGroup removes the group recorded in b.queue, crediting captures.
+func (b *Board) removeGroup(captor Color) int {
+	for _, q := range b.queue {
+		b.points[q] = Vacant
+	}
+	b.captures[captor] += len(b.queue)
+	return len(b.queue)
+}
+
+// ErrIllegalMove reports an illegal play.
+var ErrIllegalMove = errors.New("leela: illegal move")
+
+// Legal reports whether c may play at p.
+func (b *Board) Legal(p int, c Color) bool {
+	if p == PassMove {
+		return true
+	}
+	if p < 0 || p >= len(b.points) || b.points[p] != Vacant || p == b.koPoint {
+		return false
+	}
+	// Tentatively place and test for suicide.
+	b.points[p] = c
+	opp := c.Opponent()
+	var nbuf [4]int
+	capturesSomething := false
+	for _, nb := range b.neighbors(p, nbuf[:0]) {
+		if b.points[nb] == opp && !b.groupHasLiberty(nb, opp) {
+			capturesSomething = true
+			break
+		}
+	}
+	ok := capturesSomething || b.groupHasLiberty(p, c)
+	b.points[p] = Vacant
+	return ok
+}
+
+// Play places a stone for c at p (or passes). It returns the number of
+// stones captured, or an error for illegal moves.
+func (b *Board) Play(p int, c Color) (int, error) {
+	if p == PassMove {
+		b.koPoint = -1
+		return 0, nil
+	}
+	if !b.Legal(p, c) {
+		return 0, fmt.Errorf("%w: %s at %d", ErrIllegalMove, c, p)
+	}
+	b.points[p] = c
+	opp := c.Opponent()
+	var nbuf [4]int
+	captured := 0
+	koCandidate := -1
+	for _, nb := range b.neighbors(p, nbuf[:0]) {
+		if b.points[nb] == opp && !b.groupHasLiberty(nb, opp) {
+			if len(b.queue) == 1 {
+				koCandidate = b.queue[0]
+			}
+			captured += b.removeGroup(c)
+		}
+	}
+	// Simple ko: exactly one stone captured by a single new stone whose
+	// group has exactly that one liberty.
+	if captured == 1 && koCandidate >= 0 && b.isSingleStoneWithOneLiberty(p, c) {
+		b.koPoint = koCandidate
+	} else {
+		b.koPoint = -1
+	}
+	return captured, nil
+}
+
+// isSingleStoneWithOneLiberty checks the ko precondition for the stone just
+// placed at p.
+func (b *Board) isSingleStoneWithOneLiberty(p int, c Color) bool {
+	var nbuf [4]int
+	libs := 0
+	for _, nb := range b.neighbors(p, nbuf[:0]) {
+		switch b.points[nb] {
+		case Vacant:
+			libs++
+		case c:
+			return false
+		}
+	}
+	return libs == 1
+}
+
+// Clone deep-copies the board.
+func (b *Board) Clone() *Board {
+	nb := &Board{
+		Size:     b.Size,
+		points:   append([]Color(nil), b.points...),
+		koPoint:  b.koPoint,
+		captures: b.captures,
+		visited:  make([]int32, len(b.points)),
+	}
+	return nb
+}
+
+// Score computes area scores (stones + surrounded empty territory) for both
+// players. Empty regions touching both colors count for neither.
+func (b *Board) Score() (black, white int) {
+	n := len(b.points)
+	seen := make([]bool, n)
+	var nbuf [4]int
+	for p := 0; p < n; p++ {
+		switch b.points[p] {
+		case Black:
+			black++
+		case White:
+			white++
+		case Vacant:
+			if seen[p] {
+				continue
+			}
+			// Flood-fill the vacant region, noting bordering colors.
+			region := []int{p}
+			seen[p] = true
+			touchBlack, touchWhite := false, false
+			for i := 0; i < len(region); i++ {
+				for _, nb := range b.neighbors(region[i], nbuf[:0]) {
+					switch b.points[nb] {
+					case Black:
+						touchBlack = true
+					case White:
+						touchWhite = true
+					case Vacant:
+						if !seen[nb] {
+							seen[nb] = true
+							region = append(region, nb)
+						}
+					}
+				}
+			}
+			if touchBlack && !touchWhite {
+				black += len(region)
+			} else if touchWhite && !touchBlack {
+				white += len(region)
+			}
+		}
+	}
+	return black, white
+}
+
+// isEyeLike reports whether p is a single-point eye for c (playout move
+// filter: never fill your own eyes).
+func (b *Board) isEyeLike(p int, c Color) bool {
+	var nbuf [4]int
+	for _, nb := range b.neighbors(p, nbuf[:0]) {
+		if b.points[nb] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// sgfCoords are the letter coordinates of SGF point notation.
+const sgfCoords = "abcdefghijklmnopqrstuvwxy"
+
+// MoveToSGF renders a move in SGF point notation ("" for pass).
+func MoveToSGF(p, size int) string {
+	if p == PassMove {
+		return ""
+	}
+	return string([]byte{sgfCoords[p%size], sgfCoords[p/size]})
+}
+
+// SGFToMove parses an SGF point ("" = pass).
+func SGFToMove(s string, size int) (int, error) {
+	if s == "" {
+		return PassMove, nil
+	}
+	if len(s) != 2 {
+		return 0, fmt.Errorf("leela: bad SGF point %q", s)
+	}
+	c := strings.IndexByte(sgfCoords, s[0])
+	r := strings.IndexByte(sgfCoords, s[1])
+	if c < 0 || r < 0 || c >= size || r >= size {
+		return 0, fmt.Errorf("leela: SGF point %q outside %dx%d board", s, size, size)
+	}
+	return r*size + c, nil
+}

@@ -1,0 +1,229 @@
+package leela
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/perf"
+)
+
+// Synthetic address bases for the modeled hierarchy.
+const (
+	treeBase  = 0x30_0000_0000
+	boardAddr = 0x31_0000_0000
+)
+
+// mctsNode is one UCT tree node.
+type mctsNode struct {
+	move     int
+	visits   int32
+	wins     int32 // from the perspective of the player who made move
+	children []*mctsNode
+	expanded bool
+}
+
+// Engine plays moves with fixed-simulation MCTS.
+type Engine struct {
+	rng        *rand.Rand
+	Sims       int // simulations per move (fixed, as in the benchmark)
+	maxPlayout int
+	p          *perf.Profiler
+	// Playouts counts completed playouts (work metric).
+	Playouts uint64
+}
+
+// NewEngine returns an engine with the given per-move simulation budget.
+func NewEngine(sims int, seed int64, p *perf.Profiler) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed)), Sims: sims, p: p}
+	if p != nil {
+		p.SetFootprint("uct_select", 3<<10)
+		p.SetFootprint("playout", 5<<10)
+		p.SetFootprint("score_game", 2<<10)
+		p.SetFootprint("play_move", 3<<10)
+	}
+	return e
+}
+
+// legalMoves lists non-eye-filling legal points (plus pass when none).
+func (e *Engine) legalMoves(b *Board, c Color, buf []int) []int {
+	buf = buf[:0]
+	for p := 0; p < b.Size*b.Size; p++ {
+		if b.points[p] != Vacant || b.isEyeLike(p, c) {
+			continue
+		}
+		legal := b.Legal(p, c)
+		if e.p != nil {
+			e.p.Ops(3)
+			e.p.Load(boardAddr + uint64(p)*2)
+			e.p.Branch(200+uint64(p), legal)
+		}
+		if legal {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
+// playout plays random moves to the end and returns the winner.
+func (e *Engine) playout(b *Board, toMove Color) Color {
+	if e.p != nil {
+		e.p.Enter("playout")
+		defer e.p.Leave()
+	}
+	maxMoves := 3 * b.Size * b.Size
+	passes := 0
+	var buf []int
+	for mv := 0; mv < maxMoves && passes < 2; mv++ {
+		moves := e.legalMoves(b, toMove, buf)
+		buf = moves
+		if len(moves) == 0 {
+			passes++
+			_, _ = b.Play(PassMove, toMove)
+		} else {
+			passes = 0
+			p := moves[e.rng.Intn(len(moves))]
+			if _, err := b.Play(p, toMove); err != nil {
+				// Race with ko bookkeeping: treat as pass.
+				passes++
+			}
+			if e.p != nil {
+				e.p.Ops(8)
+				e.p.Store(boardAddr + uint64(p)*2)
+			}
+		}
+		toMove = toMove.Opponent()
+	}
+	e.Playouts++
+	if e.p != nil {
+		e.p.Enter("score_game")
+	}
+	black, white := b.Score()
+	if e.p != nil {
+		e.p.Ops(uint64(b.Size * b.Size))
+		e.p.Leave()
+	}
+	// 7.5 komi favors white on ties.
+	if float64(black) > float64(white)+7.5 {
+		return Black
+	}
+	return White
+}
+
+// uctChild selects the best child by the UCT formula.
+func (e *Engine) uctChild(n *mctsNode) *mctsNode {
+	if e.p != nil {
+		e.p.Enter("uct_select")
+		defer e.p.Leave()
+	}
+	var best *mctsNode
+	bestVal := math.Inf(-1)
+	logN := math.Log(float64(n.visits + 1))
+	for i, c := range n.children {
+		var val float64
+		if c.visits == 0 {
+			val = 10 + e.rng.Float64()
+		} else {
+			val = float64(c.wins)/float64(c.visits) +
+				1.2*math.Sqrt(logN/float64(c.visits))
+		}
+		better := val > bestVal
+		if e.p != nil {
+			e.p.Ops(6)
+			e.p.LongOps(1) // sqrt/log
+			e.p.Load(treeBase + uint64(i)*32)
+			e.p.Branch(21, better)
+		}
+		if better {
+			bestVal = val
+			best = c
+		}
+	}
+	return best
+}
+
+// simulate runs one MCTS iteration from the root position.
+func (e *Engine) simulate(root *mctsNode, b *Board, toMove Color) {
+	working := b.Clone()
+	path := []*mctsNode{root}
+	node := root
+	color := toMove
+	// Selection + expansion.
+	for node.expanded && len(node.children) > 0 {
+		node = e.uctChild(node)
+		path = append(path, node)
+		if node.move != PassMove {
+			_, _ = working.Play(node.move, color)
+		}
+		color = color.Opponent()
+	}
+	if !node.expanded {
+		moves := e.legalMoves(working, color, nil)
+		node.expanded = true
+		for _, m := range moves {
+			node.children = append(node.children, &mctsNode{move: m})
+		}
+		if len(moves) == 0 {
+			node.children = append(node.children, &mctsNode{move: PassMove})
+		}
+		if e.p != nil {
+			e.p.Ops(uint64(len(node.children)) * 4)
+			e.p.Store(treeBase + uint64(len(path))*32)
+		}
+	}
+	winner := e.playout(working, color)
+	// Backpropagate: a node's wins are from the mover's perspective.
+	moverColor := toMove
+	for _, n := range path {
+		n.visits++
+		// n.move was played by the opponent of the color to move at n.
+		if winner == moverColor.Opponent() {
+			n.wins++
+		}
+		moverColor = moverColor.Opponent()
+	}
+}
+
+// BestMove runs the fixed simulation budget and returns the most-visited
+// move for toMove.
+func (e *Engine) BestMove(b *Board, toMove Color) int {
+	root := &mctsNode{move: PassMove}
+	for i := 0; i < e.Sims; i++ {
+		e.simulate(root, b, toMove)
+	}
+	best := PassMove
+	bestVisits := int32(-1)
+	for _, c := range root.children {
+		if c.visits > bestVisits {
+			bestVisits = c.visits
+			best = c.move
+		}
+	}
+	return best
+}
+
+// PlayToEnd continues the game from the given position, playing both sides
+// with the engine until two consecutive passes (or a move cap), and returns
+// the final score.
+func (e *Engine) PlayToEnd(b *Board, toMove Color) (black, white int, moves int) {
+	passes := 0
+	cap := 2 * b.Size * b.Size
+	for moves = 0; moves < cap && passes < 2; moves++ {
+		m := e.BestMove(b, toMove)
+		if e.p != nil {
+			e.p.Enter("play_move")
+		}
+		if m == PassMove {
+			passes++
+		} else {
+			passes = 0
+		}
+		_, _ = b.Play(m, toMove)
+		if e.p != nil {
+			e.p.Ops(16)
+			e.p.Leave()
+		}
+		toMove = toMove.Opponent()
+	}
+	black, white = b.Score()
+	return black, white, moves
+}

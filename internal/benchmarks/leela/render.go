@@ -1,0 +1,23 @@
+package leela
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: one SGF file per incomplete
+// game plus the control file naming the simulation budget.
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	lw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	out := map[string][]byte{
+		"control.txt": []byte(fmt.Sprintf("simulations %d\nseed %d\n", lw.Sims, lw.Seed)),
+	}
+	for i, sgf := range lw.SGFs {
+		out[fmt.Sprintf("game%02d.sgf", i+1)] = []byte(sgf)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package mcf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CityParams parameterize the Alberta workload generator for 505.mcf_r: a
+// synthetic city map with a chosen density and connectivity, and a bus
+// timetable whose intensity follows a circadian cycle. From the map and
+// timetable a consistent single-depot vehicle-scheduling instance is built.
+type CityParams struct {
+	// Stops is the number of stops placed on the city grid.
+	Stops int
+	// GridSize is the city extent; stops live on [0,GridSize)².
+	GridSize int
+	// Trips is the number of timetabled trips in the day.
+	Trips int
+	// Connectivity is the maximum layover (minutes) for which a deadhead
+	// link between two trips is generated; higher values produce denser
+	// instances.
+	Connectivity int
+	// PeakSharpness shapes the circadian cycle: 0 = flat day, larger
+	// values concentrate trips in the 8:00 and 17:00 rush hours.
+	PeakSharpness float64
+	// VehicleCost is the fixed cost of pulling a bus out of the depot
+	// (fleet-size minimization pressure).
+	VehicleCost int64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultCityParams returns a mid-sized city.
+func DefaultCityParams() CityParams {
+	return CityParams{
+		Stops:         40,
+		GridSize:      64,
+		Trips:         220,
+		Connectivity:  90,
+		PeakSharpness: 2.0,
+		VehicleCost:   500,
+		Seed:          1,
+	}
+}
+
+// Trip is one timetabled bus trip.
+type Trip struct {
+	FromStop, ToStop int
+	Depart, Arrive   int // minutes after midnight
+}
+
+// City is the generated map and timetable.
+type City struct {
+	StopX, StopY []int
+	Depot        int // index of the depot stop
+	Trips        []Trip
+}
+
+// travelMinutes is the Manhattan travel time between stops a and b.
+func (c *City) travelMinutes(a, b int) int {
+	dx := c.StopX[a] - c.StopX[b]
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := c.StopY[a] - c.StopY[b]
+	if dy < 0 {
+		dy = -dy
+	}
+	return 2 + (dx+dy)/2
+}
+
+// circadianWeight is the relative trip intensity at minute t of the day:
+// a base load plus Gaussian bumps at the 8:00 and 17:00 rush hours.
+func circadianWeight(t int, sharpness float64) float64 {
+	m := float64(t)
+	bump := func(center, width float64) float64 {
+		d := (m - center) / width
+		return math.Exp(-d * d)
+	}
+	w := 0.15 + sharpness*(bump(8*60, 70)+bump(17*60, 80)) + 0.3*bump(12.5*60, 120)
+	// Suppress the small hours.
+	if t < 5*60 {
+		w *= 0.05
+	}
+	if t > 23*60 {
+		w *= 0.1
+	}
+	return w
+}
+
+// GenerateCity builds the deterministic city map and circadian timetable.
+func GenerateCity(p CityParams) (*City, error) {
+	if p.Stops < 2 || p.Trips < 1 || p.GridSize < 2 {
+		return nil, fmt.Errorf("mcf: invalid city params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := &City{
+		StopX: make([]int, p.Stops),
+		StopY: make([]int, p.Stops),
+	}
+	for i := range c.StopX {
+		c.StopX[i] = rng.Intn(p.GridSize)
+		c.StopY[i] = rng.Intn(p.GridSize)
+	}
+	c.Depot = 0
+
+	// Build the circadian inverse-CDF over minutes 04:00..24:00.
+	const dayStart, dayEnd = 4 * 60, 24 * 60
+	cdf := make([]float64, dayEnd-dayStart+1)
+	sum := 0.0
+	for t := dayStart; t < dayEnd; t++ {
+		sum += circadianWeight(t, p.PeakSharpness)
+		cdf[t-dayStart+1] = sum
+	}
+	sampleMinute := func() int {
+		u := rng.Float64() * sum
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return dayStart + lo - 1
+	}
+
+	for i := 0; i < p.Trips; i++ {
+		from := rng.Intn(p.Stops)
+		to := rng.Intn(p.Stops)
+		for to == from {
+			to = rng.Intn(p.Stops)
+		}
+		dep := sampleMinute()
+		arr := dep + c.travelMinutes(from, to)
+		c.Trips = append(c.Trips, Trip{FromStop: from, ToStop: to, Depart: dep, Arrive: arr})
+	}
+	return c, nil
+}
+
+// BuildInstance derives the single-depot vehicle-scheduling minimum-cost
+// flow instance from a city: one split node pair per trip, pull-out/pull-in
+// arcs to the depot, and deadhead arcs between time-compatible trips. A
+// large negative reward on the serving arcs forces every trip to be served;
+// the time-ordered structure keeps the network acyclic, so the reward
+// creates no negative cycle.
+func BuildInstance(c *City, p CityParams) *Instance {
+	nTrips := len(c.Trips)
+	// Node layout: 0..n-1 trip-in, n..2n-1 trip-out, 2n depot-out (source),
+	// 2n+1 depot-in (sink).
+	depotOut := 2 * nTrips
+	depotIn := 2*nTrips + 1
+	in := &Instance{
+		NumNodes: 2*nTrips + 2,
+		Supply:   make([]int64, 2*nTrips+2),
+	}
+	vehicles := int64(nTrips) // trivially sufficient fleet bound
+	in.Supply[depotOut] = vehicles
+	in.Supply[depotIn] = -vehicles
+
+	maxDeadhead := int64(0)
+	for i := range c.Trips {
+		for _, s := range []int{c.Trips[i].FromStop, c.Trips[i].ToStop} {
+			if d := int64(c.travelMinutes(c.Depot, s)); d > maxDeadhead {
+				maxDeadhead = d
+			}
+		}
+	}
+	reward := 10 * (2*maxDeadhead + p.VehicleCost + 1)
+
+	for i, t := range c.Trips {
+		// Serving arc: trip-in → trip-out, capacity 1, large reward.
+		in.Arcs = append(in.Arcs, Arc{From: i, To: nTrips + i, Cap: 1, Cost: -reward})
+		// Pull-out: depot → trip-in (fleet cost + deadhead from depot).
+		pullOut := p.VehicleCost + int64(c.travelMinutes(c.Depot, t.FromStop))
+		in.Arcs = append(in.Arcs, Arc{From: depotOut, To: i, Cap: 1, Cost: pullOut})
+		// Pull-in: trip-out → depot.
+		pullIn := int64(c.travelMinutes(t.ToStop, c.Depot))
+		in.Arcs = append(in.Arcs, Arc{From: nTrips + i, To: depotIn, Cap: 1, Cost: pullIn})
+	}
+	// Deadhead links between compatible trips (i then j).
+	for i, ti := range c.Trips {
+		for j, tj := range c.Trips {
+			if i == j {
+				continue
+			}
+			gap := tj.Depart - ti.Arrive
+			if gap < 0 || gap > p.Connectivity {
+				continue
+			}
+			dh := c.travelMinutes(ti.ToStop, tj.FromStop)
+			if ti.Arrive+dh > tj.Depart {
+				continue // cannot reach the next trip in time
+			}
+			in.Arcs = append(in.Arcs, Arc{From: nTrips + i, To: j, Cap: 1, Cost: int64(dh)})
+		}
+	}
+	// Unused vehicles stay in the depot at no cost.
+	in.Arcs = append(in.Arcs, Arc{From: depotOut, To: depotIn, Cap: vehicles, Cost: 0})
+	return in
+}
+
+// FleetSize counts the vehicles pulled out of the depot in a solution of an
+// instance built by BuildInstance.
+func FleetSize(in *Instance, sol *Solution, nTrips int) int64 {
+	depotOut := 2 * nTrips
+	depotIn := 2*nTrips + 1
+	var used int64
+	for i, a := range in.Arcs {
+		if a.From == depotOut && a.To != depotIn {
+			used += sol.Flow[i]
+		}
+	}
+	return used
+}
+
+// TripsServed counts serving arcs carrying flow.
+func TripsServed(in *Instance, sol *Solution, nTrips int) int64 {
+	var served int64
+	for i, a := range in.Arcs {
+		if a.Cost < 0 { // serving arcs are the only negative-cost arcs
+			served += sol.Flow[i]
+		}
+	}
+	return served
+}

@@ -1,0 +1,103 @@
+// Package mcf reproduces 505.mcf_r: a network-simplex solver for the
+// minimum-cost-flow formulation of single-depot vehicle scheduling (Löbel's
+// MCF), together with the Alberta workload generator that builds a synthetic
+// city map, schedules buses over a circadian cycle, and derives a consistent
+// vehicle-scheduling instance from it (Section IV-A of the paper).
+package mcf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Arc is a directed arc with capacity and cost. Lower bounds are always 0.
+type Arc struct {
+	From, To int
+	Cap      int64
+	Cost     int64
+}
+
+// Instance is a minimum-cost-flow problem: find the cheapest flow that
+// satisfies every node's supply (positive = source, negative = sink).
+type Instance struct {
+	// NumNodes is the node count; nodes are 0..NumNodes-1.
+	NumNodes int
+	// Supply[v] is the net flow that must leave node v.
+	Supply []int64
+	// Arcs lists the directed arcs.
+	Arcs []Arc
+}
+
+// Validate checks structural consistency: balanced supplies, in-range
+// endpoints, non-negative capacities.
+func (in *Instance) Validate() error {
+	if in.NumNodes <= 0 {
+		return errors.New("mcf: instance has no nodes")
+	}
+	if len(in.Supply) != in.NumNodes {
+		return fmt.Errorf("mcf: %d supplies for %d nodes", len(in.Supply), in.NumNodes)
+	}
+	var total int64
+	for _, s := range in.Supply {
+		total += s
+	}
+	if total != 0 {
+		return fmt.Errorf("mcf: supplies sum to %d, want 0", total)
+	}
+	for i, a := range in.Arcs {
+		if a.From < 0 || a.From >= in.NumNodes || a.To < 0 || a.To >= in.NumNodes {
+			return fmt.Errorf("mcf: arc %d endpoints (%d,%d) out of range", i, a.From, a.To)
+		}
+		if a.From == a.To {
+			return fmt.Errorf("mcf: arc %d is a self loop", i)
+		}
+		if a.Cap < 0 {
+			return fmt.Errorf("mcf: arc %d has negative capacity", i)
+		}
+	}
+	return nil
+}
+
+// Solution is an optimal flow.
+type Solution struct {
+	// Flow[i] is the flow on Arcs[i].
+	Flow []int64
+	// Cost is the total cost of the flow.
+	Cost int64
+	// Iterations counts simplex pivots (or SSP augmentations).
+	Iterations int
+}
+
+// ErrInfeasible is returned when no flow satisfies the supplies.
+var ErrInfeasible = errors.New("mcf: infeasible instance")
+
+// ErrIterationLimit is returned when the solver fails to converge within its
+// safety bound (indicates degeneracy cycling; never observed on generated
+// workloads, guarded for robustness).
+var ErrIterationLimit = errors.New("mcf: iteration limit exceeded")
+
+// CheckFlow verifies that flow is feasible for the instance and returns its
+// cost.
+func (in *Instance) CheckFlow(flow []int64) (int64, error) {
+	if len(flow) != len(in.Arcs) {
+		return 0, fmt.Errorf("mcf: flow has %d entries for %d arcs", len(flow), len(in.Arcs))
+	}
+	balance := make([]int64, in.NumNodes)
+	copy(balance, in.Supply)
+	var cost int64
+	for i, a := range in.Arcs {
+		f := flow[i]
+		if f < 0 || f > a.Cap {
+			return 0, fmt.Errorf("mcf: arc %d flow %d outside [0,%d]", i, f, a.Cap)
+		}
+		balance[a.From] -= f
+		balance[a.To] += f
+		cost += f * a.Cost
+	}
+	for v, b := range balance {
+		if b != 0 {
+			return 0, fmt.Errorf("mcf: node %d imbalance %d", v, b)
+		}
+	}
+	return cost, nil
+}

@@ -1,0 +1,405 @@
+package mcf
+
+import (
+	"math"
+
+	"repro/internal/perf"
+)
+
+// Synthetic data-address bases used to route the solver's real access
+// pattern through the modeled cache hierarchy.
+const (
+	arcBase  = 0x1_0000_0000
+	nodeBase = 0x2_0000_0000
+	arcRec   = 32 // modeled bytes per arc record
+	nodeRec  = 32 // modeled bytes per node record
+)
+
+// arc states in the simplex basis.
+const (
+	stateLower = iota
+	stateTree
+	stateUpper
+)
+
+// simplex is a primal network-simplex solver with an artificial-root Big-M
+// start, block pricing, and full potential refresh after each pivot — the
+// same algorithmic skeleton as Löbel's MCF code that 505.mcf_r wraps.
+type simplex struct {
+	in   *Instance
+	p    *perf.Profiler
+	n    int // real nodes
+	root int // artificial root index (= n)
+
+	// arcs = original arcs followed by n artificial arcs.
+	from, to  []int
+	cost, cap []int64
+	flow      []int64
+	state     []uint8
+
+	parent    []int
+	parentArc []int
+	depth     []int32
+	pi        []int64
+
+	children []([]int) // rebuilt per refresh
+	scanPos  int
+
+	pivots int
+}
+
+const inf = math.MaxInt64 / 4
+
+// newSimplex builds the Big-M starting basis.
+func newSimplex(in *Instance, p *perf.Profiler) *simplex {
+	n := in.NumNodes
+	m := len(in.Arcs)
+	s := &simplex{
+		in:        in,
+		p:         p,
+		n:         n,
+		root:      n,
+		from:      make([]int, m+n),
+		to:        make([]int, m+n),
+		cost:      make([]int64, m+n),
+		cap:       make([]int64, m+n),
+		flow:      make([]int64, m+n),
+		state:     make([]uint8, m+n),
+		parent:    make([]int, n+1),
+		parentArc: make([]int, n+1),
+		depth:     make([]int32, n+1),
+		pi:        make([]int64, n+1),
+		children:  make([][]int, n+1),
+	}
+	var maxCost int64 = 1
+	for i, a := range in.Arcs {
+		s.from[i], s.to[i], s.cost[i], s.cap[i] = a.From, a.To, a.Cost, a.Cap
+		s.state[i] = stateLower
+		if c := a.Cost; c > maxCost {
+			maxCost = c
+		} else if -c > maxCost {
+			maxCost = -c
+		}
+	}
+	bigM := maxCost * int64(n+1) * 4
+	for v := 0; v < n; v++ {
+		i := m + v
+		s.cost[i] = bigM
+		s.cap[i] = inf
+		s.state[i] = stateTree
+		if in.Supply[v] >= 0 {
+			s.from[i], s.to[i] = v, s.root
+			s.flow[i] = in.Supply[v]
+		} else {
+			s.from[i], s.to[i] = s.root, v
+			s.flow[i] = -in.Supply[v]
+		}
+		s.parent[v] = s.root
+		s.parentArc[v] = i
+		s.depth[v] = 1
+	}
+	s.parent[s.root] = -1
+	s.parentArc[s.root] = -1
+	s.refreshPotentials()
+	return s
+}
+
+// refreshPotentials recomputes depth and node potentials by walking the
+// spanning tree from the root (mirrors MCF's refresh_potential).
+func (s *simplex) refreshPotentials() {
+	if s.p != nil {
+		s.p.Enter("refresh_potential")
+		defer s.p.Leave()
+	}
+	for v := range s.children {
+		s.children[v] = s.children[v][:0]
+	}
+	for v := 0; v <= s.n; v++ {
+		if pa := s.parent[v]; pa >= 0 {
+			s.children[pa] = append(s.children[pa], v)
+		}
+	}
+	s.pi[s.root] = 0
+	s.depth[s.root] = 0
+	stack := []int{s.root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range s.children[u] {
+			a := s.parentArc[v]
+			if s.p != nil {
+				s.p.Ops(4)
+				s.p.Load(nodeBase + uint64(v)*nodeRec)
+				s.p.Load(arcBase + uint64(a)*arcRec)
+			}
+			if s.from[a] == v { // arc points v -> parent
+				s.pi[v] = s.cost[a] + s.pi[u]
+			} else { // arc points parent -> v
+				s.pi[v] = s.pi[u] - s.cost[a]
+			}
+			s.depth[v] = s.depth[u] + 1
+			stack = append(stack, v)
+		}
+	}
+}
+
+// reducedCost returns cost[a] - pi[from] + pi[to].
+func (s *simplex) reducedCost(a int) int64 {
+	return s.cost[a] - s.pi[s.from[a]] + s.pi[s.to[a]]
+}
+
+// priceEntering scans arcs in blocks for the most violating non-tree arc
+// (mirrors MCF's primal_bea_mpp "best eligible arc, multiple partial
+// pricing"). Returns -1 when the basis is optimal.
+func (s *simplex) priceEntering() int {
+	if s.p != nil {
+		s.p.Enter("primal_bea_mpp")
+		defer s.p.Leave()
+	}
+	m := len(s.from)
+	block := m / 16
+	if block < 64 {
+		block = 64
+	}
+	scanned := 0
+	best := -1
+	var bestViol int64
+	for scanned < m {
+		end := scanned + block
+		for i := 0; i < block && scanned+i < m; i++ {
+			a := s.scanPos
+			s.scanPos++
+			if s.scanPos == m {
+				s.scanPos = 0
+			}
+			if s.p != nil {
+				s.p.Ops(3)
+				s.p.Load(arcBase + uint64(a)*arcRec)
+				s.p.Load(nodeBase + uint64(s.from[a])*nodeRec)
+				s.p.Load(nodeBase + uint64(s.to[a])*nodeRec)
+			}
+			if s.state[a] == stateTree {
+				continue
+			}
+			rc := s.reducedCost(a)
+			var viol int64
+			if s.state[a] == stateLower {
+				viol = -rc
+			} else {
+				viol = rc
+			}
+			eligible := viol > 0
+			if s.p != nil {
+				s.p.Branch(1, eligible)
+			}
+			if eligible && viol > bestViol {
+				best, bestViol = a, viol
+			}
+		}
+		scanned = end
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+// cycleStep describes one tree arc on the pivot cycle.
+type cycleStep struct {
+	arc   int
+	along bool // true when cycle direction matches arc direction
+	node  int  // the lower (deeper) endpoint whose parentArc this is
+}
+
+// pivot performs one simplex pivot with entering arc e. It returns false
+// when the instance is unbounded (cannot happen with finite capacities).
+func (s *simplex) pivot(e int) {
+	s.pivots++
+	// Flow pushes from eu to ev around the cycle.
+	var eu, ev int
+	if s.state[e] == stateLower {
+		eu, ev = s.from[e], s.to[e]
+	} else {
+		eu, ev = s.to[e], s.from[e]
+	}
+
+	if s.p != nil {
+		s.p.Enter("primal_iminus")
+	}
+	// Walk both endpoints to the LCA collecting cycle steps.
+	var pathV, pathU []cycleStep // ev-side (traversed up, with cycle), eu-side (against)
+	x, y := ev, eu
+	for x != y {
+		if s.p != nil {
+			s.p.Ops(4)
+			s.p.Load(nodeBase + uint64(x)*nodeRec)
+			s.p.Load(nodeBase + uint64(y)*nodeRec)
+			s.p.Branch(2, s.depth[x] >= s.depth[y])
+		}
+		if s.depth[x] >= s.depth[y] {
+			a := s.parentArc[x]
+			pathV = append(pathV, cycleStep{arc: a, along: s.from[a] == x, node: x})
+			x = s.parent[x]
+		} else {
+			a := s.parentArc[y]
+			pathU = append(pathU, cycleStep{arc: a, along: s.to[a] == y, node: y})
+			y = s.parent[y]
+		}
+	}
+
+	// Residual of the entering arc itself.
+	var delta int64
+	if s.state[e] == stateLower {
+		delta = s.cap[e] - s.flow[e]
+	} else {
+		delta = s.flow[e]
+	}
+	leaving := -1    // cycle step index; -1 means the entering arc blocks itself
+	leavingSide := 0 // 0: entering, 1: pathV, 2: pathU
+	consider := func(side int, idx int, st cycleStep) {
+		var res int64
+		if st.along {
+			res = s.cap[st.arc] - s.flow[st.arc]
+		} else {
+			res = s.flow[st.arc]
+		}
+		if s.p != nil {
+			s.p.Ops(3)
+			s.p.Load(arcBase + uint64(st.arc)*arcRec)
+			s.p.Branch(3, res < delta)
+		}
+		if res < delta {
+			delta = res
+			leaving = idx
+			leavingSide = side
+		}
+	}
+	for i, st := range pathV {
+		consider(1, i, st)
+	}
+	for i, st := range pathU {
+		consider(2, i, st)
+	}
+	if s.p != nil {
+		s.p.Leave()
+	}
+
+	// Apply the flow change.
+	if s.state[e] == stateLower {
+		s.flow[e] += delta
+	} else {
+		s.flow[e] -= delta
+	}
+	apply := func(st cycleStep) {
+		if st.along {
+			s.flow[st.arc] += delta
+		} else {
+			s.flow[st.arc] -= delta
+		}
+		if s.p != nil {
+			s.p.Ops(2)
+			s.p.Store(arcBase + uint64(st.arc)*arcRec)
+		}
+	}
+	for _, st := range pathV {
+		apply(st)
+	}
+	for _, st := range pathU {
+		apply(st)
+	}
+
+	if leaving == -1 {
+		// The entering arc saturated: it flips bound without entering
+		// the basis.
+		if s.state[e] == stateLower {
+			s.state[e] = stateUpper
+		} else {
+			s.state[e] = stateLower
+		}
+		return
+	}
+
+	if s.p != nil {
+		s.p.Enter("update_tree")
+	}
+	var out cycleStep
+	var subtreeEnd int // endpoint of e inside the detached subtree
+	if leavingSide == 1 {
+		out = pathV[leaving]
+		subtreeEnd = ev
+	} else {
+		out = pathU[leaving]
+		subtreeEnd = eu
+	}
+	other := eu + ev - subtreeEnd
+
+	// The leaving arc departs at its post-pivot bound.
+	if s.flow[out.arc] == 0 {
+		s.state[out.arc] = stateLower
+	} else {
+		s.state[out.arc] = stateUpper
+	}
+	s.state[e] = stateTree
+
+	// Rehang the detached subtree: reverse parent pointers along the path
+	// subtreeEnd → out.node, then attach subtreeEnd below `other` via e.
+	prev, prevArc := other, e
+	xn := subtreeEnd
+	for {
+		oldParent := s.parent[xn]
+		oldArc := s.parentArc[xn]
+		s.parent[xn] = prev
+		s.parentArc[xn] = prevArc
+		if s.p != nil {
+			s.p.Ops(4)
+			s.p.Store(nodeBase + uint64(xn)*nodeRec)
+		}
+		if xn == out.node {
+			break
+		}
+		prev, prevArc = xn, oldArc
+		xn = oldParent
+	}
+	if s.p != nil {
+		s.p.Leave()
+	}
+	s.refreshPotentials()
+}
+
+// SolveSimplex solves the instance with the primal network simplex,
+// reporting events to p (which may be nil for unprofiled runs).
+func SolveSimplex(in *Instance, p *perf.Profiler) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := newSimplex(in, p)
+	if p != nil {
+		p.SetFootprint("primal_bea_mpp", 3<<10)
+		p.SetFootprint("primal_iminus", 2<<10)
+		p.SetFootprint("update_tree", 2<<10)
+		p.SetFootprint("refresh_potential", 1<<10)
+	}
+	limit := 200 * (len(in.Arcs) + in.NumNodes + 16)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return nil, ErrIterationLimit
+		}
+		e := s.priceEntering()
+		if e < 0 {
+			break
+		}
+		s.pivot(e)
+	}
+	// Any residual flow on an artificial arc means infeasible.
+	m := len(in.Arcs)
+	for i := m; i < len(s.flow); i++ {
+		if s.flow[i] != 0 {
+			return nil, ErrInfeasible
+		}
+	}
+	sol := &Solution{Flow: s.flow[:m:m], Iterations: s.pivots}
+	for i := 0; i < m; i++ {
+		sol.Cost += s.flow[i] * s.cost[i]
+	}
+	return sol, nil
+}

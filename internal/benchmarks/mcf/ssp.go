@@ -1,0 +1,114 @@
+package mcf
+
+// SolveSSP is a reference minimum-cost-flow solver using successive shortest
+// paths with SPFA path search. It is used to cross-validate the network
+// simplex in tests and as the FDO-era "alternative implementation" ablation.
+// It requires the instance to contain no negative-cost cycle (true for all
+// vehicle-scheduling instances, whose costs are non-negative).
+func SolveSSP(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.NumNodes
+	src, dst := n, n+1
+	nn := n + 2
+
+	// Residual graph in adjacency-list form; each arc knows its reverse.
+	type rarc struct {
+		to   int
+		cap  int64
+		cost int64
+		rev  int // index in adj[to]
+		orig int // original arc index, -1 for artificial/reverse
+	}
+	adj := make([][]rarc, nn)
+	addArc := func(u, v int, cap, cost int64, orig int) {
+		adj[u] = append(adj[u], rarc{to: v, cap: cap, cost: cost, rev: len(adj[v]), orig: orig})
+		adj[v] = append(adj[v], rarc{to: u, cap: 0, cost: -cost, rev: len(adj[u]) - 1, orig: -1})
+	}
+	for i, a := range in.Arcs {
+		addArc(a.From, a.To, a.Cap, a.Cost, i)
+	}
+	var need int64
+	for v, s := range in.Supply {
+		if s > 0 {
+			addArc(src, v, s, 0, -1)
+			need += s
+		} else if s < 0 {
+			addArc(v, dst, -s, 0, -1)
+		}
+	}
+
+	dist := make([]int64, nn)
+	inQueue := make([]bool, nn)
+	prevNode := make([]int, nn)
+	prevEdge := make([]int, nn)
+
+	var sent int64
+	iterations := 0
+	for {
+		// SPFA from src.
+		for i := range dist {
+			dist[i] = inf
+			prevNode[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		inQueue[src] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			du := dist[u]
+			for ei := range adj[u] {
+				e := &adj[u][ei]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := du + e.cost; nd < dist[e.to] {
+					dist[e.to] = nd
+					prevNode[e.to] = u
+					prevEdge[e.to] = ei
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if prevNode[dst] == -1 {
+			break
+		}
+		// Bottleneck along the path.
+		delta := int64(inf)
+		for v := dst; v != src; v = prevNode[v] {
+			e := adj[prevNode[v]][prevEdge[v]]
+			if e.cap < delta {
+				delta = e.cap
+			}
+		}
+		for v := dst; v != src; v = prevNode[v] {
+			e := &adj[prevNode[v]][prevEdge[v]]
+			e.cap -= delta
+			adj[v][e.rev].cap += delta
+		}
+		sent += delta
+		iterations++
+	}
+	if sent != need {
+		return nil, ErrInfeasible
+	}
+
+	sol := &Solution{Flow: make([]int64, len(in.Arcs)), Iterations: iterations}
+	for u := range adj {
+		for _, e := range adj[u] {
+			if e.orig >= 0 {
+				sol.Flow[e.orig] = in.Arcs[e.orig].Cap - e.cap
+			}
+		}
+	}
+	for i, f := range sol.Flow {
+		sol.Cost += f * in.Arcs[i].Cost
+	}
+	return sol, nil
+}

@@ -1,0 +1,23 @@
+package nab
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the pdb structure and the
+// prm parameter file, exactly the input pair the paper describes.
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	nw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	prm := fmt.Sprintf("steps %d\ndt %g\nbond_k %g\nbond_len %g\nlj_epsilon %g\nlj_sigma %g\ncoulomb_k %g\ncutoff %g\n",
+		nw.Params.Steps, nw.Params.Dt, nw.Params.BondK, nw.Params.BondLen,
+		nw.Params.LJEpsilon, nw.Params.LJSigma, nw.Params.CoulombK, nw.Params.CutoffDist)
+	return map[string][]byte{
+		nw.Name + ".pdb": []byte(nw.PDB),
+		nw.Name + ".prm": []byte(prm),
+	}, nil
+}

@@ -1,0 +1,26 @@
+package omnetpp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNEDNeverPanics feeds random directive soup to the parser.
+func TestParseNEDNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fragments := []string{
+		"network", "nodes", "link", "n", "0", "1", "2", "-3", "x", "#c", "\n", " ",
+	}
+	for trial := 0; trial < 3000; trial++ {
+		src := ""
+		for k := 0; k < rng.Intn(16); k++ {
+			src += fragments[rng.Intn(len(fragments))] + " "
+		}
+		if net, err := ParseNED(src); err == nil {
+			// A parsed network must simulate without panicking.
+			if sim, serr := NewSimulator(net, Config{DurationUS: 100, MeanInterarrivalUS: 10, Seed: 1}, nil); serr == nil {
+				sim.Run()
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package omnetpp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Link is an undirected network link with a propagation delay.
+type Link struct {
+	A, B    int
+	DelayUS int64
+}
+
+// Network is a parsed NED-lite network description.
+type Network struct {
+	Name  string
+	Nodes int
+	Links []Link
+}
+
+// ErrBadNED reports an unparseable network description.
+var ErrBadNED = errors.New("omnetpp: bad NED description")
+
+// Validate checks structural consistency.
+func (n *Network) Validate() error {
+	if n.Nodes <= 0 {
+		return fmt.Errorf("%w: no nodes", ErrBadNED)
+	}
+	for i, l := range n.Links {
+		if l.A < 0 || l.A >= n.Nodes || l.B < 0 || l.B >= n.Nodes || l.A == l.B {
+			return fmt.Errorf("%w: link %d (%d,%d) invalid for %d nodes", ErrBadNED, i, l.A, l.B, n.Nodes)
+		}
+		if l.DelayUS < 0 {
+			return fmt.Errorf("%w: link %d negative delay", ErrBadNED, i)
+		}
+	}
+	return nil
+}
+
+// FormatNED renders the network in the NED-lite syntax ParseNED reads:
+//
+//	network <name>
+//	nodes <count>
+//	link <a> <b> <delay_us>
+func (n *Network) FormatNED() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network %s\n", n.Name)
+	fmt.Fprintf(&sb, "nodes %d\n", n.Nodes)
+	for _, l := range n.Links {
+		fmt.Fprintf(&sb, "link %d %d %d\n", l.A, l.B, l.DelayUS)
+	}
+	return sb.String()
+}
+
+// ParseNED parses the NED-lite syntax. Blank lines and '#' comments are
+// allowed.
+func ParseNED(src string) (*Network, error) {
+	n := &Network{}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "network":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrBadNED, lineNo, line)
+			}
+			n.Name = fields[1]
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrBadNED, lineNo, line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &n.Nodes); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadNED, lineNo, err)
+			}
+		case "link":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrBadNED, lineNo, line)
+			}
+			var l Link
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2]+" "+fields[3], "%d %d %d", &l.A, &l.B, &l.DelayUS); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadNED, lineNo, err)
+			}
+			n.Links = append(n.Links, l)
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown directive %q", ErrBadNED, lineNo, fields[0])
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Topology generators for the seven Alberta workloads.
+
+// LineTopology chains n nodes.
+func LineTopology(n int, delay int64) *Network {
+	net := &Network{Name: fmt.Sprintf("line%d", n), Nodes: n}
+	for i := 0; i+1 < n; i++ {
+		net.Links = append(net.Links, Link{A: i, B: i + 1, DelayUS: delay})
+	}
+	return net
+}
+
+// RingTopology closes the line into a cycle.
+func RingTopology(n int, delay int64) *Network {
+	net := LineTopology(n, delay)
+	net.Name = fmt.Sprintf("ring%d", n)
+	if n > 2 {
+		net.Links = append(net.Links, Link{A: n - 1, B: 0, DelayUS: delay})
+	}
+	return net
+}
+
+// StarTopology connects all nodes to hub 0.
+func StarTopology(n int, delay int64) *Network {
+	net := &Network{Name: fmt.Sprintf("star%d", n), Nodes: n}
+	for i := 1; i < n; i++ {
+		net.Links = append(net.Links, Link{A: 0, B: i, DelayUS: delay})
+	}
+	return net
+}
+
+// TreeTopology builds a complete binary tree.
+func TreeTopology(n int, delay int64) *Network {
+	net := &Network{Name: fmt.Sprintf("tree%d", n), Nodes: n}
+	for i := 1; i < n; i++ {
+		net.Links = append(net.Links, Link{A: (i - 1) / 2, B: i, DelayUS: delay})
+	}
+	return net
+}
+
+// RandomTopology builds a connected random graph with the requested number
+// of edges (≥ n-1; extra edges are random chords). Edge count mirrors the
+// paper's "three random topologies with 9, 18, and 27 edges".
+func RandomTopology(n, edges int, seed int64) (*Network, error) {
+	if edges < n-1 {
+		return nil, fmt.Errorf("omnetpp: %d edges cannot connect %d nodes", edges, n)
+	}
+	maxEdges := n * (n - 1) / 2
+	if edges > maxEdges {
+		return nil, fmt.Errorf("omnetpp: %d edges exceeds the %d possible", edges, maxEdges)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{Name: fmt.Sprintf("rand%d.%d", n, edges), Nodes: n}
+	used := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || used[[2]int{a, b}] {
+			return
+		}
+		used[[2]int{a, b}] = true
+		net.Links = append(net.Links, Link{A: a, B: b, DelayUS: int64(1 + rng.Intn(8))})
+	}
+	// Random spanning tree first (connectedness).
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for len(net.Links) < edges {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	sort.Slice(net.Links, func(i, j int) bool {
+		if net.Links[i].A != net.Links[j].A {
+			return net.Links[i].A < net.Links[j].A
+		}
+		return net.Links[i].B < net.Links[j].B
+	})
+	return net, nil
+}

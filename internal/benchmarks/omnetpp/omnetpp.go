@@ -1,0 +1,124 @@
+package omnetpp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// Workload is one 520.omnetpp_r input: a NED-lite description plus a
+// configuration.
+type Workload struct {
+	core.Meta
+	NED    string
+	Config Config
+}
+
+// Benchmark is the 520.omnetpp_r reproduction.
+type Benchmark struct{}
+
+// New returns the benchmark.
+func New() *Benchmark { return &Benchmark{} }
+
+// Name implements core.Benchmark.
+func (*Benchmark) Name() string { return "520.omnetpp_r" }
+
+// Area implements core.Benchmark.
+func (*Benchmark) Area() string { return "Discrete event simulation" }
+
+// Workloads returns SPEC-style inputs (same topology, different simulated
+// time — exactly the paper's observation about the distributed inputs) plus
+// the seven Alberta topology workloads.
+func (b *Benchmark) Workloads() ([]core.Workload, error) {
+	specNet, err := RandomTopology(16, 24, 99)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, kind core.Kind, net *Network, dur int64, mean float64, seed int64) core.Workload {
+		return Workload{
+			Meta:   core.Meta{Name: name, Kind: kind},
+			NED:    net.FormatNED(),
+			Config: Config{DurationUS: dur, MeanInterarrivalUS: mean, Seed: seed},
+		}
+	}
+	rand9, err := RandomTopology(8, 9, 301)
+	if err != nil {
+		return nil, err
+	}
+	rand18, err := RandomTopology(12, 18, 302)
+	if err != nil {
+		return nil, err
+	}
+	rand27, err := RandomTopology(14, 27, 303)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Workload{
+		mk("test", core.KindTest, specNet, 2_000, 50, 1),
+		mk("train", core.KindTrain, specNet, 40_000, 50, 2),
+		mk("refrate", core.KindRefrate, specNet, 200_000, 50, 3),
+		mk("alberta.line", core.KindAlberta, LineTopology(12, 3), 120_000, 60, 11),
+		mk("alberta.ring", core.KindAlberta, RingTopology(12, 3), 120_000, 60, 12),
+		mk("alberta.star", core.KindAlberta, StarTopology(12, 3), 120_000, 60, 13),
+		mk("alberta.tree", core.KindAlberta, TreeTopology(15, 3), 120_000, 60, 14),
+		mk("alberta.rand9", core.KindAlberta, rand9, 120_000, 60, 15),
+		mk("alberta.rand18", core.KindAlberta, rand18, 120_000, 60, 16),
+		mk("alberta.rand27", core.KindAlberta, rand27, 120_000, 60, 17),
+	}, nil
+}
+
+// GenerateWorkloads implements core.Generator: random topologies of varying
+// size and edge density.
+func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("omnetpp: n must be positive, got %d", n)
+	}
+	var out []core.Workload
+	for i := 0; i < n; i++ {
+		nodes := 8 + (i%4)*4
+		edges := nodes - 1 + (i%3)*nodes/2
+		net, err := RandomTopology(nodes, edges, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{
+			Meta:   core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			NED:    net.FormatNED(),
+			Config: Config{DurationUS: 100_000, MeanInterarrivalUS: 60, Seed: seed + int64(i)},
+		})
+	}
+	return out, nil
+}
+
+// Run implements core.Benchmark.
+func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	ow, ok := w.(Workload)
+	if !ok {
+		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	net, err := ParseNED(ow.NED)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("omnetpp: %s: %w", ow.Name, err)
+	}
+	sim, err := NewSimulator(net, ow.Config, p)
+	if err != nil {
+		return core.Result{}, err
+	}
+	st := sim.Run()
+	if st.EventsProcessed == 0 {
+		return core.Result{}, fmt.Errorf("omnetpp: %s: simulation processed no events", ow.Name)
+	}
+	sum := core.NewChecksum().
+		AddUint64(st.EventsProcessed).
+		AddUint64(st.Delivered).
+		AddUint64(st.Dropped).
+		AddUint64(uint64(st.TotalLatencyUS)).
+		AddUint64(st.TotalHops)
+	return core.Result{
+		Benchmark: b.Name(),
+		Workload:  ow.Name,
+		Kind:      ow.WorkloadKind(),
+		Checksum:  sum.Value(),
+	}, nil
+}

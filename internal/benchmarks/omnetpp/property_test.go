@@ -1,0 +1,38 @@
+package omnetpp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHeapMatchesSortProperty drains random event sets and compares the pop
+// order with a stable sort by (time, seq).
+func TestHeapMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		events := make([]event, n)
+		for i := range events {
+			events[i] = event{time: int64(rng.Intn(50)), seq: int64(i)}
+		}
+		h := &eventHeap{}
+		for _, e := range events {
+			h.push(e)
+		}
+		want := append([]event(nil), events...)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].time != want[j].time {
+				return want[i].time < want[j].time
+			}
+			return want[i].seq < want[j].seq
+		})
+		for i := 0; i < n; i++ {
+			got := h.pop()
+			if got.time != want[i].time || got.seq != want[i].seq {
+				t.Fatalf("trial %d: pop %d = (%d,%d), want (%d,%d)",
+					trial, i, got.time, got.seq, want[i].time, want[i].seq)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package omnetpp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the NED file plus the
+// configuration file, as distributed.
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	ow, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	ini := fmt.Sprintf("[General]\nsim-time-limit = %dus\nmean-interarrival = %gus\nseed = %d\n",
+		ow.Config.DurationUS, ow.Config.MeanInterarrivalUS, ow.Config.Seed)
+	return map[string][]byte{
+		ow.Name + ".ned": []byte(ow.NED),
+		"omnetpp.ini":    []byte(ini),
+	}, nil
+}

@@ -1,0 +1,324 @@
+// Package omnetpp reproduces 520.omnetpp_r: a discrete-event simulator of a
+// message-passing network. A workload is a NED-lite network description plus
+// a configuration (simulated duration, traffic intensity, seed). As the
+// paper notes, SPEC's own train and ref inputs differ only in simulated
+// time; the seven Alberta workloads instead vary the topology: line, ring,
+// star, tree, and three random graphs with 9, 18 and 27 edges.
+package omnetpp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/perf"
+)
+
+// Synthetic address bases for the modeled hierarchy.
+const (
+	heapBase  = 0x40_0000_0000
+	msgBase   = 0x41_0000_0000
+	tableBase = 0x42_0000_0000
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	time int64 // microseconds of simulated time
+	seq  int64 // tie-breaker for determinism
+	kind eventKind
+	msg  *message
+	node int
+}
+
+type eventKind uint8
+
+const (
+	evArrival  eventKind = iota // message arrives at a node
+	evGenerate                  // node creates new traffic
+)
+
+// message is a packet in flight.
+type message struct {
+	id       int64
+	src, dst int
+	hops     int
+	created  int64
+}
+
+// eventHeap is a binary min-heap ordered by (time, seq).
+type eventHeap struct {
+	items []event
+	p     *perf.Profiler
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.items[i].time != h.items[j].time {
+		return h.items[i].time < h.items[j].time
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+// push inserts an event (the simulator's scheduleAt).
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		up := h.less(i, parent)
+		if h.p != nil {
+			h.p.Ops(3)
+			h.p.Load(heapBase + uint64(parent)*48)
+			h.p.Branch(30, up)
+		}
+		if !up {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		if h.p != nil {
+			h.p.Store(heapBase + uint64(i)*48)
+		}
+		i = parent
+	}
+}
+
+// pop removes the earliest event.
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if h.p != nil {
+			h.p.Ops(4)
+			h.p.Load(heapBase + uint64(l%4096)*48)
+			h.p.Branch(31, smallest != i)
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		if h.p != nil {
+			h.p.Store(heapBase + uint64(i)*48)
+		}
+		i = smallest
+	}
+	return top
+}
+
+// Config is the simulation configuration file.
+type Config struct {
+	// DurationUS is the simulated time horizon in microseconds.
+	DurationUS int64
+	// MeanInterarrivalUS is the mean per-node traffic generation gap.
+	MeanInterarrivalUS float64
+	// Seed drives traffic randomness.
+	Seed int64
+}
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	EventsProcessed uint64
+	Delivered       uint64
+	Dropped         uint64
+	TotalLatencyUS  int64
+	TotalHops       uint64
+}
+
+// Simulator runs a network of store-and-forward nodes.
+type Simulator struct {
+	net  *Network
+	cfg  Config
+	p    *perf.Profiler
+	rng  *rand.Rand
+	heap eventHeap
+	// next[from][to] is the next-hop neighbor on the shortest path.
+	next  [][]int
+	delay [][]int64 // per-edge propagation delay
+	seq   int64
+	msgID int64
+	stats Stats
+}
+
+// NewSimulator prepares routing tables for the network.
+func NewSimulator(net *Network, cfg Config, p *perf.Profiler) (*Simulator, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DurationUS <= 0 || cfg.MeanInterarrivalUS <= 0 {
+		return nil, fmt.Errorf("omnetpp: bad config %+v", cfg)
+	}
+	s := &Simulator{
+		net: net, cfg: cfg, p: p,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		heap: eventHeap{p: p},
+	}
+	if p != nil {
+		p.SetFootprint("schedule", 2<<10)
+		p.SetFootprint("process_event", 6<<10)
+		p.SetFootprint("route_packet", 3<<10)
+	}
+	n := net.Nodes
+	s.next = make([][]int, n)
+	s.delay = make([][]int64, n)
+	adj := make([][]int, n)
+	dly := make(map[[2]int]int64)
+	for _, l := range net.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+		dly[[2]int{l.A, l.B}] = l.DelayUS
+		dly[[2]int{l.B, l.A}] = l.DelayUS
+	}
+	// BFS from every destination to fill next-hop tables.
+	for dst := 0; dst < n; dst++ {
+		nh := make([]int, n)
+		for i := range nh {
+			nh[i] = -1
+		}
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = math.MaxInt32
+		}
+		dist[dst] = 0
+		queue := []int{dst}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] > dist[u]+1 {
+					dist[v] = dist[u] + 1
+					nh[v] = u // from v, step toward u to reach dst
+					queue = append(queue, v)
+				}
+			}
+		}
+		s.next[dst] = nh
+	}
+	s.delay = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		s.delay[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			if d, ok := dly[[2]int{i, j}]; ok {
+				s.delay[i][j] = d
+			}
+		}
+	}
+	return s, nil
+}
+
+// schedule pushes an event at the given simulated time.
+func (s *Simulator) schedule(t int64, kind eventKind, node int, msg *message) {
+	if s.p != nil {
+		s.p.Enter("schedule")
+		defer s.p.Leave()
+	}
+	s.seq++
+	s.heap.push(event{time: t, seq: s.seq, kind: kind, node: node, msg: msg})
+}
+
+// expInterval draws a deterministic exponential-ish interarrival time.
+func (s *Simulator) expInterval() int64 {
+	u := s.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	iv := -s.cfg.MeanInterarrivalUS * math.Log(u)
+	if iv < 1 {
+		iv = 1
+	}
+	return int64(iv)
+}
+
+// Run executes the simulation to the configured horizon.
+func (s *Simulator) Run() Stats {
+	for node := 0; node < s.net.Nodes; node++ {
+		s.schedule(s.expInterval(), evGenerate, node, nil)
+	}
+	for len(s.heap.items) > 0 {
+		if s.p != nil {
+			s.p.Enter("process_event")
+		}
+		ev := s.heap.pop()
+		if ev.time > s.cfg.DurationUS {
+			if s.p != nil {
+				s.p.Leave()
+			}
+			break
+		}
+		s.stats.EventsProcessed++
+		if s.p != nil {
+			// Event handling touches module state, message payload and
+			// gate tables scattered across a large simulation heap —
+			// the pointer-chasing that makes omnetpp memory-bound.
+			s.p.Ops(56)
+			id := uint64(s.msgID) + uint64(ev.seq)
+			s.p.Load(msgBase + (id*7919)%(24<<20))
+			s.p.Load(tableBase + (id*31)%(8<<20))
+			s.p.Store(msgBase + (id*13)%(24<<20))
+		}
+		switch ev.kind {
+		case evGenerate:
+			if s.net.Nodes > 1 {
+				dst := s.rng.Intn(s.net.Nodes - 1)
+				if dst >= ev.node {
+					dst++
+				}
+				s.msgID++
+				m := &message{id: s.msgID, src: ev.node, dst: dst, created: ev.time}
+				if s.p != nil {
+					s.p.Ops(12)
+					s.p.Store(msgBase + uint64(m.id%65536)*64)
+				}
+				s.forward(ev.time, ev.node, m)
+			}
+			s.schedule(ev.time+s.expInterval(), evGenerate, ev.node, nil)
+		case evArrival:
+			m := ev.msg
+			m.hops++
+			if ev.node == m.dst {
+				s.stats.Delivered++
+				s.stats.TotalLatencyUS += ev.time - m.created
+				s.stats.TotalHops += uint64(m.hops)
+				if s.p != nil {
+					s.p.Ops(6)
+				}
+			} else if m.hops > 4*s.net.Nodes {
+				s.stats.Dropped++ // TTL guard (cannot trigger on trees/BFS routes)
+			} else {
+				s.forward(ev.time, ev.node, m)
+			}
+		}
+		if s.p != nil {
+			s.p.Leave()
+		}
+	}
+	return s.stats
+}
+
+// forward routes m from node toward its destination.
+func (s *Simulator) forward(now int64, node int, m *message) {
+	if s.p != nil {
+		s.p.Enter("route_packet")
+		defer s.p.Leave()
+	}
+	nh := s.next[m.dst][node]
+	if s.p != nil {
+		s.p.Ops(5)
+		s.p.Load(tableBase + uint64(m.dst*s.net.Nodes+node)*4)
+		s.p.Branch(32, nh < 0)
+	}
+	if nh < 0 {
+		s.stats.Dropped++ // unreachable (disconnected topology)
+		return
+	}
+	// Service time models per-hop processing plus propagation.
+	s.schedule(now+3+s.delay[node][nh], evArrival, nh, m)
+}

@@ -1,0 +1,30 @@
+package perlbench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScriptSoupNeverPanics runs random statement soup through parse and
+// (bounded) execution.
+func TestScriptSoupNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	lines := []string{
+		`$x = 1;`, `$x = $x + "a";`, `print $x;`, `if ($x) {`, `} else {`, `}`,
+		`while ($x < 3) {`, `push @a, $x;`, `foreach $v (@a) {`,
+		`$h{$v} = $v;`, `$y = $x =~ /a*b/;`, `$z = length($x);`, `garbage`,
+	}
+	for trial := 0; trial < 1500; trial++ {
+		src := ""
+		for k := 0; k < rng.Intn(10); k++ {
+			src += lines[rng.Intn(len(lines))] + "\n"
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		i := NewInterp(nil)
+		i.limit = 20000 // bound runaway loops from random composition
+		_ = i.Run(prog)
+	}
+}

@@ -1,0 +1,417 @@
+// Package perlbench reproduces 500.perlbench_r: a stripped-down script
+// interpreter. Faithful to the paper, this is the one benchmark with NO
+// Alberta workloads: real Perl applications all depend on C-extension
+// modules that the stripped-down interpreter cannot load, so only the
+// SPEC-style test/train/refrate scripts ship. The interpreter implements a
+// Perl-flavored dynamic language: dual string/number scalars, arrays,
+// hashes, string operators, control flow, and a literal/star regex matcher.
+package perlbench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// Value is a Perl-style scalar: it carries a string and converts to a
+// number on demand.
+type Value struct {
+	s string
+}
+
+// NumValue builds a numeric scalar.
+func NumValue(f float64) Value {
+	if f == float64(int64(f)) {
+		return Value{s: strconv.FormatInt(int64(f), 10)}
+	}
+	return Value{s: strconv.FormatFloat(f, 'g', -1, 64)}
+}
+
+// StrValue builds a string scalar.
+func StrValue(s string) Value { return Value{s: s} }
+
+// Str returns the string form.
+func (v Value) Str() string { return v.s }
+
+// Num converts like Perl: the longest numeric prefix, else 0.
+func (v Value) Num() float64 {
+	s := strings.TrimSpace(v.s)
+	end := 0
+	seenDigit := false
+	for end < len(s) {
+		c := s[end]
+		if c == '-' || c == '+' {
+			if end != 0 {
+				break
+			}
+		} else if c == '.' {
+			// allowed once; a second dot ends the number
+			if strings.IndexByte(s[:end], '.') >= 0 {
+				break
+			}
+		} else if c < '0' || c > '9' {
+			break
+		} else {
+			seenDigit = true
+		}
+		end++
+	}
+	if !seenDigit {
+		return 0
+	}
+	f, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// Truthy follows Perl: "" and "0" are false.
+func (v Value) Truthy() bool { return v.s != "" && v.s != "0" }
+
+// ErrScript reports a parse or runtime failure.
+var ErrScript = errors.New("perlbench: script error")
+
+// Interp runs one script.
+type Interp struct {
+	scalars map[string]Value
+	arrays  map[string][]Value
+	hashes  map[string]map[string]Value
+	out     strings.Builder
+	p       *perf.Profiler
+	steps   uint64
+	limit   uint64
+}
+
+// NewInterp returns a fresh interpreter.
+func NewInterp(p *perf.Profiler) *Interp {
+	if p != nil {
+		p.SetFootprint("pp_eval", 6<<10)
+		p.SetFootprint("regex_match", 4<<10)
+		p.SetFootprint("hash_ops", 3<<10)
+	}
+	return &Interp{
+		scalars: map[string]Value{},
+		arrays:  map[string][]Value{},
+		hashes:  map[string]map[string]Value{},
+		p:       p,
+		limit:   20_000_000,
+	}
+}
+
+// Output returns everything printed by the script.
+func (i *Interp) Output() string { return i.out.String() }
+
+// Steps returns the statement count executed.
+func (i *Interp) Steps() uint64 { return i.steps }
+
+// line-based parser: the language is statement-per-line with explicit
+// block markers, which keeps the interpreter honest without a full yacc
+// grammar. Syntax:
+//
+//	$x = <expr>;
+//	push @a, <expr>;
+//	$h{<expr>} = <expr>;
+//	print <expr>;
+//	if (<expr>) { ... } else { ... }
+//	while (<expr>) { ... }
+//	foreach $v (@a) { ... }
+//	foreach $k (keys %h) { ... }
+type stmt struct {
+	kind   string // assign, pushArr, hashSet, print, if, while, foreach
+	text   string // raw content
+	lhs    string
+	expr   string
+	cond   string
+	body   []stmt
+	else_  []stmt
+	k1, k2 string
+}
+
+// Parse compiles a script to a statement tree.
+func Parse(src string) ([]stmt, error) {
+	lines := strings.Split(src, "\n")
+	pos := 0
+	return parseBlock(lines, &pos, false)
+}
+
+func parseBlock(lines []string, pos *int, inBlock bool) ([]stmt, error) {
+	var out []stmt
+	for *pos < len(lines) {
+		raw := strings.TrimSpace(lines[*pos])
+		*pos++
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		if raw == "}" {
+			if !inBlock {
+				return nil, fmt.Errorf("%w: unexpected '}' at line %d", ErrScript, *pos)
+			}
+			return out, nil
+		}
+		if raw == "} else {" {
+			if !inBlock {
+				return nil, fmt.Errorf("%w: unexpected else at line %d", ErrScript, *pos)
+			}
+			*pos-- // let the caller see it
+			return out, nil
+		}
+		switch {
+		case strings.HasPrefix(raw, "if (") && strings.HasSuffix(raw, ") {"):
+			cond := raw[4 : len(raw)-3]
+			body, err := parseBlock(lines, pos, true)
+			if err != nil {
+				return nil, err
+			}
+			st := stmt{kind: "if", cond: cond, body: body}
+			if *pos < len(lines) && strings.TrimSpace(lines[*pos]) == "} else {" {
+				*pos++
+				els, err := parseBlock(lines, pos, true)
+				if err != nil {
+					return nil, err
+				}
+				st.else_ = els
+			}
+			out = append(out, st)
+		case strings.HasPrefix(raw, "while (") && strings.HasSuffix(raw, ") {"):
+			cond := raw[7 : len(raw)-3]
+			body, err := parseBlock(lines, pos, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmt{kind: "while", cond: cond, body: body})
+		case strings.HasPrefix(raw, "foreach ") && strings.HasSuffix(raw, ") {"):
+			// foreach $v (@a) {   |   foreach $k (keys %h) {
+			inner := raw[len("foreach ") : len(raw)-3]
+			parts := strings.SplitN(inner, " (", 2)
+			if len(parts) != 2 || !strings.HasPrefix(parts[0], "$") {
+				return nil, fmt.Errorf("%w: bad foreach %q", ErrScript, raw)
+			}
+			body, err := parseBlock(lines, pos, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmt{kind: "foreach", k1: parts[0][1:], k2: parts[1], body: body})
+		case strings.HasSuffix(raw, ";"):
+			body := raw[:len(raw)-1]
+			switch {
+			case strings.HasPrefix(body, "print "):
+				out = append(out, stmt{kind: "print", expr: body[6:]})
+			case strings.HasPrefix(body, "push @"):
+				rest := body[6:]
+				comma := strings.Index(rest, ",")
+				if comma < 0 {
+					return nil, fmt.Errorf("%w: bad push %q", ErrScript, raw)
+				}
+				out = append(out, stmt{kind: "pushArr", lhs: strings.TrimSpace(rest[:comma]), expr: strings.TrimSpace(rest[comma+1:])})
+			case strings.HasPrefix(body, "$"):
+				eq := findAssign(body)
+				if eq < 0 {
+					return nil, fmt.Errorf("%w: expected assignment in %q", ErrScript, raw)
+				}
+				lhs := strings.TrimSpace(body[:eq])
+				rhs := strings.TrimSpace(body[eq+1:])
+				if strings.Contains(lhs, "{") {
+					out = append(out, stmt{kind: "hashSet", lhs: lhs, expr: rhs})
+				} else {
+					out = append(out, stmt{kind: "assign", lhs: lhs[1:], expr: rhs})
+				}
+			default:
+				return nil, fmt.Errorf("%w: cannot parse %q", ErrScript, raw)
+			}
+		default:
+			return nil, fmt.Errorf("%w: cannot parse %q", ErrScript, raw)
+		}
+	}
+	if inBlock {
+		return nil, fmt.Errorf("%w: unterminated block", ErrScript)
+	}
+	return out, nil
+}
+
+// findAssign locates the top-level '=' (not ==, !=, <=, >=, =~).
+func findAssign(s string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '(', '{':
+			depth++
+		case ')', '}':
+			depth--
+		case '=':
+			if depth == 0 {
+				prev := byte(0)
+				if i > 0 {
+					prev = s[i-1]
+				}
+				next := byte(0)
+				if i+1 < len(s) {
+					next = s[i+1]
+				}
+				if prev != '=' && prev != '!' && prev != '<' && prev != '>' &&
+					next != '=' && next != '~' {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// Run executes a parsed script.
+func (i *Interp) Run(prog []stmt) error {
+	return i.exec(prog)
+}
+
+func (i *Interp) exec(prog []stmt) error {
+	for _, st := range prog {
+		i.steps++
+		if i.steps > i.limit {
+			return fmt.Errorf("%w: step limit exceeded", ErrScript)
+		}
+		if i.p != nil {
+			i.p.Enter("pp_eval")
+		}
+		err := i.execOne(st)
+		if i.p != nil {
+			i.p.Ops(8)
+			i.p.Leave()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (i *Interp) execOne(st stmt) error {
+	switch st.kind {
+	case "assign":
+		v, err := i.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		i.scalars[st.lhs] = v
+	case "hashSet":
+		// $h{key} = expr
+		open := strings.IndexByte(st.lhs, '{')
+		closeB := strings.LastIndexByte(st.lhs, '}')
+		if open < 0 || closeB < open {
+			return fmt.Errorf("%w: bad hash lvalue %q", ErrScript, st.lhs)
+		}
+		name := st.lhs[1:open]
+		key, err := i.eval(st.lhs[open+1 : closeB])
+		if err != nil {
+			return err
+		}
+		val, err := i.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		if i.hashes[name] == nil {
+			i.hashes[name] = map[string]Value{}
+		}
+		if i.p != nil {
+			i.p.Enter("hash_ops")
+			i.p.Ops(6)
+			i.p.Store(0x90_0000_0000 + hashAddr(name, key.Str()))
+			i.p.Leave()
+		}
+		i.hashes[name][key.Str()] = val
+	case "pushArr":
+		v, err := i.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		i.arrays[st.lhs] = append(i.arrays[st.lhs], v)
+	case "print":
+		v, err := i.eval(st.expr)
+		if err != nil {
+			return err
+		}
+		i.out.WriteString(v.Str())
+	case "if":
+		c, err := i.eval(st.cond)
+		if err != nil {
+			return err
+		}
+		if i.p != nil {
+			i.p.Branch(80, c.Truthy())
+		}
+		if c.Truthy() {
+			return i.exec(st.body)
+		}
+		return i.exec(st.else_)
+	case "while":
+		for iter := 0; ; iter++ {
+			c, err := i.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if i.p != nil {
+				i.p.Branch(81, c.Truthy())
+			}
+			if !c.Truthy() {
+				return nil
+			}
+			if err := i.exec(st.body); err != nil {
+				return err
+			}
+			if uint64(iter) > i.limit {
+				return fmt.Errorf("%w: runaway while", ErrScript)
+			}
+		}
+	case "foreach":
+		src := st.k2
+		var items []Value
+		if rest, ok := strings.CutPrefix(src, "keys %"); ok {
+			h := i.hashes[rest]
+			keys := make([]string, 0, len(h))
+			for k := range h {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // deterministic iteration
+			for _, k := range keys {
+				items = append(items, StrValue(k))
+			}
+		} else if rest, ok := strings.CutPrefix(src, "@"); ok {
+			items = i.arrays[rest]
+		} else {
+			return fmt.Errorf("%w: bad foreach source %q", ErrScript, src)
+		}
+		for _, it := range items {
+			i.scalars[st.k1] = it
+			if err := i.exec(st.body); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown statement %q", ErrScript, st.kind)
+	}
+	return nil
+}
+
+func hashAddr(name, key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h % (1 << 22)
+}

@@ -1,0 +1,191 @@
+package perlbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogicalOperatorsPerlSemantics(t *testing.T) {
+	// Perl's || returns the first truthy operand, && the last evaluated.
+	out := run(t, `
+$a = "" || "fallback";
+$b = "x" || "ignored";
+$c = "x" && "kept";
+$d = "" && "never";
+print $a . "," . $b . "," . $c . "," . $d . ".";
+`)
+	if out != "fallback,x,kept,." {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNumericStringComparison(t *testing.T) {
+	out := run(t, `
+if ("10" == 10) {
+  print "N";
+}
+if ("10" lt "9") {
+  print "S";
+}
+`)
+	// Numeric compare: equal. String compare: "10" < "9" lexically.
+	if out != "NS" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUnaryAndParens(t *testing.T) {
+	out := run(t, `
+$x = -(2 + 3) * 2;
+$y = !(1 > 2);
+print $x . "/" . $y;
+`)
+	if out != "-10/1" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestNestedIfElse(t *testing.T) {
+	out := run(t, `
+$v = 7;
+if ($v > 10) {
+  print "big";
+} else {
+  if ($v > 5) {
+    print "mid";
+  } else {
+    print "small";
+  }
+}
+`)
+	if out != "mid" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestForeachOverEmptyCollections(t *testing.T) {
+	out := run(t, `
+$n = 0;
+foreach $x (@nothing) {
+  $n = $n + 1;
+}
+foreach $k (keys %nomap) {
+  $n = $n + 1;
+}
+print $n;
+`)
+	if out != "0" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestHashKeyExpressions(t *testing.T) {
+	out := run(t, `
+$i = 3;
+$h{"k" . $i} = 42;
+print $h{"k3"} . $h{"k" . (2 + 1)};
+`)
+	if out != "4242" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	out := run(t, `
+# leading comment
+
+$x = 1;
+# middle comment
+print $x;
+`)
+	if out != "1" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		`$x = (1 + 2;`,         // missing close paren
+		`$x = "unterminated;`,  // unterminated string
+		`$x = length 3;`,       // builtin without parens
+		`$x = substr("a", 0);`, // wrong arity
+		`$x = $y =~ bare;`,     // regex without slashes
+		`$x = frob(1);`,        // unknown builtin
+	}
+	for _, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if err := NewInterp(nil).Run(prog); err == nil {
+			t.Errorf("%q should fail at eval time", src)
+		}
+	}
+}
+
+func TestStepsAccounting(t *testing.T) {
+	prog, err := Parse(`
+$i = 0;
+while ($i < 50) {
+  $i = $i + 1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := NewInterp(nil)
+	if err := i.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if i.Steps() < 50 {
+		t.Errorf("steps = %d, want ≥ 50", i.Steps())
+	}
+}
+
+func TestWordFreqOnRefrateScales(t *testing.T) {
+	b := New()
+	run := func(name string) uint64 {
+		w, err := findW(b, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Parse(w.Script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := NewInterp(nil)
+		for _, line := range w.Corpus {
+			i.arrays["input"] = append(i.arrays["input"], StrValue(line))
+		}
+		if err := i.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return i.Steps()
+	}
+	if tr, ref := run("train"), run("refrate"); ref <= tr {
+		t.Errorf("refrate steps (%d) should exceed train (%d)", ref, tr)
+	}
+}
+
+func findW(b *Benchmark, name string) (Workload, error) {
+	ws, err := b.Workloads()
+	if err != nil {
+		return Workload{}, err
+	}
+	for _, w := range ws {
+		if w.WorkloadName() == name {
+			return w.(Workload), nil
+		}
+	}
+	return Workload{}, nil
+}
+
+func TestInterpolationEdgeCases(t *testing.T) {
+	out := run(t, `
+$a = "v";
+print "$a$a end$ stray";
+`)
+	if !strings.HasPrefix(out, "vv end$") {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,77 @@
+package perlbench
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+// TestRegexAgainstStdlib cross-validates the regex-lite matcher against the
+// standard library on randomly generated patterns drawn from the supported
+// subset (literals, '.', '*', '+', classes, anchors) and random subject
+// strings.
+func TestRegexAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	i := NewInterp(nil)
+
+	randomAtom := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return string(rune('a' + rng.Intn(4)))
+		case 1:
+			return "."
+		case 2:
+			return "[ab]"
+		case 3:
+			return "[a-c]"
+		case 4:
+			return `\d`
+		default:
+			return string(rune('x' + rng.Intn(3)))
+		}
+	}
+	randomPattern := func() string {
+		p := ""
+		if rng.Intn(4) == 0 {
+			p += "^"
+		}
+		n := 1 + rng.Intn(4)
+		for k := 0; k < n; k++ {
+			p += randomAtom()
+			if rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					p += "*"
+				} else {
+					p += "+"
+				}
+			}
+		}
+		if rng.Intn(4) == 0 {
+			p += "$"
+		}
+		return p
+	}
+	randomSubject := func() string {
+		n := rng.Intn(10)
+		b := make([]byte, n)
+		alphabet := "abcxyz019 "
+		for k := range b {
+			b[k] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+
+	for trial := 0; trial < 3000; trial++ {
+		pat := randomPattern()
+		subj := randomSubject()
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			continue // pattern outside stdlib syntax (should not happen)
+		}
+		want := re.MatchString(subj)
+		got := i.regexMatch(subj, pat)
+		if got != want {
+			t.Fatalf("match(%q, %q) = %v, stdlib says %v", subj, pat, got, want)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package povray reproduces 511.povray_r: a recursive ray tracer. The seven
+// Alberta workloads fall into the paper's three categories: "collection"
+// scenes render moderately complex geometry built from simple primitives,
+// "lumpy" scenes render a single object over a checkered plane lit by two
+// spotlights (stressing the floating-point unit), and "primitive" scenes
+// emphasize reflection, refraction and camera lens aperture.
+package povray
+
+import (
+	"math"
+
+	"repro/internal/perf"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Vector operations.
+func (a Vec3) Add(b Vec3) Vec3      { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+func (a Vec3) Sub(b Vec3) Vec3      { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+func (a Vec3) Mul(s float64) Vec3   { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+func (a Vec3) Dot(b Vec3) float64   { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+func (a Vec3) Hadamard(b Vec3) Vec3 { return Vec3{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{a.Y*b.Z - a.Z*b.Y, a.Z*b.X - a.X*b.Z, a.X*b.Y - a.Y*b.X}
+}
+func (a Vec3) Len() float64 { return math.Sqrt(a.Dot(a)) }
+func (a Vec3) Norm() Vec3 {
+	l := a.Len()
+	if l == 0 {
+		return a
+	}
+	return a.Mul(1 / l)
+}
+
+// Material describes surface response.
+type Material struct {
+	Color        Vec3 // diffuse albedo
+	Specular     float64
+	Shininess    float64
+	Reflectivity float64
+	Transparency float64
+	IOR          float64
+	// Checker enables the two-tone procedural texture (plane floors).
+	Checker bool
+	Color2  Vec3
+}
+
+// Hit is an intersection record.
+type Hit struct {
+	T      float64
+	Point  Vec3
+	Normal Vec3
+	Mat    Material
+}
+
+// Object is anything a ray can hit.
+type Object interface {
+	// Intersect returns the nearest positive hit distance along the ray,
+	// or ok=false.
+	Intersect(origin, dir Vec3) (Hit, bool)
+}
+
+// Sphere is a primitive.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+	Mat    Material
+}
+
+// Intersect implements Object.
+func (s *Sphere) Intersect(o, d Vec3) (Hit, bool) {
+	oc := o.Sub(s.Center)
+	b := oc.Dot(d)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := b*b - c
+	if disc < 0 {
+		return Hit{}, false
+	}
+	sq := math.Sqrt(disc)
+	t := -b - sq
+	if t < 1e-4 {
+		t = -b + sq
+		if t < 1e-4 {
+			return Hit{}, false
+		}
+	}
+	p := o.Add(d.Mul(t))
+	return Hit{T: t, Point: p, Normal: p.Sub(s.Center).Norm(), Mat: s.Mat}, true
+}
+
+// Plane is an infinite horizontal plane y = Y.
+type Plane struct {
+	Y   float64
+	Mat Material
+}
+
+// Intersect implements Object.
+func (pl *Plane) Intersect(o, d Vec3) (Hit, bool) {
+	if math.Abs(d.Y) < 1e-9 {
+		return Hit{}, false
+	}
+	t := (pl.Y - o.Y) / d.Y
+	if t < 1e-4 {
+		return Hit{}, false
+	}
+	p := o.Add(d.Mul(t))
+	mat := pl.Mat
+	if mat.Checker {
+		if (int(math.Floor(p.X))+int(math.Floor(p.Z)))%2 != 0 {
+			mat.Color = mat.Color2
+		}
+	}
+	n := Vec3{0, 1, 0}
+	if d.Y > 0 {
+		n = Vec3{0, -1, 0}
+	}
+	return Hit{T: t, Point: p, Normal: n, Mat: mat}, true
+}
+
+// Box is an axis-aligned box.
+type Box struct {
+	Min, Max Vec3
+	Mat      Material
+}
+
+// Intersect implements Object (slab method).
+func (b *Box) Intersect(o, d Vec3) (Hit, bool) {
+	tmin, tmax := -math.MaxFloat64, math.MaxFloat64
+	var nmin Vec3
+	axes := [3]struct {
+		o, d, lo, hi float64
+		n            Vec3
+	}{
+		{o.X, d.X, b.Min.X, b.Max.X, Vec3{1, 0, 0}},
+		{o.Y, d.Y, b.Min.Y, b.Max.Y, Vec3{0, 1, 0}},
+		{o.Z, d.Z, b.Min.Z, b.Max.Z, Vec3{0, 0, 1}},
+	}
+	for _, ax := range axes {
+		if math.Abs(ax.d) < 1e-12 {
+			if ax.o < ax.lo || ax.o > ax.hi {
+				return Hit{}, false
+			}
+			continue
+		}
+		t1 := (ax.lo - ax.o) / ax.d
+		t2 := (ax.hi - ax.o) / ax.d
+		n := ax.n.Mul(-1)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+			n = ax.n
+		}
+		if t1 > tmin {
+			tmin = t1
+			nmin = n
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return Hit{}, false
+		}
+	}
+	if tmin < 1e-4 {
+		return Hit{}, false
+	}
+	return Hit{T: tmin, Point: o.Add(d.Mul(tmin)), Normal: nmin, Mat: b.Mat}, true
+}
+
+// Light is a point light, optionally a spotlight with a cone.
+type Light struct {
+	Pos       Vec3
+	Color     Vec3
+	Spot      bool
+	Direction Vec3    // spotlight axis (normalized)
+	CosCutoff float64 // cos of the cone half-angle
+}
+
+// Camera with optional lens aperture (depth of field).
+type Camera struct {
+	Pos, LookAt Vec3
+	FOV         float64 // radians
+	Aperture    float64 // lens radius; 0 = pinhole
+	FocalDist   float64
+}
+
+// Scene is the full render input.
+type Scene struct {
+	Objects    []Object
+	Lights     []Light
+	Camera     Camera
+	Background Vec3
+	MaxDepth   int
+}
+
+// Tracer renders scenes.
+type Tracer struct {
+	p *perf.Profiler
+	// Rays counts primary+secondary rays (work metric).
+	Rays uint64
+}
+
+const objBase = 0xB0_0000_0000
+
+// NewTracer returns a tracer.
+func NewTracer(p *perf.Profiler) *Tracer {
+	if p != nil {
+		p.SetFootprint("trace_ray", 4<<10)
+		p.SetFootprint("intersect_all", 5<<10)
+		p.SetFootprint("shade", 4<<10)
+	}
+	return &Tracer{p: p}
+}
+
+// nearestHit intersects the ray with every object.
+func (tr *Tracer) nearestHit(sc *Scene, o, d Vec3) (Hit, bool) {
+	if tr.p != nil {
+		tr.p.Enter("intersect_all")
+		defer tr.p.Leave()
+	}
+	var best Hit
+	found := false
+	for i, obj := range sc.Objects {
+		h, ok := obj.Intersect(o, d)
+		if tr.p != nil {
+			tr.p.Ops(12)
+			if i%4 == 0 {
+				tr.p.LongOps(1) // sqrt in the hit path
+			}
+			tr.p.Load(objBase + uint64(i)*128)
+			tr.p.Branch(100, ok)
+		}
+		if ok && (!found || h.T < best.T) {
+			best = h
+			found = true
+		}
+	}
+	return best, found
+}
+
+// occluded tests the shadow ray toward a light.
+func (tr *Tracer) occluded(sc *Scene, p Vec3, l Light) bool {
+	toL := l.Pos.Sub(p)
+	dist := toL.Len()
+	dir := toL.Mul(1 / dist)
+	h, ok := tr.nearestHit(sc, p.Add(dir.Mul(1e-3)), dir)
+	return ok && h.T < dist
+}
+
+// Trace returns the color seen along the ray.
+func (tr *Tracer) Trace(sc *Scene, o, d Vec3, depth int) Vec3 {
+	tr.Rays++
+	if tr.p != nil {
+		tr.p.Enter("trace_ray")
+		defer tr.p.Leave()
+		tr.p.Ops(8)
+	}
+	if depth > sc.MaxDepth {
+		return sc.Background
+	}
+	h, ok := tr.nearestHit(sc, o, d)
+	if !ok {
+		return sc.Background
+	}
+	if tr.p != nil {
+		tr.p.Enter("shade")
+	}
+	col := h.Mat.Color.Mul(0.08) // ambient
+	for _, l := range sc.Lights {
+		toL := l.Pos.Sub(h.Point).Norm()
+		if l.Spot {
+			// Outside the cone contributes nothing.
+			if l.Direction.Mul(-1).Dot(toL) < l.CosCutoff {
+				continue
+			}
+		}
+		if tr.occluded(sc, h.Point, l) {
+			continue
+		}
+		diff := math.Max(0, h.Normal.Dot(toL))
+		col = col.Add(h.Mat.Color.Hadamard(l.Color).Mul(diff))
+		if h.Mat.Specular > 0 {
+			refl := toL.Mul(-1).Sub(h.Normal.Mul(-2 * toL.Dot(h.Normal)))
+			spec := math.Pow(math.Max(0, refl.Dot(d)), h.Mat.Shininess)
+			col = col.Add(l.Color.Mul(h.Mat.Specular * spec))
+		}
+		if tr.p != nil {
+			tr.p.Ops(24)
+			tr.p.LongOps(1)
+		}
+	}
+	if tr.p != nil {
+		tr.p.Leave()
+	}
+	// Reflection.
+	if h.Mat.Reflectivity > 0 {
+		rdir := d.Sub(h.Normal.Mul(2 * d.Dot(h.Normal))).Norm()
+		col = col.Add(tr.Trace(sc, h.Point.Add(rdir.Mul(1e-3)), rdir, depth+1).Mul(h.Mat.Reflectivity))
+	}
+	// Refraction.
+	if h.Mat.Transparency > 0 {
+		n := h.Normal
+		eta := 1 / h.Mat.IOR
+		cosi := -d.Dot(n)
+		if cosi < 0 {
+			n = n.Mul(-1)
+			cosi = -cosi
+			eta = h.Mat.IOR
+		}
+		k := 1 - eta*eta*(1-cosi*cosi)
+		if k > 0 {
+			tdir := d.Mul(eta).Add(n.Mul(eta*cosi - math.Sqrt(k))).Norm()
+			col = col.Add(tr.Trace(sc, h.Point.Add(tdir.Mul(1e-3)), tdir, depth+1).Mul(h.Mat.Transparency))
+		}
+	}
+	return col
+}
+
+// lensOffsets are the fixed aperture sample points (deterministic DOF).
+var lensOffsets = [4][2]float64{{0.35, 0.35}, {-0.35, 0.35}, {0.35, -0.35}, {-0.35, -0.35}}
+
+// Render draws the scene into an RGB byte image (3 bytes per pixel).
+func (tr *Tracer) Render(sc *Scene, w, h int) []byte {
+	cam := sc.Camera
+	forward := cam.LookAt.Sub(cam.Pos).Norm()
+	right := forward.Cross(Vec3{0, 1, 0}).Norm()
+	up := right.Cross(forward)
+	aspect := float64(w) / float64(h)
+	scale := math.Tan(cam.FOV / 2)
+
+	img := make([]byte, w*h*3)
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			sx := (2*(float64(px)+0.5)/float64(w) - 1) * scale * aspect
+			sy := (1 - 2*(float64(py)+0.5)/float64(h)) * scale
+			dir := forward.Add(right.Mul(sx)).Add(up.Mul(sy)).Norm()
+			var col Vec3
+			if cam.Aperture > 0 {
+				// Depth of field: average fixed lens samples focused at
+				// FocalDist.
+				focal := cam.Pos.Add(dir.Mul(cam.FocalDist))
+				for _, off := range lensOffsets {
+					lensPos := cam.Pos.
+						Add(right.Mul(off[0] * cam.Aperture)).
+						Add(up.Mul(off[1] * cam.Aperture))
+					ldir := focal.Sub(lensPos).Norm()
+					col = col.Add(tr.Trace(sc, lensPos, ldir, 0))
+				}
+				col = col.Mul(1.0 / float64(len(lensOffsets)))
+			} else {
+				col = tr.Trace(sc, cam.Pos, dir, 0)
+			}
+			i := (py*w + px) * 3
+			img[i] = toByte(col.X)
+			img[i+1] = toByte(col.Y)
+			img[i+2] = toByte(col.Z)
+		}
+	}
+	return img
+}
+
+func toByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 255
+	}
+	return byte(v * 255)
+}

@@ -1,0 +1,91 @@
+package benchmarks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks/deepsjeng"
+	"repro/internal/benchmarks/exchange2"
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/benchmarks/leela"
+	"repro/internal/benchmarks/omnetpp"
+	"repro/internal/benchmarks/xalan"
+	"repro/internal/core"
+)
+
+// TestRenderedWorkloadsRoundTrip renders every FileRenderer benchmark's
+// refrate workload to its natural on-disk format and parses the files back
+// with the corresponding reader — the property that makes the rendered
+// files genuine distributable workloads, not just dumps.
+func TestRenderedWorkloadsRoundTrip(t *testing.T) {
+	suite, err := Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := 0
+	for _, b := range suite.Benchmarks() {
+		renderer, ok := b.(core.FileRenderer)
+		if !ok {
+			continue
+		}
+		rendered++
+		w, err := core.FindWorkload(b, "refrate")
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		files, err := renderer.RenderWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: render: %v", b.Name(), err)
+		}
+		if len(files) == 0 {
+			t.Errorf("%s: rendered no files", b.Name())
+		}
+		for name, content := range files {
+			if len(content) == 0 {
+				t.Errorf("%s: empty file %s", b.Name(), name)
+			}
+			switch {
+			case strings.HasSuffix(name, ".ned"):
+				if _, err := omnetpp.ParseNED(string(content)); err != nil {
+					t.Errorf("%s: %s does not parse: %v", b.Name(), name, err)
+				}
+			case strings.HasSuffix(name, ".sgf"):
+				if _, err := leela.ParseSGF(string(content)); err != nil {
+					t.Errorf("%s: %s does not parse: %v", b.Name(), name, err)
+				}
+			case strings.HasSuffix(name, ".epd"):
+				for _, line := range strings.Split(strings.TrimSpace(string(content)), "\n") {
+					fen := strings.SplitN(line, ";", 2)[0]
+					if _, err := deepsjeng.ParseFEN(strings.TrimSpace(fen)); err != nil {
+						t.Errorf("%s: EPD line %q: %v", b.Name(), line, err)
+					}
+				}
+			case strings.HasSuffix(name, ".xml"):
+				if _, err := xalan.ParseXML(string(content), nil); err != nil {
+					t.Errorf("%s: %s does not parse: %v", b.Name(), name, err)
+				}
+			case strings.HasSuffix(name, ".xsl"):
+				if _, err := xalan.CompileStylesheet(string(content)); err != nil {
+					t.Errorf("%s: %s does not compile: %v", b.Name(), name, err)
+				}
+			case strings.HasSuffix(name, ".c"):
+				if _, err := cc.CompileSource(string(content), cc.O1, nil, nil); err != nil {
+					t.Errorf("%s: %s does not compile: %v", b.Name(), name, err)
+				}
+			case name == "puzzles.txt":
+				for _, line := range strings.Split(strings.TrimSpace(string(content)), "\n") {
+					if _, err := exchange2.ParsePuzzle(line); err != nil {
+						t.Errorf("%s: puzzle %q: %v", b.Name(), line, err)
+					}
+				}
+			}
+		}
+		// Renderers must reject foreign workloads.
+		if _, err := renderer.RenderWorkload(core.Meta{Name: "x"}); err == nil {
+			t.Errorf("%s: foreign workload should be rejected", b.Name())
+		}
+	}
+	if rendered < 7 {
+		t.Errorf("only %d benchmarks implement FileRenderer, want ≥ 7", rendered)
+	}
+}

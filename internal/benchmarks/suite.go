@@ -1,0 +1,93 @@
+// Package benchmarks assembles the full reproduced SPEC CPU 2017 suite.
+package benchmarks
+
+import (
+	"repro/internal/benchmarks/blender"
+	"repro/internal/benchmarks/cactubssn"
+	"repro/internal/benchmarks/deepsjeng"
+	"repro/internal/benchmarks/exchange2"
+	"repro/internal/benchmarks/gcc"
+	"repro/internal/benchmarks/lbm"
+	"repro/internal/benchmarks/leela"
+	"repro/internal/benchmarks/mcf"
+	"repro/internal/benchmarks/nab"
+	"repro/internal/benchmarks/omnetpp"
+	"repro/internal/benchmarks/parest"
+	"repro/internal/benchmarks/perlbench"
+	"repro/internal/benchmarks/povray"
+	"repro/internal/benchmarks/wrf"
+	"repro/internal/benchmarks/x264"
+	"repro/internal/benchmarks/xalan"
+	"repro/internal/benchmarks/xz"
+	"repro/internal/core"
+)
+
+// All returns every reproduced benchmark, INT and FP.
+func All() []core.Benchmark {
+	return []core.Benchmark{
+		perlbench.New(),
+		gcc.New(),
+		mcf.New(),
+		cactubssn.New(),
+		parest.New(),
+		povray.New(),
+		lbm.New(),
+		omnetpp.New(),
+		wrf.New(),
+		xalan.New(),
+		x264.New(),
+		blender.New(),
+		deepsjeng.New(),
+		leela.New(),
+		nab.New(),
+		exchange2.New(),
+		xz.New(),
+	}
+}
+
+// Int returns the SPEC CPU INT 2017 members.
+func Int() []core.Benchmark {
+	return []core.Benchmark{
+		perlbench.New(),
+		gcc.New(),
+		mcf.New(),
+		omnetpp.New(),
+		xalan.New(),
+		x264.New(),
+		deepsjeng.New(),
+		leela.New(),
+		exchange2.New(),
+		xz.New(),
+	}
+}
+
+// FP returns the SPEC CPU FP 2017 members that the reproduction covers.
+func FP() []core.Benchmark {
+	return []core.Benchmark{
+		cactubssn.New(),
+		parest.New(),
+		povray.New(),
+		lbm.New(),
+		wrf.New(),
+		blender.New(),
+		nab.New(),
+	}
+}
+
+// Suite wraps All in a core.Suite.
+func Suite() (*core.Suite, error) {
+	return core.NewSuite(All()...)
+}
+
+// CharacterizedSuite returns the Table II benchmark set: every benchmark
+// with Alberta workloads (all but perlbench).
+func CharacterizedSuite() (*core.Suite, error) {
+	var bs []core.Benchmark
+	for _, b := range All() {
+		if b.Name() == "500.perlbench_r" {
+			continue
+		}
+		bs = append(bs, b)
+	}
+	return core.NewSuite(bs...)
+}

@@ -1,0 +1,128 @@
+// Package x264 reproduces 525.x264_r: a block-based video encoder. The
+// benchmark's three-program structure is preserved: Decode (ldecod_r)
+// expands the stored input video, Encode (x264_r) re-encodes it, and
+// Validate (imagevalidate_r) compares frames by PSNR. The Alberta
+// workloads' public-domain HD videos are replaced by a procedural video
+// generator (moving patterns plus noise), and the script that prepares
+// grayscale one- and two-pass variants is reproduced by the workload
+// builder. Frames are luma-only (the paper's script generates grayscale
+// versions).
+package x264
+
+import "errors"
+
+// bitWriter emits a bitstream MSB first.
+type bitWriter struct {
+	buf  []byte
+	bits uint8 // bits filled in the current byte
+}
+
+func (w *bitWriter) writeBit(b int) {
+	if w.bits == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.bits)
+	}
+	w.bits = (w.bits + 1) % 8
+}
+
+func (w *bitWriter) writeBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(int(v>>uint(i)) & 1)
+	}
+}
+
+// writeUE writes an unsigned exp-Golomb code.
+func (w *bitWriter) writeUE(v uint32) {
+	vv := v + 1
+	n := 0
+	for t := vv; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.writeBit(0)
+	}
+	w.writeBits(vv, n+1)
+}
+
+// writeSE writes a signed exp-Golomb code.
+func (w *bitWriter) writeSE(v int32) {
+	var u uint32
+	if v <= 0 {
+		u = uint32(-2 * v)
+	} else {
+		u = uint32(2*v - 1)
+	}
+	w.writeUE(u)
+}
+
+// errBitstream reports a truncated or invalid stream.
+var errBitstream = errors.New("x264: corrupt bitstream")
+
+// bitReader mirrors bitWriter.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	bits uint8
+}
+
+func (r *bitReader) readBit() (int, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errBitstream
+	}
+	b := int(r.buf[r.pos]>>(7-r.bits)) & 1
+	r.bits++
+	if r.bits == 8 {
+		r.bits = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+func (r *bitReader) readBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// readUE reads an unsigned exp-Golomb code.
+func (r *bitReader) readUE() (uint32, error) {
+	zeros := 0
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, errBitstream
+		}
+	}
+	rest, err := r.readBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(zeros) | rest) - 1, nil
+}
+
+// readSE reads a signed exp-Golomb code.
+func (r *bitReader) readSE() (int32, error) {
+	u, err := r.readUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int32(u / 2), nil
+	}
+	return int32(u/2) + 1, nil
+}

@@ -1,0 +1,555 @@
+package x264
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/perf"
+)
+
+// Frame is a luma-only picture.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a frame.
+func NewFrame(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// Clone deep-copies a frame.
+func (f *Frame) Clone() *Frame {
+	return &Frame{W: f.W, H: f.H, Pix: append([]uint8(nil), f.Pix...)}
+}
+
+// at reads with edge clamping.
+func (f *Frame) at(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+const (
+	blockSize = 8
+	mbSize    = 16
+	searchRng = 8
+)
+
+// Synthetic address bases.
+const (
+	frameBase = 0x70_0000_0000
+	coefBase  = 0x71_0000_0000
+)
+
+// dctBasis holds the orthonormal DCT-II basis.
+var dctBasis [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		scale := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			scale = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			dctBasis[k][n] = scale * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/blockSize)
+		}
+	}
+}
+
+// fdct transforms an 8x8 residual block (row-major) in place semantics:
+// returns coefficients.
+func fdct(in *[blockSize * blockSize]int32) [blockSize * blockSize]float64 {
+	var tmp, out [blockSize * blockSize]float64
+	// Rows.
+	for r := 0; r < blockSize; r++ {
+		for k := 0; k < blockSize; k++ {
+			s := 0.0
+			for n := 0; n < blockSize; n++ {
+				s += float64(in[r*blockSize+n]) * dctBasis[k][n]
+			}
+			tmp[r*blockSize+k] = s
+		}
+	}
+	// Columns.
+	for c := 0; c < blockSize; c++ {
+		for k := 0; k < blockSize; k++ {
+			s := 0.0
+			for n := 0; n < blockSize; n++ {
+				s += tmp[n*blockSize+c] * dctBasis[k][n]
+			}
+			out[k*blockSize+c] = s
+		}
+	}
+	return out
+}
+
+// idct inverts fdct on dequantized coefficients.
+func idct(in *[blockSize * blockSize]float64) [blockSize * blockSize]int32 {
+	var tmp [blockSize * blockSize]float64
+	var out [blockSize * blockSize]int32
+	// Columns.
+	for c := 0; c < blockSize; c++ {
+		for n := 0; n < blockSize; n++ {
+			s := 0.0
+			for k := 0; k < blockSize; k++ {
+				s += in[k*blockSize+c] * dctBasis[k][n]
+			}
+			tmp[n*blockSize+c] = s
+		}
+	}
+	// Rows.
+	for r := 0; r < blockSize; r++ {
+		for n := 0; n < blockSize; n++ {
+			s := 0.0
+			for k := 0; k < blockSize; k++ {
+				s += tmp[r*blockSize+k] * dctBasis[k][n]
+			}
+			out[r*blockSize+n] = int32(math.RoundToEven(s))
+		}
+	}
+	return out
+}
+
+// zigzag scan order for an 8x8 block.
+var zigzag = buildZigzag()
+
+func buildZigzag() [blockSize * blockSize]int {
+	var order [blockSize * blockSize]int
+	idx := 0
+	for s := 0; s < 2*blockSize-1; s++ {
+		if s%2 == 0 {
+			for y := min(s, blockSize-1); y >= 0 && s-y < blockSize; y-- {
+				order[idx] = y*blockSize + (s - y)
+				idx++
+			}
+		} else {
+			for x := min(s, blockSize-1); x >= 0 && s-x < blockSize; x-- {
+				order[idx] = (s-x)*blockSize + x
+				idx++
+			}
+		}
+	}
+	return order
+}
+
+// quantize maps a DCT coefficient to a level.
+func quantize(coef float64, qp int) int32 {
+	step := float64(qp)
+	return int32(math.RoundToEven(coef / step))
+}
+
+// dequantize inverts quantize.
+func dequantize(level int32, qp int) float64 {
+	return float64(level) * float64(qp)
+}
+
+// Encoder compresses a frame sequence.
+type Encoder struct {
+	QP          int
+	KeyInterval int // I-frame every KeyInterval frames (≥1)
+	p           *perf.Profiler
+	recon       *Frame // last reconstructed frame (reference)
+	// SADPerFrame records per-frame motion-compensated SAD (rate-control
+	// signal for two-pass encoding).
+	SADPerFrame []uint64
+}
+
+// NewEncoder returns an encoder.
+func NewEncoder(qp, keyInterval int, p *perf.Profiler) (*Encoder, error) {
+	if qp < 1 || qp > 100 {
+		return nil, fmt.Errorf("x264: bad QP %d", qp)
+	}
+	if keyInterval < 1 {
+		return nil, fmt.Errorf("x264: bad key interval %d", keyInterval)
+	}
+	if p != nil {
+		p.SetFootprint("me_search", 5<<10)
+		p.SetFootprint("transform", 4<<10)
+		p.SetFootprint("entropy", 3<<10)
+		p.SetFootprint("reconstruct", 3<<10)
+	}
+	return &Encoder{QP: qp, KeyInterval: keyInterval, p: p}, nil
+}
+
+// sad computes the sum of absolute differences between a macroblock at
+// (mx,my) in cur and (mx+dx, my+dy) in ref.
+func (e *Encoder) sad(cur, ref *Frame, mx, my, dx, dy int) uint64 {
+	var s uint64
+	for y := 0; y < mbSize; y++ {
+		for x := 0; x < mbSize; x++ {
+			a := int(cur.at(mx+x, my+y))
+			b := int(ref.at(mx+x+dx, my+y+dy))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			s += uint64(d)
+		}
+	}
+	if e.p != nil {
+		e.p.Ops(mbSize * mbSize / 2)
+		e.p.Load(frameBase + uint64((my+dy)*cur.W+mx+dx))
+	}
+	return s
+}
+
+// motionSearch runs a three-step diamond search.
+func (e *Encoder) motionSearch(cur, ref *Frame, mx, my int) (int, int, uint64) {
+	if e.p != nil {
+		e.p.Enter("me_search")
+		defer e.p.Leave()
+	}
+	bestX, bestY := 0, 0
+	best := e.sad(cur, ref, mx, my, 0, 0)
+	for step := 4; step >= 1; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [4][2]int{{step, 0}, {-step, 0}, {0, step}, {0, -step}} {
+				nx, ny := bestX+d[0], bestY+d[1]
+				if nx < -searchRng || nx > searchRng || ny < -searchRng || ny > searchRng {
+					continue
+				}
+				s := e.sad(cur, ref, mx, my, nx, ny)
+				better := s < best
+				if e.p != nil {
+					e.p.Branch(60, better)
+				}
+				if better {
+					best = s
+					bestX, bestY = nx, ny
+					improved = true
+				}
+			}
+		}
+	}
+	return bestX, bestY, best
+}
+
+// encodeBlock transforms, quantizes and entropy-codes one 8x8 residual,
+// then returns the reconstructed residual for the encoder's local decode.
+func (e *Encoder) encodeBlock(w *bitWriter, res *[blockSize * blockSize]int32) [blockSize * blockSize]int32 {
+	if e.p != nil {
+		e.p.Enter("transform")
+	}
+	coefs := fdct(res)
+	var levels [blockSize * blockSize]int32
+	nz := 0
+	for i, zi := range zigzag {
+		l := quantize(coefs[zi], e.QP)
+		levels[i] = l
+		if l != 0 {
+			nz++
+		}
+	}
+	if e.p != nil {
+		e.p.LongOps(blockSize * blockSize / 4)
+		e.p.Ops(blockSize * blockSize)
+		e.p.Load(coefBase + uint64(nz)*64)
+		e.p.Leave()
+		e.p.Enter("entropy")
+	}
+	// Entropy coding: count, then (run, level) pairs.
+	w.writeUE(uint32(nz))
+	run := uint32(0)
+	written := 0
+	for i := 0; i < blockSize*blockSize && written < nz; i++ {
+		if levels[i] == 0 {
+			run++
+			continue
+		}
+		w.writeUE(run)
+		w.writeSE(levels[i])
+		run = 0
+		written++
+	}
+	if e.p != nil {
+		e.p.Ops(uint64(8 + nz*4))
+		e.p.Branch(61, nz > 0)
+		e.p.Leave()
+	}
+	// Local reconstruction.
+	var deq [blockSize * blockSize]float64
+	for i, zi := range zigzag {
+		deq[zi] = dequantize(levels[i], e.QP)
+	}
+	return idct(&deq)
+}
+
+// EncodeFrame appends frame f to the bitstream and returns the
+// reconstruction.
+func (e *Encoder) EncodeFrame(w *bitWriter, f *Frame, frameIdx int) *Frame {
+	isIntra := e.recon == nil || frameIdx%e.KeyInterval == 0
+	if isIntra {
+		w.writeBit(1)
+	} else {
+		w.writeBit(0)
+	}
+	// Per-frame QP supports two-pass rate control.
+	w.writeUE(uint32(e.QP))
+	recon := NewFrame(f.W, f.H)
+	var frameSAD uint64
+	for my := 0; my < f.H; my += mbSize {
+		for mx := 0; mx < f.W; mx += mbSize {
+			var dx, dy int
+			if !isIntra {
+				var sad uint64
+				dx, dy, sad = e.motionSearch(f, e.recon, mx, my)
+				frameSAD += sad
+				w.writeSE(int32(dx))
+				w.writeSE(int32(dy))
+			}
+			// Each MB holds four 8x8 blocks.
+			for by := 0; by < mbSize; by += blockSize {
+				for bx := 0; bx < mbSize; bx += blockSize {
+					var res [blockSize * blockSize]int32
+					for y := 0; y < blockSize; y++ {
+						for x := 0; x < blockSize; x++ {
+							px, py := mx+bx+x, my+by+y
+							var pred int32 = 128
+							if !isIntra {
+								pred = int32(e.recon.at(px+dx, py+dy))
+							}
+							res[y*blockSize+x] = int32(f.at(px, py)) - pred
+						}
+					}
+					rec := e.encodeBlock(w, &res)
+					if e.p != nil {
+						e.p.Enter("reconstruct")
+					}
+					for y := 0; y < blockSize; y++ {
+						for x := 0; x < blockSize; x++ {
+							px, py := mx+bx+x, my+by+y
+							if px >= f.W || py >= f.H {
+								continue
+							}
+							var pred int32 = 128
+							if !isIntra {
+								pred = int32(e.recon.at(px+dx, py+dy))
+							}
+							recon.Pix[py*f.W+px] = clamp255(pred + rec[y*blockSize+x])
+						}
+					}
+					if e.p != nil {
+						e.p.Ops(blockSize * blockSize)
+						e.p.Store(frameBase + uint64(my*f.W+mx))
+						e.p.Leave()
+					}
+				}
+			}
+		}
+	}
+	e.SADPerFrame = append(e.SADPerFrame, frameSAD)
+	e.recon = recon
+	return recon
+}
+
+func clamp255(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// Encode compresses the sequence into a bitstream.
+func Encode(frames []*Frame, qp, keyInterval int, p *perf.Profiler) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("x264: no frames")
+	}
+	w := &bitWriter{}
+	// Header: dimensions, frame count, QP, key interval.
+	w.writeUE(uint32(frames[0].W))
+	w.writeUE(uint32(frames[0].H))
+	w.writeUE(uint32(len(frames)))
+	w.writeUE(uint32(keyInterval))
+	enc, err := NewEncoder(qp, keyInterval, p)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range frames {
+		if f.W != frames[0].W || f.H != frames[0].H {
+			return nil, fmt.Errorf("x264: frame %d has mismatched dimensions", i)
+		}
+		enc.EncodeFrame(w, f, i)
+	}
+	return w.buf, nil
+}
+
+// Decode expands a bitstream back to frames (the ldecod_r role).
+func Decode(stream []byte, p *perf.Profiler) ([]*Frame, error) {
+	if p != nil {
+		p.SetFootprint("decode", 6<<10)
+		p.Enter("decode")
+		defer p.Leave()
+	}
+	r := &bitReader{buf: stream}
+	w64, err := r.readUE()
+	if err != nil {
+		return nil, err
+	}
+	h64, err := r.readUE()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := r.readUE()
+	if err != nil {
+		return nil, err
+	}
+	ki64, err := r.readUE()
+	if err != nil {
+		return nil, err
+	}
+	W, H, N := int(w64), int(h64), int(n64)
+	if W <= 0 || H <= 0 || N <= 0 || N > 10000 || ki64 < 1 {
+		return nil, errBitstream
+	}
+	var frames []*Frame
+	var prev *Frame
+	for fi := 0; fi < N; fi++ {
+		intra, err := r.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if intra == 0 && prev == nil {
+			return nil, errBitstream
+		}
+		qp64, err := r.readUE()
+		if err != nil {
+			return nil, err
+		}
+		qp := int(qp64)
+		if qp < 1 {
+			return nil, errBitstream
+		}
+		cur := NewFrame(W, H)
+		for my := 0; my < H; my += mbSize {
+			for mx := 0; mx < W; mx += mbSize {
+				var dx, dy int32
+				if intra == 0 {
+					if dx, err = r.readSE(); err != nil {
+						return nil, err
+					}
+					if dy, err = r.readSE(); err != nil {
+						return nil, err
+					}
+				}
+				for by := 0; by < mbSize; by += blockSize {
+					for bx := 0; bx < mbSize; bx += blockSize {
+						nz, err := r.readUE()
+						if err != nil {
+							return nil, err
+						}
+						var deq [blockSize * blockSize]float64
+						pos := 0
+						for k := uint32(0); k < nz; k++ {
+							run, err := r.readUE()
+							if err != nil {
+								return nil, err
+							}
+							lvl, err := r.readSE()
+							if err != nil {
+								return nil, err
+							}
+							pos += int(run)
+							if pos >= blockSize*blockSize {
+								return nil, errBitstream
+							}
+							deq[zigzag[pos]] = dequantize(lvl, qp)
+							pos++
+						}
+						rec := idct(&deq)
+						if p != nil {
+							p.Ops(blockSize*blockSize + uint64(nz)*4)
+							p.Load(frameBase + uint64(my*W+mx))
+							p.Branch(62, nz > 0)
+						}
+						for y := 0; y < blockSize; y++ {
+							for x := 0; x < blockSize; x++ {
+								px, py := mx+bx+x, my+by+y
+								if px >= W || py >= H {
+									continue
+								}
+								var pred int32 = 128
+								if intra == 0 {
+									pred = int32(prev.at(px+int(dx), py+int(dy)))
+								}
+								cur.Pix[py*W+px] = clamp255(pred + rec[y*blockSize+x])
+							}
+						}
+					}
+				}
+			}
+		}
+		frames = append(frames, cur)
+		prev = cur
+	}
+	return frames, nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two frames
+// (infinite for identical frames, capped at 99 dB).
+func PSNR(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("x264: PSNR dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return 99, nil
+	}
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr > 99 {
+		psnr = 99
+	}
+	return psnr, nil
+}
+
+// Validate is the imagevalidate_r role: every decoded frame must reach the
+// PSNR threshold against its original.
+func Validate(orig, decoded []*Frame, threshold float64, p *perf.Profiler) (float64, error) {
+	if p != nil {
+		p.SetFootprint("psnr_validate", 2<<10)
+		p.Enter("psnr_validate")
+		defer p.Leave()
+	}
+	if len(orig) != len(decoded) {
+		return 0, fmt.Errorf("x264: validate: %d original vs %d decoded frames", len(orig), len(decoded))
+	}
+	minPSNR := math.Inf(1)
+	for i := range orig {
+		v, err := PSNR(orig[i], decoded[i])
+		if err != nil {
+			return 0, err
+		}
+		if p != nil {
+			p.Ops(uint64(orig[i].W*orig[i].H) / 4)
+			p.LongOps(2)
+		}
+		if v < minPSNR {
+			minPSNR = v
+		}
+		if v < threshold {
+			return minPSNR, fmt.Errorf("x264: frame %d PSNR %.2f below threshold %.2f", i, v, threshold)
+		}
+	}
+	return minPSNR, nil
+}

@@ -1,0 +1,46 @@
+package x264
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestExpGolombProperty round-trips arbitrary values through UE/SE coding.
+func TestExpGolombProperty(t *testing.T) {
+	f := func(u uint32, s int32, bits uint8) bool {
+		u %= 1 << 24
+		n := int(bits%20) + 1
+		v := u & (1<<uint(n) - 1)
+		w := &bitWriter{}
+		w.writeUE(u)
+		w.writeSE(s % (1 << 20))
+		w.writeBits(v, n)
+		r := &bitReader{buf: w.buf}
+		gu, err1 := r.readUE()
+		gs, err2 := r.readSE()
+		gv, err3 := r.readBits(n)
+		return err1 == nil && err2 == nil && err3 == nil &&
+			gu == u && gs == s%(1<<20) && gv == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeDecodeProperty round-trips random tiny frame sequences.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64, qp8 uint8) bool {
+		qp := int(qp8%30) + 1
+		frames := GenerateVideo(VideoParams{W: 32, H: 32, Frames: 2, Motion: 2, Noise: 10, Seed: seed})
+		bits, err := Encode(frames, qp, 2, nil)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(bits, nil)
+		return err == nil && len(dec) == 2 &&
+			dec[0].W == 32 && dec[1].H == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

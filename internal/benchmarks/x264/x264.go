@@ -1,0 +1,235 @@
+package x264
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// VideoParams describe a procedurally generated test sequence. Resolutions
+// are scaled-down stand-ins for the benchmark's 1280x720 requirement.
+type VideoParams struct {
+	W, H   int
+	Frames int
+	// Motion scales how fast patterns move (pixels/frame).
+	Motion int
+	// Noise is the per-pixel noise amplitude (0-64); more noise means
+	// harder motion compensation and more residual energy.
+	Noise int
+	Seed  int64
+}
+
+// GenerateVideo renders the deterministic synthetic sequence: a moving
+// bright rectangle and a moving dark disc over a gradient, plus noise.
+func GenerateVideo(p VideoParams) []*Frame {
+	rng := rand.New(rand.NewSource(p.Seed))
+	frames := make([]*Frame, p.Frames)
+	for t := 0; t < p.Frames; t++ {
+		f := NewFrame(p.W, p.H)
+		rectX := (t * p.Motion) % max(p.W-24, 1)
+		rectY := (t * p.Motion / 2) % max(p.H-16, 1)
+		discX := p.W - 20 - (t*p.Motion)%max(p.W-24, 1)
+		discY := p.H / 2
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				v := 64 + (x*96)/max(p.W, 1) // background gradient
+				if x >= rectX && x < rectX+24 && y >= rectY && y < rectY+16 {
+					v = 220
+				}
+				dx, dy := x-discX, y-discY
+				if dx*dx+dy*dy < 100 {
+					v = 30
+				}
+				if p.Noise > 0 {
+					v += rng.Intn(2*p.Noise+1) - p.Noise
+				}
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				f.Pix[y*p.W+x] = uint8(v)
+			}
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// Workload is one 525.x264_r input: the source video parameters and the
+// encoder controls (frames to encode, QP, key interval, one or two passes).
+type Workload struct {
+	core.Meta
+	Video       VideoParams
+	QP          int
+	KeyInterval int
+	TwoPass     bool
+	// PSNRThreshold is the imagevalidate_r acceptance bar.
+	PSNRThreshold float64
+}
+
+// EncodeTwoPass runs the two-pass pipeline the Alberta preparation script
+// supports: pass 1 measures per-frame motion-compensation difficulty, pass
+// 2 re-encodes with per-frame QP adapted to it (simple rate control).
+func EncodeTwoPass(frames []*Frame, baseQP, keyInterval int, p *perf.Profiler) ([]byte, error) {
+	pass1, err := NewEncoder(baseQP, keyInterval, p)
+	if err != nil {
+		return nil, err
+	}
+	w1 := &bitWriter{}
+	w1.writeUE(uint32(frames[0].W))
+	w1.writeUE(uint32(frames[0].H))
+	w1.writeUE(uint32(len(frames)))
+	w1.writeUE(uint32(keyInterval))
+	for i, f := range frames {
+		pass1.EncodeFrame(w1, f, i)
+	}
+	// Average SAD over P frames sets the baseline difficulty.
+	var total, count uint64
+	for i, s := range pass1.SADPerFrame {
+		if i%keyInterval != 0 {
+			total += s
+			count++
+		}
+	}
+	avg := uint64(1)
+	if count > 0 {
+		avg = max(total/count, 1)
+	}
+	// Pass 2: easy frames get finer quantization, hard frames coarser.
+	enc, err := NewEncoder(baseQP, keyInterval, p)
+	if err != nil {
+		return nil, err
+	}
+	w := &bitWriter{}
+	w.writeUE(uint32(frames[0].W))
+	w.writeUE(uint32(frames[0].H))
+	w.writeUE(uint32(len(frames)))
+	w.writeUE(uint32(keyInterval))
+	for i, f := range frames {
+		qp := baseQP
+		if i < len(pass1.SADPerFrame) && i%keyInterval != 0 {
+			sad := pass1.SADPerFrame[i]
+			switch {
+			case sad > 2*avg:
+				qp = baseQP + baseQP/2
+			case sad*2 < avg:
+				qp = max(baseQP/2, 1)
+			}
+		}
+		enc.QP = qp
+		enc.EncodeFrame(w, f, i)
+	}
+	return w.buf, nil
+}
+
+// Benchmark is the 525.x264_r reproduction.
+type Benchmark struct{}
+
+// New returns the benchmark.
+func New() *Benchmark { return &Benchmark{} }
+
+// Name implements core.Benchmark.
+func (*Benchmark) Name() string { return "525.x264_r" }
+
+// Area implements core.Benchmark.
+func (*Benchmark) Area() string { return "Video compression" }
+
+// Workloads returns SPEC-style inputs plus Alberta workloads generated from
+// different synthetic source videos and encoder settings.
+func (b *Benchmark) Workloads() ([]core.Workload, error) {
+	mk := func(name string, kind core.Kind, v VideoParams, qp, ki int, twoPass bool) core.Workload {
+		return Workload{
+			Meta: core.Meta{Name: name, Kind: kind}, Video: v,
+			QP: qp, KeyInterval: ki, TwoPass: twoPass, PSNRThreshold: 26,
+		}
+	}
+	return []core.Workload{
+		mk("test", core.KindTest, VideoParams{W: 64, H: 48, Frames: 4, Motion: 2, Noise: 4, Seed: 1}, 12, 4, false),
+		mk("train", core.KindTrain, VideoParams{W: 96, H: 64, Frames: 8, Motion: 3, Noise: 6, Seed: 2}, 12, 4, false),
+		mk("refrate", core.KindRefrate, VideoParams{W: 128, H: 96, Frames: 12, Motion: 3, Noise: 6, Seed: 3}, 12, 6, false),
+		mk("alberta.smooth", core.KindAlberta, VideoParams{W: 128, H: 96, Frames: 10, Motion: 1, Noise: 0, Seed: 11}, 10, 5, false),
+		mk("alberta.noisy", core.KindAlberta, VideoParams{W: 128, H: 96, Frames: 10, Motion: 3, Noise: 24, Seed: 12}, 14, 5, false),
+		mk("alberta.fastmotion", core.KindAlberta, VideoParams{W: 128, H: 96, Frames: 10, Motion: 7, Noise: 6, Seed: 13}, 12, 5, false),
+		mk("alberta.twopass", core.KindAlberta, VideoParams{W: 112, H: 80, Frames: 10, Motion: 3, Noise: 8, Seed: 14}, 12, 5, true),
+		mk("alberta.allintra", core.KindAlberta, VideoParams{W: 112, H: 80, Frames: 8, Motion: 3, Noise: 6, Seed: 15}, 12, 1, false),
+	}, nil
+}
+
+// GenerateWorkloads implements core.Generator.
+func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("x264: n must be positive, got %d", n)
+	}
+	var out []core.Workload
+	for i := 0; i < n; i++ {
+		out = append(out, Workload{
+			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Video: VideoParams{
+				W: 96 + (i%3)*16, H: 64 + (i%3)*16,
+				Frames: 6 + i%6, Motion: 1 + i%6, Noise: (i % 4) * 8,
+				Seed: seed + int64(i),
+			},
+			QP: 8 + (i%4)*4, KeyInterval: 1 + i%6, TwoPass: i%3 == 0,
+			PSNRThreshold: 24,
+		})
+	}
+	return out, nil
+}
+
+// Run implements core.Benchmark: decode the stored input video, re-encode
+// it, decode the result and validate frame quality — the benchmark's
+// ldecod_r → x264_r → imagevalidate_r pipeline.
+func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	xw, ok := w.(Workload)
+	if !ok {
+		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	source := GenerateVideo(xw.Video)
+	// The stored .264 input is prepared outside the measured run with a
+	// fine quantizer (high quality master).
+	stored, err := Encode(source, 2, xw.KeyInterval, nil)
+	if err != nil {
+		return core.Result{}, err
+	}
+
+	// ldecod_r: expand the stored input.
+	master, err := Decode(stored, p)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("x264: %s: decode input: %w", xw.Name, err)
+	}
+	// x264_r: encode with the workload's settings.
+	var bits []byte
+	if xw.TwoPass {
+		bits, err = EncodeTwoPass(master, xw.QP, xw.KeyInterval, p)
+	} else {
+		bits, err = Encode(master, xw.QP, xw.KeyInterval, p)
+	}
+	if err != nil {
+		return core.Result{}, fmt.Errorf("x264: %s: encode: %w", xw.Name, err)
+	}
+	// imagevalidate_r: decode and check PSNR against the master frames.
+	decoded, err := Decode(bits, p)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("x264: %s: decode output: %w", xw.Name, err)
+	}
+	minPSNR, err := Validate(master, decoded, xw.PSNRThreshold, p)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("x264: %s: %w", xw.Name, err)
+	}
+	sum := core.NewChecksum().
+		AddUint64(uint64(len(bits))).
+		AddFloat(minPSNR)
+	for _, f := range decoded {
+		sum = sum.AddBytes(f.Pix[:min(len(f.Pix), 256)])
+	}
+	return core.Result{
+		Benchmark: b.Name(),
+		Workload:  xw.Name,
+		Kind:      xw.WorkloadKind(),
+		Checksum:  sum.Value(),
+	}, nil
+}

@@ -1,0 +1,44 @@
+package xalan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseXMLNeverPanics feeds random byte soup and structured fragments
+// to the parser: it must return errors, not panic.
+func TestParseXMLNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := `<>/="' abcxyz&;!?-`
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		_, _ = ParseXML(string(b), nil) // must not panic
+	}
+}
+
+// TestCompileStylesheetNeverPanics does the same for the stylesheet
+// compiler, seeding with almost-valid documents.
+func TestCompileStylesheetNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fragments := []string{
+		"<stylesheet>", "</stylesheet>", "<template", " match=\"x\">",
+		"<value-of select=\".\"/>", "</template>", "<for-each", ">", "text",
+	}
+	for trial := 0; trial < 1000; trial++ {
+		src := ""
+		for k := 0; k < rng.Intn(8); k++ {
+			src += fragments[rng.Intn(len(fragments))]
+		}
+		if ss, err := CompileStylesheet(src); err == nil {
+			// If it compiled, it must also transform without panicking.
+			doc, derr := ParseXML("<r><a>1</a></r>", nil)
+			if derr == nil {
+				_ = NewTransformer(ss, nil).Transform(doc)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package xalan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RenderWorkload implements core.FileRenderer: the XML document and its
+// .xsl transformation file (the pairing Section IV-A explains every valid
+// workload needs).
+func (b *Benchmark) RenderWorkload(w core.Workload) (map[string][]byte, error) {
+	xw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	return map[string][]byte{
+		xw.Name + ".xml": []byte(xw.XML),
+		xw.Name + ".xsl": []byte(xw.Stylesheet),
+	}, nil
+}

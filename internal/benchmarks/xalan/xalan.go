@@ -1,0 +1,203 @@
+package xalan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// Workload is one 523.xalancbmk_r input: an XML document plus the
+// stylesheet describing its transformation.
+type Workload struct {
+	core.Meta
+	XML        string
+	Stylesheet string
+}
+
+// GenerateRecordsXML emits an XSLTMark-style record set: the same format at
+// any size, so one stylesheet processes all of them (the paper's script
+// "to produce new random XML files with different sizes but with the same
+// format").
+func GenerateRecordsXML(records int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"widget", "gadget", "sprocket", "gizmo", "doohickey", "contraption"}
+	var sb strings.Builder
+	sb.WriteString("<records>\n")
+	for i := 0; i < records; i++ {
+		fmt.Fprintf(&sb, `<record id="%d" category="c%d">`, i, rng.Intn(5))
+		fmt.Fprintf(&sb, "<name>%s-%d</name>", names[rng.Intn(len(names))], rng.Intn(1000))
+		fmt.Fprintf(&sb, "<price>%d.%02d</price>", 1+rng.Intn(500), rng.Intn(100))
+		fmt.Fprintf(&sb, "<qty>%d</qty>", rng.Intn(100))
+		fmt.Fprintf(&sb, "<desc>item description %d with some text body</desc>", rng.Intn(10000))
+		sb.WriteString("</record>\n")
+	}
+	sb.WriteString("</records>")
+	return sb.String()
+}
+
+// RecordsStylesheet converts a record set to an HTML-ish table.
+const RecordsStylesheet = `<stylesheet>
+<template match="/">
+  <element name="html"><element name="body">
+    <element name="table"><apply-templates select="record"/></element>
+  </element></element>
+</template>
+<template match="record">
+  <element name="tr">
+    <attribute name="id" select="@id"/>
+    <element name="td"><value-of select="name"/></element>
+    <element name="td"><value-of select="price"/></element>
+    <if test="@category='c0'">
+      <element name="td"><text value="featured"/></element>
+    </if>
+    <if test="qty">
+      <element name="td"><value-of select="qty"/></element>
+    </if>
+  </element>
+</template>
+</stylesheet>`
+
+// GenerateAuctionXML emits an XMark-style auction site document: people,
+// regional items and bids.
+func GenerateAuctionXML(people, items, bids int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	countries := []string{"ca", "br", "us", "de", "jp", "au"}
+	var sb strings.Builder
+	sb.WriteString("<site><people>\n")
+	for i := 0; i < people; i++ {
+		fmt.Fprintf(&sb, `<person id="p%d"><name>person%d</name><country>%s</country><income>%d</income></person>`,
+			i, i, countries[rng.Intn(len(countries))], 20000+rng.Intn(120000))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</people><regions>\n")
+	perRegion := items/len(countries) + 1
+	id := 0
+	for _, c := range countries {
+		fmt.Fprintf(&sb, `<region name="%s">`, c)
+		for j := 0; j < perRegion && id < items; j++ {
+			fmt.Fprintf(&sb, `<item id="i%d"><name>item%d</name><price>%d</price><quantity>%d</quantity></item>`,
+				id, id, 1+rng.Intn(900), 1+rng.Intn(10))
+			id++
+		}
+		sb.WriteString("</region>\n")
+	}
+	sb.WriteString("</regions><bids>\n")
+	for i := 0; i < bids; i++ {
+		fmt.Fprintf(&sb, `<bid person="p%d" item="i%d" amount="%d"/>`,
+			rng.Intn(people), rng.Intn(items), 1+rng.Intn(1500))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</bids></site>")
+	return sb.String()
+}
+
+// AuctionStylesheet combines eighteen XMark-style queries into one
+// transformation, as the paper's combined workload does.
+const AuctionStylesheet = `<stylesheet>
+<template match="/">
+  <element name="report">
+    <element name="q1"><count select="people/person"/></element>
+    <element name="q2"><count select="//item"/></element>
+    <element name="q3"><count select="bids/bid"/></element>
+    <element name="q4"><for-each select="people/person"><if test="country='ca'"><element name="hit"><value-of select="name"/></element></if></for-each></element>
+    <element name="q5"><for-each select="//item"><if test="quantity='1'"><element name="rare"><value-of select="@id"/></element></if></for-each></element>
+    <element name="q6"><for-each select="regions/region"><element name="region"><attribute name="name" select="@name"/><count select="item"/></element></for-each></element>
+    <element name="q7"><for-each select="people/person"><element name="income"><value-of select="income"/></element></for-each></element>
+    <element name="q8"><for-each select="bids/bid"><if test="@amount='100'"><element name="exact"/></if></for-each></element>
+    <element name="q9"><for-each select="//item"><element name="price"><value-of select="price"/></element></for-each></element>
+    <element name="q10"><count select="regions/region"/></element>
+    <element name="q11"><for-each select="people/person"><if test="income"><element name="earns"><value-of select="@id"/></element></if></for-each></element>
+    <element name="q12"><for-each select="regions/region"><if test="@name='br'"><count select="item"/></if></for-each></element>
+    <element name="q13"><for-each select="//item"><element name="named"><value-of select="name"/></element></for-each></element>
+    <element name="q14"><for-each select="bids/bid"><element name="b"><attribute name="who" select="@person"/></element></for-each></element>
+    <element name="q15"><count select="people/person/name"/></element>
+    <element name="q16"><for-each select="regions/region/item"><if test="price='500'"><element name="mid"/></if></for-each></element>
+    <element name="q17"><for-each select="people/person"><element name="c"><value-of select="country"/></element></for-each></element>
+    <element name="q18"><count select="//name"/></element>
+  </element>
+</template>
+</stylesheet>`
+
+// Benchmark is the 523.xalancbmk_r reproduction.
+type Benchmark struct{}
+
+// New returns the benchmark.
+func New() *Benchmark { return &Benchmark{} }
+
+// Name implements core.Benchmark.
+func (*Benchmark) Name() string { return "523.xalancbmk_r" }
+
+// Area implements core.Benchmark.
+func (*Benchmark) Area() string { return "XML to HTML conversion" }
+
+// Workloads returns SPEC-style inputs plus the five Alberta workloads from
+// the XSLTMark- and XMark-derived generators.
+func (b *Benchmark) Workloads() ([]core.Workload, error) {
+	mk := func(name string, kind core.Kind, xml, ss string) core.Workload {
+		return Workload{Meta: core.Meta{Name: name, Kind: kind}, XML: xml, Stylesheet: ss}
+	}
+	return []core.Workload{
+		mk("test", core.KindTest, GenerateRecordsXML(50, 1), RecordsStylesheet),
+		mk("train", core.KindTrain, GenerateRecordsXML(1500, 2), RecordsStylesheet),
+		mk("refrate", core.KindRefrate, GenerateRecordsXML(9000, 3), RecordsStylesheet),
+		mk("alberta.xsltmark-small", core.KindAlberta, GenerateRecordsXML(800, 11), RecordsStylesheet),
+		mk("alberta.xsltmark-medium", core.KindAlberta, GenerateRecordsXML(3500, 12), RecordsStylesheet),
+		mk("alberta.xsltmark-large", core.KindAlberta, GenerateRecordsXML(12000, 13), RecordsStylesheet),
+		mk("alberta.xmark-combined", core.KindAlberta, GenerateAuctionXML(400, 700, 1800, 14), AuctionStylesheet),
+		mk("alberta.xmark-large", core.KindAlberta, GenerateAuctionXML(1200, 2200, 5200, 15), AuctionStylesheet),
+	}, nil
+}
+
+// GenerateWorkloads implements core.Generator.
+func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xalan: n must be positive, got %d", n)
+	}
+	var out []core.Workload
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		if i%2 == 0 {
+			out = append(out, Workload{
+				Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+				XML:  GenerateRecordsXML(500+int(s%7)*500, s), Stylesheet: RecordsStylesheet,
+			})
+		} else {
+			out = append(out, Workload{
+				Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+				XML:  GenerateAuctionXML(100+int(s%5)*100, 300, 700, s), Stylesheet: AuctionStylesheet,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Run implements core.Benchmark.
+func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	xw, ok := w.(Workload)
+	if !ok {
+		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	doc, err := ParseXML(xw.XML, p)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("xalan: %s: %w", xw.Name, err)
+	}
+	ss, err := CompileStylesheet(xw.Stylesheet)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("xalan: %s: %w", xw.Name, err)
+	}
+	out := NewTransformer(ss, p).Transform(doc)
+	rendered := Serialize(out, p)
+	if len(rendered) == 0 {
+		return core.Result{}, fmt.Errorf("xalan: %s: empty output", xw.Name)
+	}
+	sum := core.NewChecksum().AddString(rendered).AddUint64(uint64(len(rendered)))
+	return core.Result{
+		Benchmark: b.Name(),
+		Workload:  xw.Name,
+		Kind:      xw.WorkloadKind(),
+		Checksum:  sum.Value(),
+	}, nil
+}

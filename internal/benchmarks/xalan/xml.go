@@ -1,0 +1,330 @@
+// Package xalan reproduces 523.xalancbmk_r: an XML document transformer.
+// A workload pairs an XML input with a stylesheet written in an XSLT-like
+// template language (the paper: "one also needs to provide a .xsl file that
+// describes, in a Xalan-specific language, the transformation"). The
+// Alberta workloads are reproduced with an XSLTMark-style record-set
+// generator (same format, different sizes, one stylesheet) and an
+// XMark-style auction-site generator whose eighteen queries are combined
+// into a single stylesheet, as the paper describes.
+package xalan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// NodeKind distinguishes element and text nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	ElementNode NodeKind = iota
+	TextNode
+)
+
+// Node is one XML tree node.
+type Node struct {
+	Kind     NodeKind
+	Name     string // element name (ElementNode only)
+	Text     string // text content (TextNode only)
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+}
+
+// Attr is one attribute.
+type Attr struct {
+	Name, Value string
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TextContent concatenates all descendant text.
+func (n *Node) TextContent() string {
+	if n.Kind == TextNode {
+		return n.Text
+	}
+	var sb strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == TextNode {
+			sb.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return sb.String()
+}
+
+// ErrBadXML reports a malformed document.
+var ErrBadXML = errors.New("xalan: malformed XML")
+
+// parseAddr is the synthetic address base for parser working data.
+const parseAddr = 0x50_0000_0000
+
+// Parser is a small non-validating XML parser (elements, attributes, text,
+// comments; predefined entities lt/gt/amp/quot/apos).
+type Parser struct {
+	src string
+	pos int
+	p   *perf.Profiler
+}
+
+// ParseXML parses a document and returns its root element.
+func ParseXML(src string, p *perf.Profiler) (*Node, error) {
+	ps := &Parser{src: src, p: p}
+	if p != nil {
+		p.SetFootprint("parse_xml", 8<<10)
+		p.Enter("parse_xml")
+		defer p.Leave()
+	}
+	ps.skipSpaceAndMisc()
+	root, err := ps.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	ps.skipSpaceAndMisc()
+	if ps.pos != len(ps.src) {
+		return nil, fmt.Errorf("%w: trailing content at %d", ErrBadXML, ps.pos)
+	}
+	return root, nil
+}
+
+func (ps *Parser) skipSpaceAndMisc() {
+	for ps.pos < len(ps.src) {
+		c := ps.src[ps.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			ps.pos++
+			continue
+		}
+		if strings.HasPrefix(ps.src[ps.pos:], "<!--") {
+			end := strings.Index(ps.src[ps.pos+4:], "-->")
+			if end < 0 {
+				ps.pos = len(ps.src)
+				return
+			}
+			ps.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(ps.src[ps.pos:], "<?") {
+			end := strings.Index(ps.src[ps.pos:], "?>")
+			if end < 0 {
+				ps.pos = len(ps.src)
+				return
+			}
+			ps.pos += end + 2
+			continue
+		}
+		return
+	}
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (ps *Parser) parseName() (string, error) {
+	start := ps.pos
+	for ps.pos < len(ps.src) && isNameChar(ps.src[ps.pos]) {
+		ps.pos++
+	}
+	if ps.pos == start {
+		return "", fmt.Errorf("%w: expected name at %d", ErrBadXML, ps.pos)
+	}
+	return ps.src[start:ps.pos], nil
+}
+
+func (ps *Parser) skipSpace() {
+	for ps.pos < len(ps.src) {
+		c := ps.src[ps.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		ps.pos++
+	}
+}
+
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&apos;", "'", "&amp;", "&")
+	return r.Replace(s)
+}
+
+func (ps *Parser) parseElement() (*Node, error) {
+	if ps.pos >= len(ps.src) || ps.src[ps.pos] != '<' {
+		return nil, fmt.Errorf("%w: expected '<' at %d", ErrBadXML, ps.pos)
+	}
+	ps.pos++
+	name, err := ps.parseName()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Kind: ElementNode, Name: name}
+	if ps.p != nil {
+		ps.p.Ops(uint64(4 + len(name)))
+		ps.p.Load(parseAddr + uint64(ps.pos%(1<<20)))
+	}
+	// Attributes.
+	for {
+		ps.skipSpace()
+		if ps.pos >= len(ps.src) {
+			return nil, fmt.Errorf("%w: unterminated tag %q", ErrBadXML, name)
+		}
+		if ps.src[ps.pos] == '/' {
+			if ps.pos+1 < len(ps.src) && ps.src[ps.pos+1] == '>' {
+				ps.pos += 2
+				return n, nil
+			}
+			return nil, fmt.Errorf("%w: stray '/' at %d", ErrBadXML, ps.pos)
+		}
+		if ps.src[ps.pos] == '>' {
+			ps.pos++
+			break
+		}
+		aname, err := ps.parseName()
+		if err != nil {
+			return nil, err
+		}
+		ps.skipSpace()
+		if ps.pos >= len(ps.src) || ps.src[ps.pos] != '=' {
+			return nil, fmt.Errorf("%w: attribute %q missing '='", ErrBadXML, aname)
+		}
+		ps.pos++
+		ps.skipSpace()
+		if ps.pos >= len(ps.src) || (ps.src[ps.pos] != '"' && ps.src[ps.pos] != '\'') {
+			return nil, fmt.Errorf("%w: attribute %q missing quote", ErrBadXML, aname)
+		}
+		quote := ps.src[ps.pos]
+		ps.pos++
+		end := strings.IndexByte(ps.src[ps.pos:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("%w: unterminated attribute %q", ErrBadXML, aname)
+		}
+		n.Attrs = append(n.Attrs, Attr{Name: aname, Value: decodeEntities(ps.src[ps.pos : ps.pos+end])})
+		ps.pos += end + 1
+		if ps.p != nil {
+			ps.p.Ops(uint64(6 + end))
+			ps.p.Branch(40, true)
+		}
+	}
+	// Content.
+	for {
+		if ps.pos >= len(ps.src) {
+			return nil, fmt.Errorf("%w: unterminated element %q", ErrBadXML, name)
+		}
+		if strings.HasPrefix(ps.src[ps.pos:], "<!--") {
+			end := strings.Index(ps.src[ps.pos+4:], "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("%w: unterminated comment", ErrBadXML)
+			}
+			ps.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(ps.src[ps.pos:], "</") {
+			ps.pos += 2
+			cname, err := ps.parseName()
+			if err != nil {
+				return nil, err
+			}
+			if cname != name {
+				return nil, fmt.Errorf("%w: mismatched </%s> for <%s>", ErrBadXML, cname, name)
+			}
+			ps.skipSpace()
+			if ps.pos >= len(ps.src) || ps.src[ps.pos] != '>' {
+				return nil, fmt.Errorf("%w: bad close tag </%s>", ErrBadXML, cname)
+			}
+			ps.pos++
+			return n, nil
+		}
+		if ps.src[ps.pos] == '<' {
+			child, err := ps.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			child.Parent = n
+			n.Children = append(n.Children, child)
+			continue
+		}
+		// Text run.
+		end := strings.IndexByte(ps.src[ps.pos:], '<')
+		if end < 0 {
+			return nil, fmt.Errorf("%w: text outside element", ErrBadXML)
+		}
+		raw := ps.src[ps.pos : ps.pos+end]
+		ps.pos += end
+		if strings.TrimSpace(raw) != "" {
+			n.Children = append(n.Children, &Node{Kind: TextNode, Text: decodeEntities(raw), Parent: n})
+			if ps.p != nil {
+				ps.p.Ops(uint64(len(raw)))
+			}
+		}
+	}
+}
+
+// escape encodes text for serialization.
+func escape(s string) string {
+	if !strings.ContainsAny(s, "<>&\"") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Serialize renders the tree back to markup.
+func Serialize(n *Node, p *perf.Profiler) string {
+	if p != nil {
+		p.SetFootprint("serialize", 3<<10)
+		p.Enter("serialize")
+		defer p.Leave()
+	}
+	var sb strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == TextNode {
+			sb.WriteString(escape(m.Text))
+			if p != nil {
+				p.Ops(uint64(len(m.Text)))
+			}
+			return
+		}
+		sb.WriteByte('<')
+		sb.WriteString(m.Name)
+		for _, a := range m.Attrs {
+			fmt.Fprintf(&sb, " %s=%q", a.Name, escape(a.Value))
+		}
+		if len(m.Children) == 0 {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteByte('>')
+		for _, c := range m.Children {
+			walk(c)
+		}
+		sb.WriteString("</")
+		sb.WriteString(m.Name)
+		sb.WriteByte('>')
+		if p != nil {
+			p.Ops(uint64(8 + len(m.Name)))
+			p.Store(parseAddr + uint64(sb.Len()%(1<<20)))
+		}
+	}
+	walk(n)
+	return sb.String()
+}

@@ -1,0 +1,340 @@
+package xz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/perf"
+)
+
+// Compression parameters.
+const (
+	minMatch    = 3
+	maxMatch    = minMatch + 255
+	hashBits    = 16
+	maxChainLen = 64
+)
+
+// Synthetic address bases for the modeled cache hierarchy.
+const (
+	windowBase = 0x10_0000_0000
+	hashBase   = 0x11_0000_0000
+	chainBase  = 0x12_0000_0000
+	outBase    = 0x13_0000_0000
+)
+
+// matchFinder locates LZ77 matches with a hash-chain dictionary over a
+// sliding window of dictSize bytes — the data structure whose behaviour the
+// paper found to dominate when a workload's repeated content fits in the
+// dictionary.
+type matchFinder struct {
+	data     []byte
+	dictSize int
+	head     []int32
+	prev     []int32
+	p        *perf.Profiler
+}
+
+func newMatchFinder(data []byte, dictSize int, p *perf.Profiler) *matchFinder {
+	head := make([]int32, 1<<hashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	return &matchFinder{
+		data:     data,
+		dictSize: dictSize,
+		head:     head,
+		prev:     make([]int32, len(data)),
+		p:        p,
+	}
+}
+
+func hash3(a, b, c byte) uint32 {
+	return (uint32(a)<<16 | uint32(b)<<8 | uint32(c)) * 2654435761 >> (32 - hashBits)
+}
+
+// insert adds position pos to the dictionary.
+func (m *matchFinder) insert(pos int) {
+	if pos+minMatch > len(m.data) {
+		return
+	}
+	h := hash3(m.data[pos], m.data[pos+1], m.data[pos+2])
+	m.prev[pos] = m.head[h]
+	m.head[h] = int32(pos)
+	if m.p != nil {
+		m.p.Ops(3)
+		m.p.Store(hashBase + uint64(h)*4)
+		m.p.Store(chainBase + uint64(pos%m.dictSize)*4)
+	}
+}
+
+// find returns the longest match (length ≥ minMatch) for pos, walking at
+// most maxChainLen dictionary entries inside the sliding window.
+func (m *matchFinder) find(pos int) (length, dist int) {
+	if pos+minMatch > len(m.data) {
+		return 0, 0
+	}
+	limit := len(m.data) - pos
+	if limit > maxMatch {
+		limit = maxMatch
+	}
+	h := hash3(m.data[pos], m.data[pos+1], m.data[pos+2])
+	cand := m.head[h]
+	if m.p != nil {
+		m.p.Ops(4)
+		m.p.Load(hashBase + uint64(h)*4)
+	}
+	minPos := pos - m.dictSize
+	bestLen := minMatch - 1
+	for chain := 0; cand >= 0 && int(cand) > minPos && chain < maxChainLen; chain++ {
+		c := int(cand)
+		// Quick reject on the byte just past the current best.
+		if m.p != nil {
+			m.p.Ops(2)
+			m.p.Load(windowBase + uint64(c%m.dictSize))
+		}
+		if bestLen >= limit {
+			break // cannot improve: the best match already spans the limit
+		}
+		reject := c+bestLen >= len(m.data) || m.data[c+bestLen] != m.data[pos+bestLen]
+		if m.p != nil {
+			m.p.Branch(1, reject)
+		}
+		if !reject {
+			l := 0
+			for l < limit && m.data[c+l] == m.data[pos+l] {
+				l++
+				if m.p != nil && l%8 == 0 {
+					m.p.Ops(8)
+					m.p.Load(windowBase + uint64((c+l)%m.dictSize))
+				}
+			}
+			if l > bestLen {
+				bestLen = l
+				dist = pos - c
+			}
+		}
+		cand = m.prev[c]
+		if m.p != nil {
+			m.p.Ops(1)
+			m.p.Load(chainBase + uint64(c%m.dictSize)*4)
+		}
+	}
+	if bestLen >= minMatch {
+		return bestLen, dist
+	}
+	return 0, 0
+}
+
+// models bundles the adaptive probability contexts of the stream.
+type models struct {
+	isMatch  [2]prob // context: 0 after literal, 1 after match
+	literals []*bitTree
+	length   *bitTree
+	distSlot *bitTree
+}
+
+func newModels() *models {
+	ms := &models{
+		isMatch:  [2]prob{probInit, probInit},
+		length:   newBitTree(8),
+		distSlot: newBitTree(5),
+	}
+	for i := 0; i < 8; i++ {
+		ms.literals = append(ms.literals, newBitTree(8))
+	}
+	return ms
+}
+
+func litContext(prev byte) int { return int(prev >> 5) }
+
+// Compress compresses data with the given dictionary (window) size and
+// reports modeled events to p (nil for unprofiled use).
+func Compress(data []byte, dictSize int, p *perf.Profiler) ([]byte, error) {
+	if dictSize < 1<<10 {
+		return nil, fmt.Errorf("xz: dictionary size %d too small", dictSize)
+	}
+	header := make([]byte, 12)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(dictSize))
+	binary.LittleEndian.PutUint64(header[4:12], uint64(len(data)))
+
+	enc := newRangeEncoder()
+	ms := newModels()
+	mf := newMatchFinder(data, dictSize, p)
+
+	if p != nil {
+		p.SetFootprint("lz_find_matches", 4<<10)
+		p.SetFootprint("rc_encode", 6<<10)
+		p.SetFootprint("rc_decode", 6<<10)
+	}
+
+	pos := 0
+	var prev byte
+	afterMatch := 0
+	for pos < len(data) {
+		var length, dist int
+		if p != nil {
+			p.Enter("lz_find_matches")
+		}
+		length, dist = mf.find(pos)
+		if p != nil {
+			p.Leave()
+			p.Enter("rc_encode")
+		}
+		if length == 0 {
+			enc.encodeBit(&ms.isMatch[afterMatch], 0)
+			ms.literals[litContext(prev)].encode(enc, uint32(data[pos]))
+			if p != nil {
+				p.Ops(12)
+				// The coder's bit decisions are data dependent: random
+				// data mispredicts, repetitive text is learnable.
+				p.Branch(5, data[pos]&1 == 1)
+				p.Branch(6, data[pos] > 127)
+				p.Load(windowBase + uint64(pos%dictSize))
+				p.Store(outBase + uint64(len(enc.out)%dictSize))
+				p.Leave()
+				p.Enter("lz_find_matches")
+			}
+			prev = data[pos]
+			afterMatch = 0
+			mf.insert(pos)
+			pos++
+		} else {
+			enc.encodeBit(&ms.isMatch[afterMatch], 1)
+			ms.length.encode(enc, uint32(length-minMatch))
+			encodeDist(enc, ms, uint32(dist-1))
+			if p != nil {
+				p.Ops(20)
+				p.Branch(7, length > 8)
+				p.Branch(8, dist > 256)
+				p.Store(outBase + uint64(len(enc.out)%dictSize))
+				p.Leave()
+				p.Enter("lz_find_matches")
+			}
+			for i := 0; i < length; i++ {
+				mf.insert(pos + i)
+			}
+			prev = data[pos+length-1]
+			afterMatch = 1
+			pos += length
+		}
+		if p != nil {
+			p.Leave()
+		}
+	}
+	return append(header, enc.finish()...), nil
+}
+
+// encodeDist writes dist (≥ 0) as a 5-bit significant-bit-count slot plus
+// direct bits.
+func encodeDist(enc *rangeEncoder, ms *models, dist uint32) {
+	nbits := 1
+	for v := dist; v > 1; v >>= 1 {
+		nbits++
+	}
+	ms.distSlot.encode(enc, uint32(nbits-1))
+	if nbits == 1 {
+		// Distances 0 and 1 both have one significant-bit slot; a direct
+		// bit disambiguates them.
+		enc.encodeDirect(dist, 1)
+		return
+	}
+	// Emit the bits below the implicit leading 1.
+	enc.encodeDirect(dist&((1<<uint(nbits-1))-1), nbits-1)
+}
+
+func decodeDist(dec *rangeDecoder, ms *models) (uint32, error) {
+	slot, err := ms.distSlot.decode(dec)
+	if err != nil {
+		return 0, err
+	}
+	nbits := int(slot) + 1
+	if nbits == 1 {
+		// dist is 0 or 1: the single significant bit pattern "1" would be
+		// dist 1; dist 0 has nbits 1 too (value 0 encodes as 0 bits below
+		// leading 1 of value... disambiguate via direct bit).
+		b, err := dec.decodeDirect(1)
+		if err != nil {
+			return 0, err
+		}
+		return b, nil
+	}
+	low, err := dec.decodeDirect(nbits - 1)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(nbits-1) | low, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(comp []byte, p *perf.Profiler) ([]byte, error) {
+	if len(comp) < 12 {
+		return nil, errCorrupt
+	}
+	dictSize := int(binary.LittleEndian.Uint32(comp[0:4]))
+	origLen := int(binary.LittleEndian.Uint64(comp[4:12]))
+	if dictSize <= 0 || origLen < 0 {
+		return nil, errCorrupt
+	}
+	dec, err := newRangeDecoder(comp[12:])
+	if err != nil {
+		return nil, err
+	}
+	ms := newModels()
+	out := make([]byte, 0, origLen)
+	var prev byte
+	afterMatch := 0
+	if p != nil {
+		p.Enter("rc_decode")
+		defer p.Leave()
+	}
+	for len(out) < origLen {
+		bit, err := dec.decodeBit(&ms.isMatch[afterMatch])
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			p.Ops(8)
+			p.Branch(2, bit == 1)
+		}
+		if bit == 0 {
+			sym, err := ms.literals[litContext(prev)].decode(dec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, byte(sym))
+			if p != nil {
+				p.Branch(9, sym&1 == 1)
+				p.Store(windowBase + uint64(len(out)%dictSize))
+			}
+			prev = byte(sym)
+			afterMatch = 0
+		} else {
+			lraw, err := ms.length.decode(dec)
+			if err != nil {
+				return nil, err
+			}
+			length := int(lraw) + minMatch
+			draw, err := decodeDist(dec, ms)
+			if err != nil {
+				return nil, err
+			}
+			dist := int(draw) + 1
+			if dist > len(out) || len(out)+length > origLen {
+				return nil, errCorrupt
+			}
+			start := len(out) - dist
+			for i := 0; i < length; i++ {
+				out = append(out, out[start+i])
+			}
+			if p != nil {
+				p.Ops(uint64(length))
+				p.Load(windowBase + uint64(start%dictSize))
+				p.Store(windowBase + uint64(len(out)%dictSize))
+			}
+			prev = out[len(out)-1]
+			afterMatch = 1
+		}
+	}
+	return out, nil
+}

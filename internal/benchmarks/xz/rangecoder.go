@@ -1,0 +1,197 @@
+// Package xz reproduces 557.xz_r: a sliding-window LZ77 compressor with an
+// LZMA-style adaptive binary range coder. The benchmark's execution, like
+// SPEC's, decompresses an input to memory, recompresses it, decompresses it
+// again, and validates checksums. The Alberta workloads vary the
+// compressibility of the data and its size relative to the dictionary,
+// which shifts execution between dictionary lookups (match finding) and the
+// entropy coder — the effect the paper's Section IV-A discussion of the
+// sliding-window dictionary highlights.
+package xz
+
+import "errors"
+
+// Probability model constants (LZMA-style 11-bit probabilities).
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1)
+	moveBits  = 5
+	topValue  = 1 << 24
+	byteShift = 8
+)
+
+// prob is an adaptive binary probability.
+type prob uint16
+
+// rangeEncoder is a carry-propagating binary range encoder.
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func newRangeEncoder() *rangeEncoder {
+	return &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		for ; e.cacheSize > 0; e.cacheSize-- {
+			e.out = append(e.out, e.cache+carry)
+			e.cache = 0xFF
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// encodeBit encodes bit with the adaptive probability p.
+func (e *rangeEncoder) encodeBit(p *prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// encodeDirect encodes n bits of v without a probability model.
+func (e *rangeEncoder) encodeDirect(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		e.rng >>= 1
+		bit := (v >> uint(i)) & 1
+		if bit != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// finish flushes the encoder and returns the byte stream.
+func (e *rangeEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// errCorrupt reports a truncated or invalid compressed stream.
+var errCorrupt = errors.New("xz: corrupt stream")
+
+// rangeDecoder mirrors rangeEncoder.
+type rangeDecoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+}
+
+func newRangeDecoder(in []byte) (*rangeDecoder, error) {
+	if len(in) < 5 {
+		return nil, errCorrupt
+	}
+	d := &rangeDecoder{rng: 0xFFFFFFFF, in: in, pos: 1}
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.in[d.pos])
+		d.pos++
+	}
+	return d, nil
+}
+
+func (d *rangeDecoder) normalize() error {
+	for d.rng < topValue {
+		if d.pos >= len(d.in) {
+			// Allow draining: the encoder appends 5 flush bytes, so
+			// reads past the end only happen on corrupt input.
+			return errCorrupt
+		}
+		d.code = d.code<<8 | uint32(d.in[d.pos])
+		d.pos++
+		d.rng <<= 8
+	}
+	return nil
+}
+
+func (d *rangeDecoder) decodeBit(p *prob) (int, error) {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> moveBits
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	if err := d.normalize(); err != nil {
+		return 0, err
+	}
+	return bit, nil
+}
+
+func (d *rangeDecoder) decodeDirect(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		d.rng >>= 1
+		v <<= 1
+		if d.code >= d.rng {
+			d.code -= d.rng
+			v |= 1
+		}
+		if err := d.normalize(); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// bitTree is a fixed-depth binary tree of adaptive probabilities encoding
+// n-bit symbols MSB first.
+type bitTree struct {
+	probs []prob
+	bits  int
+}
+
+func newBitTree(bits int) *bitTree {
+	t := &bitTree{probs: make([]prob, 1<<bits), bits: bits}
+	for i := range t.probs {
+		t.probs[i] = probInit
+	}
+	return t
+}
+
+func (t *bitTree) encode(e *rangeEncoder, sym uint32) {
+	node := uint32(1)
+	for i := t.bits - 1; i >= 0; i-- {
+		bit := int((sym >> uint(i)) & 1)
+		e.encodeBit(&t.probs[node], bit)
+		node = node<<1 | uint32(bit)
+	}
+}
+
+func (t *bitTree) decode(d *rangeDecoder) (uint32, error) {
+	node := uint32(1)
+	for i := 0; i < t.bits; i++ {
+		bit, err := d.decodeBit(&t.probs[node])
+		if err != nil {
+			return 0, err
+		}
+		node = node<<1 | uint32(bit)
+	}
+	return node - 1<<t.bits, nil
+}

@@ -1,0 +1,237 @@
+// Package cluster implements the workload-reduction methodology the paper
+// cites as Berube's CGO 2009 work ("Workload reduction for multi-input
+// profile-directed optimization") and lists among its Section VII research
+// directions: when a benchmark has many workloads, cluster them by
+// behaviour and keep one representative per cluster, so FDO training and
+// characterization stay affordable without collapsing behavioural
+// diversity.
+//
+// Workloads are embedded as behaviour vectors (top-down fractions plus
+// log-scaled modeled cycles and the method-coverage distribution) and
+// clustered with deterministic k-medoids (PAM-style swap descent).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/harness"
+)
+
+// ErrCluster reports an invalid clustering request.
+var ErrCluster = errors.New("cluster: invalid request")
+
+// FeatureSpace maps measurements into comparable vectors: the four
+// top-down fractions, a log-cycles scale term, and one dimension per
+// method seen in any measurement (coverage fraction).
+type FeatureSpace struct {
+	methods []string
+}
+
+// NewFeatureSpace builds the embedding from the union of methods.
+func NewFeatureSpace(ms []harness.Measurement) *FeatureSpace {
+	seen := map[string]bool{}
+	for _, m := range ms {
+		for meth := range m.Coverage {
+			seen[meth] = true
+		}
+	}
+	fs := &FeatureSpace{}
+	for meth := range seen {
+		fs.methods = append(fs.methods, meth)
+	}
+	sort.Strings(fs.methods)
+	return fs
+}
+
+// Vector embeds one measurement.
+func (fs *FeatureSpace) Vector(m harness.Measurement) []float64 {
+	v := make([]float64, 0, 5+len(fs.methods))
+	v = append(v,
+		m.TopDown.FrontEnd, m.TopDown.BackEnd, m.TopDown.BadSpec, m.TopDown.Retiring,
+		// Scale matters but should not dominate: compress with log10 and
+		// a modest weight.
+		0.25*math.Log10(float64(m.Cycles+1)),
+	)
+	for _, meth := range fs.methods {
+		v = append(v, m.Coverage[meth])
+	}
+	return v
+}
+
+// Distance is the Euclidean distance between behaviour vectors.
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("cluster: dimension mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Clustering is a k-medoids result.
+type Clustering struct {
+	// Medoids are indices into the input point set.
+	Medoids []int
+	// Assign[i] is the medoid-slot index of point i.
+	Assign []int
+	// Cost is the total distance of points to their medoids.
+	Cost float64
+}
+
+// KMedoids clusters points into k groups with PAM-style swap descent. The
+// initialization is deterministic (greedy max-min seeding from the medoid
+// of the whole set), so results are reproducible.
+func KMedoids(points [][]float64, k int) (Clustering, error) {
+	n := len(points)
+	if k < 1 || k > n {
+		return Clustering{}, fmt.Errorf("%w: k=%d for %d points", ErrCluster, k, n)
+	}
+	// Pairwise distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = Distance(points[i], points[j])
+		}
+	}
+	// Seed 1: the 1-medoid of the whole set (minimum total distance).
+	best := 0
+	bestSum := math.Inf(1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += dist[i][j]
+		}
+		if s < bestSum {
+			best, bestSum = i, s
+		}
+	}
+	medoids := []int{best}
+	// Max-min seeding for the rest.
+	for len(medoids) < k {
+		far := -1
+		farDist := -1.0
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dist[i][m] < d {
+					d = dist[i][m]
+				}
+			}
+			if d > farDist {
+				far, farDist = i, d
+			}
+		}
+		medoids = append(medoids, far)
+	}
+
+	assign := make([]int, n)
+	assignAll := func() float64 {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			bestSlot := 0
+			bestD := math.Inf(1)
+			for s, m := range medoids {
+				if dist[i][m] < bestD {
+					bestD = dist[i][m]
+					bestSlot = s
+				}
+			}
+			assign[i] = bestSlot
+			total += bestD
+		}
+		return total
+	}
+	cost := assignAll()
+
+	// Swap descent: try replacing each medoid with each non-medoid.
+	improved := true
+	for iter := 0; improved && iter < 100; iter++ {
+		improved = false
+		for slot := range medoids {
+			orig := medoids[slot]
+			for cand := 0; cand < n; cand++ {
+				if isMedoid(medoids, cand) {
+					continue
+				}
+				medoids[slot] = cand
+				if c := totalCost(dist, medoids); c+1e-12 < cost {
+					cost = c
+					improved = true
+				} else {
+					medoids[slot] = orig
+				}
+			}
+		}
+	}
+	cost = assignAll()
+	sort.Ints(medoids)
+	cost = assignAll()
+	return Clustering{Medoids: medoids, Assign: assign, Cost: cost}, nil
+}
+
+func isMedoid(medoids []int, i int) bool {
+	for _, m := range medoids {
+		if m == i {
+			return true
+		}
+	}
+	return false
+}
+
+func totalCost(dist [][]float64, medoids []int) float64 {
+	total := 0.0
+	for i := range dist {
+		best := math.Inf(1)
+		for _, m := range medoids {
+			if dist[i][m] < best {
+				best = dist[i][m]
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// Representatives clusters a benchmark's measurements and returns the
+// medoid workload names — the reduced workload set.
+func Representatives(ms []harness.Measurement, k int) ([]string, *Clustering, error) {
+	if len(ms) == 0 {
+		return nil, nil, fmt.Errorf("%w: no measurements", ErrCluster)
+	}
+	fs := NewFeatureSpace(ms)
+	points := make([][]float64, len(ms))
+	for i, m := range ms {
+		points[i] = fs.Vector(m)
+	}
+	cl, err := KMedoids(points, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, k)
+	for _, m := range cl.Medoids {
+		names = append(names, ms[m].Workload)
+	}
+	return names, &cl, nil
+}
+
+// FormatClustering renders a benchmark's cluster assignment.
+func FormatClustering(benchmark string, ms []harness.Measurement, cl *Clustering, reps []string) string {
+	out := fmt.Sprintf("workload clusters: %s (k=%d, cost=%.4f)\n", benchmark, len(cl.Medoids), cl.Cost)
+	for slot, medoid := range cl.Medoids {
+		out += fmt.Sprintf("  cluster %d (representative %s):", slot+1, ms[medoid].Workload)
+		for i, a := range cl.Assign {
+			if a == slot {
+				out += " " + ms[i].Workload
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

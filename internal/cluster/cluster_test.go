@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// blob builds a synthetic measurement around a top-down center.
+func blob(name string, f, b, s, r float64, cycles uint64, hot string) harness.Measurement {
+	return harness.Measurement{
+		Workload: name,
+		TopDown:  stats.TopDown{FrontEnd: f, BackEnd: b, BadSpec: s, Retiring: r},
+		Cycles:   cycles,
+		Coverage: stats.Coverage{hot: 0.8, "other": 0.2},
+	}
+}
+
+func TestDistanceBasics(t *testing.T) {
+	if d := Distance([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v", d)
+	}
+	if d := Distance([]float64{1, 2}, []float64{1, 2}); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestKMedoidsSeparatesBlobs(t *testing.T) {
+	// Two well-separated groups of points; k=2 must split them exactly.
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+	}
+	cl, err := KMedoids(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupOf := map[int]int{}
+	for i, a := range cl.Assign {
+		groupOf[i] = a
+	}
+	// All of the first four must share a slot; all of the last three the
+	// other.
+	for i := 1; i < 4; i++ {
+		if groupOf[i] != groupOf[0] {
+			t.Errorf("point %d split from its blob", i)
+		}
+	}
+	for i := 5; i < 7; i++ {
+		if groupOf[i] != groupOf[4] {
+			t.Errorf("point %d split from its blob", i)
+		}
+	}
+	if groupOf[0] == groupOf[4] {
+		t.Error("blobs merged")
+	}
+}
+
+func TestKMedoidsValidation(t *testing.T) {
+	points := [][]float64{{1}, {2}}
+	if _, err := KMedoids(points, 0); !errors.Is(err, ErrCluster) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := KMedoids(points, 3); !errors.Is(err, ErrCluster) {
+		t.Errorf("k>n err = %v", err)
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {5}, {9}}
+	cl, err := KMedoids(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cost != 0 {
+		t.Errorf("cost = %v, want 0 when every point is a medoid", cl.Cost)
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	points := [][]float64{
+		{0, 1}, {1, 0}, {4, 4}, {5, 5}, {9, 0}, {8, 1}, {0.5, 0.5},
+	}
+	a, err := KMedoids(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Medoids {
+		if a.Medoids[i] != b.Medoids[i] {
+			t.Fatal("nondeterministic medoids")
+		}
+	}
+}
+
+func TestKMedoidsCostDecreasesWithK(t *testing.T) {
+	points := [][]float64{
+		{0, 0}, {1, 1}, {2, 2}, {6, 6}, {7, 7}, {10, 0}, {0, 10},
+	}
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		cl, err := KMedoids(points, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.Cost > prev+1e-9 {
+			t.Errorf("k=%d cost %v exceeds k=%d cost %v", k, cl.Cost, k-1, prev)
+		}
+		prev = cl.Cost
+	}
+}
+
+func TestRepresentativesGroupsByBehaviour(t *testing.T) {
+	ms := []harness.Measurement{
+		blob("mem1", 0.05, 0.70, 0.05, 0.20, 1e6, "copy"),
+		blob("mem2", 0.06, 0.68, 0.05, 0.21, 1.1e6, "copy"),
+		blob("cpu1", 0.05, 0.10, 0.05, 0.80, 1e6, "math"),
+		blob("cpu2", 0.04, 0.12, 0.05, 0.79, 1.2e6, "math"),
+		blob("spec1", 0.10, 0.20, 0.45, 0.25, 1e6, "search"),
+	}
+	reps, cl, err := Representatives(ms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("reps = %v", reps)
+	}
+	// The two memory-bound workloads must share a cluster, as must the
+	// two compute-bound ones.
+	if cl.Assign[0] != cl.Assign[1] {
+		t.Error("mem workloads split")
+	}
+	if cl.Assign[2] != cl.Assign[3] {
+		t.Error("cpu workloads split")
+	}
+	if cl.Assign[0] == cl.Assign[2] || cl.Assign[0] == cl.Assign[4] {
+		t.Error("distinct behaviours merged")
+	}
+	text := FormatClustering("test_r", ms, cl, reps)
+	if !strings.Contains(text, "cluster 1") || !strings.Contains(text, "representative") {
+		t.Errorf("format:\n%s", text)
+	}
+}
+
+func TestRepresentativesEmpty(t *testing.T) {
+	if _, _, err := Representatives(nil, 2); !errors.Is(err, ErrCluster) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFeatureSpaceStableDimensions(t *testing.T) {
+	ms := []harness.Measurement{
+		blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"),
+		blob("b", 0.1, 0.4, 0.1, 0.4, 100, "y"),
+	}
+	fs := NewFeatureSpace(ms)
+	va := fs.Vector(ms[0])
+	vb := fs.Vector(ms[1])
+	if len(va) != len(vb) {
+		t.Fatal("vectors have differing dimensions")
+	}
+	// Identical top-down but different hot methods → nonzero distance.
+	if Distance(va, vb) == 0 {
+		t.Error("method coverage should differentiate the vectors")
+	}
+}

@@ -1,0 +1,247 @@
+// Package core defines the vocabulary of the reproduction: a Benchmark is a
+// program under study, a Workload is one input to it, and a Result is one
+// profiled execution. The Alberta contribution — additional workloads and
+// generators beyond SPEC's train/refrate pair — is expressed through the
+// Kind taxonomy and the Generator interface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// Kind classifies a workload by provenance, mirroring the paper's taxonomy.
+type Kind int
+
+const (
+	// KindTest is SPEC's smoke-test input: too short for measurement.
+	KindTest Kind = iota
+	// KindTrain is SPEC's FDO-training input.
+	KindTrain
+	// KindRefrate is SPEC's reference (measurement) input.
+	KindRefrate
+	// KindAlberta is an additional workload from the Alberta set.
+	KindAlberta
+)
+
+// String returns the SPEC-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTest:
+		return "test"
+	case KindTrain:
+		return "train"
+	case KindRefrate:
+		return "refrate"
+	case KindAlberta:
+		return "alberta"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Workload is one input to a benchmark. Concrete workload types live in the
+// benchmark packages; the harness only needs identity and provenance.
+type Workload interface {
+	// WorkloadName identifies the workload uniquely within its benchmark.
+	WorkloadName() string
+	// WorkloadKind reports the workload's provenance.
+	WorkloadKind() Kind
+}
+
+// Meta is a ready-made Workload implementation for embedding in concrete
+// workload types.
+type Meta struct {
+	Name string
+	Kind Kind
+}
+
+// WorkloadName implements Workload.
+func (m Meta) WorkloadName() string { return m.Name }
+
+// WorkloadKind implements Workload.
+func (m Meta) WorkloadKind() Kind { return m.Kind }
+
+// Result is one profiled execution of a benchmark with a workload.
+type Result struct {
+	Benchmark string
+	Workload  string
+	Kind      Kind
+	// Checksum validates the computation's output: identical workloads
+	// must produce identical checksums across runs (the model is
+	// deterministic), and tests use it to detect broken implementations.
+	Checksum uint64
+	// Report carries the modeled hardware observation.
+	Report perf.Report
+}
+
+// Benchmark is a program under study together with its workload inventory.
+// Implementations must be deterministic: the same workload always produces
+// the same checksum and the same modeled events.
+type Benchmark interface {
+	// Name returns the SPEC-style identifier, e.g. "505.mcf_r".
+	Name() string
+	// Area returns the application area, e.g. "Route planning".
+	Area() string
+	// Workloads returns the full inventory: SPEC-style train and refrate
+	// workloads plus any Alberta workloads. Order is stable.
+	Workloads() ([]Workload, error)
+	// Run executes the benchmark on w, reporting events to p.
+	Run(w Workload, p *perf.Profiler) (Result, error)
+}
+
+// Generator is implemented by benchmarks that can procedurally create new
+// workloads (the paper's generator scripts and programs). Implementations
+// must be deterministic in seed.
+type Generator interface {
+	// GenerateWorkloads creates n fresh Alberta-kind workloads from seed.
+	GenerateWorkloads(seed int64, n int) ([]Workload, error)
+}
+
+// ErrUnknownWorkload is returned by Run when handed a workload the
+// benchmark does not recognize.
+var ErrUnknownWorkload = errors.New("core: unknown workload type for benchmark")
+
+// ErrNoWorkload is returned when a named workload cannot be found.
+var ErrNoWorkload = errors.New("core: no such workload")
+
+// FindWorkload returns the workload with the given name from b's inventory.
+func FindWorkload(b Benchmark, name string) (Workload, error) {
+	ws, err := b.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if w.WorkloadName() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%s", ErrNoWorkload, b.Name(), name)
+}
+
+// WorkloadsOfKind filters b's inventory by kind.
+func WorkloadsOfKind(b Benchmark, kind Kind) ([]Workload, error) {
+	ws, err := b.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []Workload
+	for _, w := range ws {
+		if w.WorkloadKind() == kind {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// MeasurementWorkloads returns every workload suitable for measurement:
+// train, refrate and Alberta kinds (test inputs are excluded, as in the
+// paper).
+func MeasurementWorkloads(b Benchmark) ([]Workload, error) {
+	ws, err := b.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []Workload
+	for _, w := range ws {
+		if w.WorkloadKind() != KindTest {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Suite is an ordered collection of benchmarks.
+type Suite struct {
+	byName map[string]Benchmark
+	order  []string
+}
+
+// NewSuite builds a suite from benchmarks; duplicate names are an error.
+func NewSuite(benchmarks ...Benchmark) (*Suite, error) {
+	s := &Suite{byName: make(map[string]Benchmark, len(benchmarks))}
+	for _, b := range benchmarks {
+		if _, dup := s.byName[b.Name()]; dup {
+			return nil, fmt.Errorf("core: duplicate benchmark %q", b.Name())
+		}
+		s.byName[b.Name()] = b
+		s.order = append(s.order, b.Name())
+	}
+	sort.Strings(s.order)
+	return s, nil
+}
+
+// Benchmarks returns the suite members in name order.
+func (s *Suite) Benchmarks() []Benchmark {
+	out := make([]Benchmark, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.byName[n])
+	}
+	return out
+}
+
+// Lookup returns the benchmark with the given name.
+func (s *Suite) Lookup(name string) (Benchmark, bool) {
+	b, ok := s.byName[name]
+	return b, ok
+}
+
+// Len returns the number of benchmarks in the suite.
+func (s *Suite) Len() int { return len(s.order) }
+
+// Checksum is a small helper for benchmarks to fold output bytes/values
+// into a stable checksum (FNV-1a).
+type Checksum uint64
+
+// NewChecksum returns the FNV-1a offset basis.
+func NewChecksum() Checksum { return 14695981039346656037 }
+
+// AddUint64 folds v into the checksum.
+func (c Checksum) AddUint64(v uint64) Checksum {
+	for i := 0; i < 8; i++ {
+		c ^= Checksum(v & 0xff)
+		c *= 1099511628211
+		v >>= 8
+	}
+	return c
+}
+
+// AddBytes folds b into the checksum.
+func (c Checksum) AddBytes(b []byte) Checksum {
+	for _, x := range b {
+		c ^= Checksum(x)
+		c *= 1099511628211
+	}
+	return c
+}
+
+// AddString folds s into the checksum.
+func (c Checksum) AddString(s string) Checksum {
+	for i := 0; i < len(s); i++ {
+		c ^= Checksum(s[i])
+		c *= 1099511628211
+	}
+	return c
+}
+
+// AddFloat folds the bit pattern of f into the checksum after rounding to
+// 1e-9 to stay stable across compilation modes.
+func (c Checksum) AddFloat(f float64) Checksum {
+	scaled := int64(f * 1e9)
+	return c.AddUint64(uint64(scaled))
+}
+
+// Value returns the checksum value.
+func (c Checksum) Value() uint64 { return uint64(c) }
+
+// FileRenderer is implemented by benchmarks whose workloads have a natural
+// on-disk representation — the form in which the Alberta Workloads website
+// distributes them (NED files, SGF games, EPD position lists, PDB
+// structures, XML documents with stylesheets, C compilation units, puzzle
+// seed files). RenderWorkload returns file name → content.
+type FileRenderer interface {
+	RenderWorkload(w Workload) (map[string][]byte, error)
+}

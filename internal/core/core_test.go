@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perf"
+)
+
+type fakeBench struct {
+	name string
+	ws   []Workload
+}
+
+func (f *fakeBench) Name() string { return f.name }
+func (f *fakeBench) Area() string { return "testing" }
+func (f *fakeBench) Workloads() ([]Workload, error) {
+	return f.ws, nil
+}
+func (f *fakeBench) Run(w Workload, p *perf.Profiler) (Result, error) {
+	p.Do("fake", func() { p.Ops(10) })
+	return Result{Benchmark: f.name, Workload: w.WorkloadName(), Kind: w.WorkloadKind()}, nil
+}
+
+func newFake(name string) *fakeBench {
+	return &fakeBench{name: name, ws: []Workload{
+		Meta{Name: "test", Kind: KindTest},
+		Meta{Name: "train", Kind: KindTrain},
+		Meta{Name: "refrate", Kind: KindRefrate},
+		Meta{Name: "alberta.1", Kind: KindAlberta},
+		Meta{Name: "alberta.2", Kind: KindAlberta},
+	}}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindTest: "test", KindTrain: "train", KindRefrate: "refrate", KindAlberta: "alberta",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind formatting = %q", Kind(99).String())
+	}
+}
+
+func TestFindWorkload(t *testing.T) {
+	b := newFake("x")
+	w, err := FindWorkload(b, "alberta.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WorkloadName() != "alberta.2" || w.WorkloadKind() != KindAlberta {
+		t.Errorf("got %v/%v", w.WorkloadName(), w.WorkloadKind())
+	}
+	if _, err := FindWorkload(b, "nope"); !errors.Is(err, ErrNoWorkload) {
+		t.Errorf("err = %v, want ErrNoWorkload", err)
+	}
+}
+
+func TestWorkloadsOfKind(t *testing.T) {
+	b := newFake("x")
+	alb, err := WorkloadsOfKind(b, KindAlberta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alb) != 2 {
+		t.Errorf("alberta workloads = %d, want 2", len(alb))
+	}
+}
+
+func TestMeasurementWorkloadsExcludesTest(t *testing.T) {
+	b := newFake("x")
+	ms, err := MeasurementWorkloads(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Errorf("measurement workloads = %d, want 4", len(ms))
+	}
+	for _, w := range ms {
+		if w.WorkloadKind() == KindTest {
+			t.Errorf("test workload %q leaked into measurement set", w.WorkloadName())
+		}
+	}
+}
+
+func TestSuiteOrderingAndLookup(t *testing.T) {
+	s, err := NewSuite(newFake("b.two"), newFake("a.one"), newFake("c.three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := s.Benchmarks()
+	if len(bs) != 3 || s.Len() != 3 {
+		t.Fatalf("len = %d/%d", len(bs), s.Len())
+	}
+	if bs[0].Name() != "a.one" || bs[2].Name() != "c.three" {
+		t.Errorf("order = %v, %v, %v", bs[0].Name(), bs[1].Name(), bs[2].Name())
+	}
+	if _, ok := s.Lookup("b.two"); !ok {
+		t.Error("Lookup(b.two) failed")
+	}
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Error("Lookup(zzz) should fail")
+	}
+}
+
+func TestSuiteRejectsDuplicates(t *testing.T) {
+	if _, err := NewSuite(newFake("dup"), newFake("dup")); err == nil {
+		t.Error("duplicate benchmark names should be rejected")
+	}
+}
+
+func TestChecksumDeterminism(t *testing.T) {
+	a := NewChecksum().AddString("hello").AddUint64(42).AddFloat(3.14)
+	b := NewChecksum().AddString("hello").AddUint64(42).AddFloat(3.14)
+	if a != b {
+		t.Errorf("checksums differ: %x vs %x", a, b)
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	base := NewChecksum().AddString("hello").Value()
+	if NewChecksum().AddString("hellp").Value() == base {
+		t.Error("checksum should change with content")
+	}
+	if NewChecksum().AddBytes([]byte("hello")).Value() != base {
+		t.Error("AddBytes and AddString of the same content should agree")
+	}
+}
+
+func TestChecksumOrderSensitivity(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		x := NewChecksum().AddUint64(a).AddUint64(b)
+		y := NewChecksum().AddUint64(b).AddUint64(a)
+		return x != y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaImplementsWorkload(t *testing.T) {
+	var w Workload = Meta{Name: "n", Kind: KindTrain}
+	if w.WorkloadName() != "n" || w.WorkloadKind() != KindTrain {
+		t.Error("Meta does not round-trip its fields")
+	}
+}

@@ -1,0 +1,232 @@
+// Package fdo implements the Feedback-Directed Optimization pipeline whose
+// proper evaluation motivates the paper (Sections I, II and VII): profile
+// collection on the mini-C VM, profile-guided recompilation (hot-call
+// inlining and branch layout in internal/benchmarks/gcc/cc), and — the
+// paper's methodological contribution — evaluation procedures that expose
+// the difference between the criticized single-train/single-ref practice
+// and a proper cross-validation over many workloads. Combined profiling
+// (merging feedback from multiple training runs, Berube's methodology) is
+// included as well.
+package fdo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/perf"
+)
+
+// Input is one named workload of an FDO study program: a set of global
+// overrides injected before execution.
+type Input struct {
+	Name    string
+	Globals map[string]int64
+}
+
+// Program is a study subject: mini-C source plus a family of inputs.
+type Program struct {
+	Name   string
+	Source string
+	Inputs []Input
+	// Level is the optimization level for both baseline and FDO builds.
+	Level cc.OptLevel
+}
+
+// ErrStudy reports an invalid study configuration.
+var ErrStudy = errors.New("fdo: invalid study")
+
+// Validate checks the program compiles and has at least two inputs.
+func (p *Program) Validate() error {
+	if len(p.Inputs) < 2 {
+		return fmt.Errorf("%w: %s needs at least two inputs for cross validation", ErrStudy, p.Name)
+	}
+	if _, err := cc.CompileSource(p.Source, p.Level, nil, nil); err != nil {
+		return fmt.Errorf("%w: %s does not compile: %v", ErrStudy, p.Name, err)
+	}
+	return nil
+}
+
+// Cycles measures the modeled cycles of unit on the given input.
+func Cycles(unit *cc.Unit, in Input) (uint64, error) {
+	p := perf.New()
+	if _, err := cc.Run(unit, cc.VMOptions{Globals: in.Globals, Prof: p}); err != nil {
+		return 0, fmt.Errorf("fdo: input %s: %w", in.Name, err)
+	}
+	return p.Report().Cycles, nil
+}
+
+// CollectProfile runs the instrumented training execution on the inputs and
+// returns the merged edge profile.
+func CollectProfile(unit *cc.Unit, inputs ...Input) (*cc.Profile, error) {
+	merged := cc.NewProfile()
+	for _, in := range inputs {
+		profile := cc.NewProfile()
+		if _, err := cc.Run(unit, cc.VMOptions{Globals: in.Globals, Collect: profile}); err != nil {
+			return nil, fmt.Errorf("fdo: training on %s: %w", in.Name, err)
+		}
+		merged.Merge(profile)
+	}
+	return merged, nil
+}
+
+// buildFDO compiles the program with the given training profile.
+func buildFDO(p *Program, profile *cc.Profile) (*cc.Unit, error) {
+	return cc.CompileSource(p.Source, p.Level, profile, nil)
+}
+
+// Evaluation is one (training set, evaluation input) outcome.
+type Evaluation struct {
+	TrainedOn []string
+	Input     string
+	// BaseCycles and FDOCycles are the modeled costs of the two builds.
+	BaseCycles, FDOCycles uint64
+	// Speedup is BaseCycles / FDOCycles (> 1 means FDO helped).
+	Speedup float64
+	// OutputsMatch confirms FDO preserved semantics.
+	OutputsMatch bool
+}
+
+// evaluate measures base vs FDO builds on one input.
+func evaluate(p *Program, base, fdoUnit *cc.Unit, trainNames []string, in Input) (Evaluation, error) {
+	baseRes, err := cc.Run(base, cc.VMOptions{Globals: in.Globals})
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("fdo: base run on %s: %w", in.Name, err)
+	}
+	fdoRes, err := cc.Run(fdoUnit, cc.VMOptions{Globals: in.Globals})
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("fdo: optimized run on %s: %w", in.Name, err)
+	}
+	baseCycles, err := Cycles(base, in)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	fdoCycles, err := Cycles(fdoUnit, in)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev := Evaluation{
+		TrainedOn:    trainNames,
+		Input:        in.Name,
+		BaseCycles:   baseCycles,
+		FDOCycles:    fdoCycles,
+		OutputsMatch: baseRes.Return == fdoRes.Return && baseRes.Output == fdoRes.Output,
+	}
+	if fdoCycles > 0 {
+		ev.Speedup = float64(baseCycles) / float64(fdoCycles)
+	}
+	if !ev.OutputsMatch {
+		return ev, fmt.Errorf("fdo: FDO build changed program output on %s", in.Name)
+	}
+	return ev, nil
+}
+
+// TrainEval is the methodology the paper criticizes when train == eval (or
+// when the pair is fixed): profile on one input, measure on another.
+func TrainEval(p *Program, trainInput, evalInput string) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	train, err := findInput(p, trainInput)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	eval, err := findInput(p, evalInput)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	base, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	profile, err := CollectProfile(base, train)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	fdoUnit, err := buildFDO(p, profile)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return evaluate(p, base, fdoUnit, []string{train.Name}, eval)
+}
+
+// CrossValidation is the paper's recommended methodology: leave-one-out
+// over all inputs.
+type CrossValidation struct {
+	Program string
+	// Folds holds one evaluation per input, trained on all others.
+	Folds []Evaluation
+	// GeoMeanSpeedup summarizes the held-out speedups.
+	GeoMeanSpeedup float64
+	// SelfGeoMeanSpeedup is the (inflated) train-on-self number for
+	// comparison: each input both trains and evaluates.
+	SelfGeoMeanSpeedup float64
+}
+
+// CrossValidate runs leave-one-out FDO evaluation plus the self-trained
+// comparison, exposing the "hidden learning" gap.
+func CrossValidate(p *Program) (CrossValidation, error) {
+	if err := p.Validate(); err != nil {
+		return CrossValidation{}, err
+	}
+	base, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		return CrossValidation{}, err
+	}
+	cv := CrossValidation{Program: p.Name}
+	logSum, selfLogSum := 0.0, 0.0
+	for i, eval := range p.Inputs {
+		// Held-out: train on everything except input i (combined
+		// profiling across the training runs).
+		var trainSet []Input
+		var trainNames []string
+		for j, in := range p.Inputs {
+			if j != i {
+				trainSet = append(trainSet, in)
+				trainNames = append(trainNames, in.Name)
+			}
+		}
+		profile, err := CollectProfile(base, trainSet...)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		fdoUnit, err := buildFDO(p, profile)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		ev, err := evaluate(p, base, fdoUnit, trainNames, eval)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		cv.Folds = append(cv.Folds, ev)
+		logSum += logOf(ev.Speedup)
+
+		// Self-trained: the criticized practice.
+		selfProfile, err := CollectProfile(base, eval)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		selfUnit, err := buildFDO(p, selfProfile)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		selfEv, err := evaluate(p, base, selfUnit, []string{eval.Name}, eval)
+		if err != nil {
+			return CrossValidation{}, err
+		}
+		selfLogSum += logOf(selfEv.Speedup)
+	}
+	n := float64(len(p.Inputs))
+	cv.GeoMeanSpeedup = expOf(logSum / n)
+	cv.SelfGeoMeanSpeedup = expOf(selfLogSum / n)
+	return cv, nil
+}
+
+func findInput(p *Program, name string) (Input, error) {
+	for _, in := range p.Inputs {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("%w: %s has no input %q", ErrStudy, p.Name, name)
+}

@@ -1,0 +1,209 @@
+package fdo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks/gcc/cc"
+)
+
+func TestProgramValidate(t *testing.T) {
+	p := ClassifierProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Program{Name: "x", Source: "int main() { return 0; }", Inputs: []Input{{Name: "only"}}}
+	if err := bad.Validate(); !errors.Is(err, ErrStudy) {
+		t.Errorf("one input: err = %v", err)
+	}
+	noCompile := &Program{
+		Name: "y", Source: "int main() { return x; }",
+		Inputs: []Input{{Name: "a"}, {Name: "b"}},
+	}
+	if err := noCompile.Validate(); !errors.Is(err, ErrStudy) {
+		t.Errorf("broken source: err = %v", err)
+	}
+}
+
+func TestAllStudyProgramsValid(t *testing.T) {
+	for _, p := range StudyPrograms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if len(p.Inputs) < 5 {
+			t.Errorf("%s has only %d inputs", p.Name, len(p.Inputs))
+		}
+	}
+}
+
+func TestInputsChangeBehaviour(t *testing.T) {
+	p := ClassifierProgram()
+	unit, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := map[uint64]bool{}
+	for _, in := range p.Inputs {
+		res, err := cc.Run(unit, cc.VMOptions{Globals: in.Globals})
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		outs[res.Output] = true
+	}
+	if len(outs) < 3 {
+		t.Errorf("inputs produce only %d distinct outputs", len(outs))
+	}
+}
+
+func TestProfilesDifferAcrossInputs(t *testing.T) {
+	p := ClassifierProgram()
+	unit, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profHit, err := CollectProfile(unit, p.Inputs[0]) // mostly-hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	profMiss, err := CollectProfile(unit, p.Inputs[2]) // mostly-miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot if's taken ratio must differ strongly between the two.
+	differs := false
+	for id, bc := range profHit.Branches {
+		other, ok := profMiss.Branches[id]
+		if !ok || bc.Total == 0 || other.Total == 0 {
+			continue
+		}
+		r1 := float64(bc.Taken) / float64(bc.Total)
+		r2 := float64(other.Taken) / float64(other.Total)
+		if r1 > r2+0.5 || r2 > r1+0.5 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("expected at least one branch with strongly input-dependent bias")
+	}
+}
+
+func TestTrainEvalPreservesSemanticsAndMeasures(t *testing.T) {
+	p := ClassifierProgram()
+	ev, err := TrainEval(p, "mostly-hit", "mostly-hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.OutputsMatch {
+		t.Error("FDO changed outputs")
+	}
+	if ev.BaseCycles == 0 || ev.FDOCycles == 0 {
+		t.Errorf("cycles not measured: %+v", ev)
+	}
+	// Training and evaluating on the same input is the best case for
+	// FDO; it should not slow the program down meaningfully.
+	if ev.Speedup < 0.97 {
+		t.Errorf("self-trained FDO slowed the program: %v", ev.Speedup)
+	}
+}
+
+func TestTrainEvalUnknownInput(t *testing.T) {
+	p := ClassifierProgram()
+	if _, err := TrainEval(p, "nope", "balanced"); !errors.Is(err, ErrStudy) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TrainEval(p, "balanced", "nope"); !errors.Is(err, ErrStudy) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMismatchedTrainingCanMislead(t *testing.T) {
+	// The paper's point: training on an input with opposite branch bias
+	// should produce a worse (or at best equal) result on the evaluation
+	// input than training on the evaluation input itself.
+	p := ClassifierProgram()
+	matched, err := TrainEval(p, "all-miss", "all-miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := TrainEval(p, "all-hit", "all-miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatched.Speedup > matched.Speedup+1e-9 {
+		t.Errorf("mismatched training (%v) should not beat matched training (%v)",
+			mismatched.Speedup, matched.Speedup)
+	}
+}
+
+func TestCrossValidation(t *testing.T) {
+	p := ClassifierProgram()
+	cv, err := CrossValidate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != len(p.Inputs) {
+		t.Fatalf("folds = %d", len(cv.Folds))
+	}
+	for _, f := range cv.Folds {
+		if !f.OutputsMatch {
+			t.Errorf("fold %s changed outputs", f.Input)
+		}
+		if len(f.TrainedOn) != len(p.Inputs)-1 {
+			t.Errorf("fold %s trained on %d inputs", f.Input, len(f.TrainedOn))
+		}
+	}
+	if cv.GeoMeanSpeedup <= 0 || cv.SelfGeoMeanSpeedup <= 0 {
+		t.Errorf("speedups = %v / %v", cv.GeoMeanSpeedup, cv.SelfGeoMeanSpeedup)
+	}
+	// The hidden-learning gap: self-trained evaluation must look at least
+	// as good as honest held-out evaluation.
+	if cv.SelfGeoMeanSpeedup+1e-9 < cv.GeoMeanSpeedup {
+		t.Errorf("self-trained %v unexpectedly below held-out %v",
+			cv.SelfGeoMeanSpeedup, cv.GeoMeanSpeedup)
+	}
+	text := FormatCrossValidation(cv)
+	if !strings.Contains(text, "geomean held-out") || !strings.Contains(text, "classifier") {
+		t.Errorf("format output:\n%s", text)
+	}
+}
+
+func TestCrossValidationAllPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range StudyPrograms() {
+		cv, err := CrossValidate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		t.Logf("%s: held-out %.3fx, self-trained %.3fx",
+			p.Name, cv.GeoMeanSpeedup, cv.SelfGeoMeanSpeedup)
+	}
+}
+
+func TestCombinedProfileMergesRuns(t *testing.T) {
+	p := LoopMixProgram()
+	unit, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := CollectProfile(unit, p.Inputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := CollectProfile(unit, p.Inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singleTotal, combinedTotal uint64
+	for _, bc := range single.Branches {
+		singleTotal += bc.Total
+	}
+	for _, bc := range combined.Branches {
+		combinedTotal += bc.Total
+	}
+	if combinedTotal <= singleTotal {
+		t.Errorf("combined profile (%d events) should exceed single (%d)", combinedTotal, singleTotal)
+	}
+}

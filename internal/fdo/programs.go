@@ -1,0 +1,166 @@
+package fdo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/benchmarks/gcc/cc"
+)
+
+func logOf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+func expOf(x float64) float64 { return math.Exp(x) }
+
+// ClassifierProgram is an input-sensitive study subject: its hot branch's
+// bias is controlled by the input threshold, so a profile collected on one
+// input can mislead branch layout on another — the paper's central concern
+// in miniature.
+func ClassifierProgram() *Program {
+	src := `
+int threshold = 50;
+int items = 3000;
+int acc = 0;
+int weigh(int x) { return ((x * 3 + 7) ^ (x >> 2)) % 1009; }
+int main() {
+  for (int i = 0; i < items; i++) {
+    int v = (i * 37 + 11) % 100;
+    if (v < threshold) {
+      acc += weigh(v);
+    } else {
+      acc -= 1;
+    }
+  }
+  print(acc);
+  return acc % 251;
+}
+`
+	mk := func(name string, threshold int64) Input {
+		return Input{Name: name, Globals: map[string]int64{"threshold": threshold}}
+	}
+	return &Program{
+		Name:   "classifier",
+		Source: src,
+		Level:  cc.O2,
+		Inputs: []Input{
+			mk("mostly-hit", 90),
+			mk("balanced", 50),
+			mk("mostly-miss", 10),
+			mk("all-hit", 100),
+			mk("all-miss", 0),
+		},
+	}
+}
+
+// FilterChainProgram has several branches whose biases move together with
+// the input mix, plus an inlinable hot helper — exercising both FDO
+// decisions (layout and hot-call inlining).
+func FilterChainProgram() *Program {
+	src := `
+int mode = 0;
+int rounds = 900;
+int acc = 0;
+int small(int x) { return x + 1; }
+int med(int x) { return x * x % 97 + (x >> 1); }
+int main() {
+  for (int r = 0; r < rounds; r++) {
+    int v = (r * 13 + mode * 7) % 64;
+    if (mode == 0) {
+      acc += small(v);
+    } else {
+      acc += med(v);
+    }
+    if (v % 4 == mode % 4) {
+      acc += small(acc % 50);
+    } else {
+      acc -= 2;
+    }
+    if (acc > 100000) {
+      acc = acc % 1000;
+    }
+  }
+  print(acc);
+  return acc % 251;
+}
+`
+	mk := func(name string, mode, rounds int64) Input {
+		return Input{Name: name, Globals: map[string]int64{"mode": mode, "rounds": rounds}}
+	}
+	return &Program{
+		Name:   "filterchain",
+		Source: src,
+		Level:  cc.O2,
+		Inputs: []Input{
+			mk("mode0-short", 0, 500),
+			mk("mode0-long", 0, 1500),
+			mk("mode1-short", 1, 500),
+			mk("mode1-long", 1, 1500),
+			mk("mode2", 2, 900),
+		},
+	}
+}
+
+// LoopMixProgram varies which loop nest dominates with the input, shifting
+// the hot methods (the method-coverage story of Figure 2 in FDO form).
+func LoopMixProgram() *Program {
+	src := `
+int na = 400;
+int nb = 400;
+int acc = 0;
+int workA(int x) { return (x * 31 + 3) % 1009; }
+int workB(int x) { return (x * 131 + 11) % 65599; }
+int main() {
+  for (int i = 0; i < na; i++) {
+    acc += workA(i % 128);
+    if (acc % 2 == 0) { acc += 1; } else { acc -= 1; }
+  }
+  for (int j = 0; j < nb; j++) {
+    acc += workB(j % 256);
+    if (acc % 8 < 4) { acc += 2; } else { acc -= 2; }
+  }
+  print(acc);
+  return acc % 251;
+}
+`
+	mk := func(name string, na, nb int64) Input {
+		return Input{Name: name, Globals: map[string]int64{"na": na, "nb": nb}}
+	}
+	return &Program{
+		Name:   "loopmix",
+		Source: src,
+		Level:  cc.O2,
+		Inputs: []Input{
+			mk("a-heavy", 2000, 100),
+			mk("b-heavy", 100, 2000),
+			mk("even", 1000, 1000),
+			mk("a-only", 2000, 0),
+			mk("b-only", 0, 2000),
+		},
+	}
+}
+
+// StudyPrograms returns the bundled FDO study subjects.
+func StudyPrograms() []*Program {
+	return []*Program{ClassifierProgram(), FilterChainProgram(), LoopMixProgram()}
+}
+
+// FormatCrossValidation renders a cross-validation result.
+func FormatCrossValidation(cv CrossValidation) string {
+	out := fmt.Sprintf("FDO cross-validation: %s\n", cv.Program)
+	out += fmt.Sprintf("%-14s %-40s %12s %12s %9s\n", "eval input", "trained on", "base cycles", "fdo cycles", "speedup")
+	for _, f := range cv.Folds {
+		trained := "held-out (all others)"
+		if len(f.TrainedOn) == 1 {
+			trained = f.TrainedOn[0]
+		}
+		out += fmt.Sprintf("%-14s %-40s %12d %12d %8.3fx\n",
+			f.Input, trained, f.BaseCycles, f.FDOCycles, f.Speedup)
+	}
+	out += fmt.Sprintf("geomean held-out speedup: %.3fx\n", cv.GeoMeanSpeedup)
+	out += fmt.Sprintf("geomean self-trained speedup (the criticized methodology): %.3fx\n", cv.SelfGeoMeanSpeedup)
+	return out
+}

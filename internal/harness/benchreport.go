@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BenchmarkReport renders the per-benchmark report the Alberta Workloads
+// distribution ships for every benchmark (Section V: "The reports
+// distributed with the Alberta Workloads contain bar plots representing
+// the mean and variance of the execution time of each workload", plus the
+// top-down and method-coverage data).
+func BenchmarkReport(name string, ms []Measurement) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Benchmark report: %s (%d measurement workloads)\n\n", name, len(ms))
+
+	// Section 1: execution-time bar plot (modeled seconds).
+	sb.WriteString("Execution time per workload (modeled):\n")
+	maxT := 0.0
+	for _, m := range ms {
+		if m.ModeledSeconds > maxT {
+			maxT = m.ModeledSeconds
+		}
+	}
+	for _, m := range ms {
+		bar := 0
+		if maxT > 0 {
+			bar = int(48 * m.ModeledSeconds / maxT)
+		}
+		fmt.Fprintf(&sb, "  %-26s %10.6fs |%s\n", m.Workload, m.ModeledSeconds, strings.Repeat("#", bar))
+	}
+
+	// Section 2: top-down per workload.
+	sb.WriteString("\nTop-down classification per workload:\n")
+	fmt.Fprintf(&sb, "  %-26s %9s %9s %9s %9s\n", "workload", "frontend", "backend", "badspec", "retiring")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "  %-26s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			m.Workload, m.TopDown.FrontEnd*100, m.TopDown.BackEnd*100,
+			m.TopDown.BadSpec*100, m.TopDown.Retiring*100)
+	}
+
+	// Section 3: hottest methods per workload (top 3).
+	sb.WriteString("\nHottest methods per workload:\n")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "  %-26s", m.Workload)
+		for i, mc := range topMethods(m, 3) {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s %.0f%%", mc.name, mc.frac*100)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+type methodFrac struct {
+	name string
+	frac float64
+}
+
+// topMethods returns the n methods with the largest coverage.
+func topMethods(m Measurement, n int) []methodFrac {
+	out := make([]methodFrac, 0, len(m.Coverage))
+	for name, frac := range m.Coverage {
+		out = append(out, methodFrac{name, frac})
+	}
+	// Insertion sort by descending fraction with name tie-break (lists
+	// are tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].frac > out[j-1].frac ||
+			(out[j].frac == out[j-1].frac && out[j].name < out[j-1].name)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

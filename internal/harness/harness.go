@@ -1,0 +1,140 @@
+// Package harness runs the characterization experiments of Section V: the
+// benchmark × workload × repetition matrix, the Table I and Table II
+// summaries, and the per-workload series behind Figures 1 and 2.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/stats"
+)
+
+// Options configure a characterization run.
+type Options struct {
+	// Reps is the number of executions per workload; the paper used
+	// three. Modeled measurements are deterministic, so repetitions serve
+	// as a determinism check and wall-time averaging.
+	Reps int
+	// Stride sub-samples profiler event simulation (1 = exact).
+	Stride int
+	// IncludeTest keeps the SPEC test inputs (excluded by default, as in
+	// the paper).
+	IncludeTest bool
+}
+
+// DefaultOptions mirror the paper's methodology.
+func DefaultOptions() Options { return Options{Reps: 3, Stride: 1} }
+
+// Measurement is the summarized observation of one workload (over reps).
+type Measurement struct {
+	Benchmark string
+	Workload  string
+	Kind      core.Kind
+	Checksum  uint64
+	TopDown   stats.TopDown
+	Coverage  stats.Coverage
+	Cycles    uint64
+	// ModeledSeconds is cycles at the modeled 3.4 GHz clock.
+	ModeledSeconds float64
+	// WallSeconds is the mean wall-clock run time of the repetitions.
+	WallSeconds float64
+}
+
+// RunWorkload executes one benchmark/workload pair opts.Reps times.
+func RunWorkload(b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
+	if opts.Reps < 1 {
+		opts.Reps = 1
+	}
+	var m Measurement
+	for rep := 0; rep < opts.Reps; rep++ {
+		p := perf.NewWithOptions(perf.Options{Stride: opts.Stride})
+		start := time.Now()
+		res, err := b.Run(w, p)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
+		}
+		wall := time.Since(start).Seconds()
+		rep := p.Report()
+		if m.Checksum == 0 {
+			m = Measurement{
+				Benchmark: b.Name(),
+				Workload:  w.WorkloadName(),
+				Kind:      w.WorkloadKind(),
+				Checksum:  res.Checksum,
+				TopDown:   rep.TopDown,
+				Coverage:  rep.Coverage,
+				Cycles:    rep.Cycles,
+			}
+			m.ModeledSeconds = perf.ModeledSeconds(rep.Cycles)
+		} else if m.Checksum != res.Checksum {
+			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
+				b.Name(), w.WorkloadName())
+		}
+		m.WallSeconds += wall
+	}
+	m.WallSeconds /= float64(opts.Reps)
+	return m, nil
+}
+
+// RunBenchmark measures every (measurement) workload of b.
+func RunBenchmark(b core.Benchmark, opts Options) ([]Measurement, error) {
+	var ws []core.Workload
+	var err error
+	if opts.IncludeTest {
+		ws, err = b.Workloads()
+	} else {
+		ws, err = core.MeasurementWorkloads(b)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name(), err)
+	}
+	out := make([]Measurement, 0, len(ws))
+	for _, w := range ws {
+		m, err := RunWorkload(b, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SuiteResults maps benchmark name to its per-workload measurements.
+type SuiteResults map[string][]Measurement
+
+// RunSuite measures every benchmark of the suite.
+func RunSuite(s *core.Suite, opts Options) (SuiteResults, error) {
+	res := SuiteResults{}
+	for _, b := range s.Benchmarks() {
+		ms, err := RunBenchmark(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		res[b.Name()] = ms
+	}
+	return res, nil
+}
+
+// refrateOf finds the refrate measurement in a benchmark's list.
+func refrateOf(ms []Measurement) (Measurement, bool) {
+	for _, m := range ms {
+		if m.Kind == core.KindRefrate {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// SortedBenchmarks returns the result keys in name order.
+func (r SuiteResults) SortedBenchmarks() []string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,217 @@
+// Package onefile reproduces the OneFile tool distributed with the Alberta
+// Workloads: it combines a multiple-file mini-C program into a single
+// compilation unit suitable as a 502.gcc_r workload. The challenges the
+// paper lists are handled the same way: per-file preprocessing (so macro
+// definitions stay file-local), tracking of file-scope `static` definitions,
+// and name-mangling of those statics to avoid collisions between files.
+package onefile
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/benchmarks/gcc/cc"
+)
+
+// SourceFile is one input translation unit.
+type SourceFile struct {
+	// Name is the file name; its stem becomes the mangling prefix.
+	Name string
+	// Content is the file's source text (may contain preprocessor
+	// directives).
+	Content string
+}
+
+// ErrCombine reports a merge failure.
+var ErrCombine = errors.New("onefile: cannot combine")
+
+// Combine merges the files into a single compilation unit. Static
+// file-scope names are renamed to <stem>__<name>; non-static duplicate
+// definitions across files are an error (the human-intervention case the
+// paper mentions).
+func Combine(files []SourceFile) (string, error) {
+	if len(files) == 0 {
+		return "", fmt.Errorf("%w: no input files", ErrCombine)
+	}
+	globalSeen := map[string]string{} // non-static name → file that defined it
+	var out strings.Builder
+	out.WriteString("/* combined by onefile */\n")
+
+	for _, f := range files {
+		pre, err := cc.Preprocess(f.Content)
+		if err != nil {
+			return "", fmt.Errorf("%w: %s: %v", ErrCombine, f.Name, err)
+		}
+		toks, err := cc.Lex(pre)
+		if err != nil {
+			return "", fmt.Errorf("%w: %s: %v", ErrCombine, f.Name, err)
+		}
+		statics, globals, err := topLevelNames(toks)
+		if err != nil {
+			return "", fmt.Errorf("%w: %s: %v", ErrCombine, f.Name, err)
+		}
+		for _, g := range globals {
+			if prev, dup := globalSeen[g]; dup {
+				return "", fmt.Errorf("%w: %q defined in both %s and %s (make one static or rename)",
+					ErrCombine, g, prev, f.Name)
+			}
+			globalSeen[g] = f.Name
+		}
+		prefix := manglePrefix(f.Name)
+		rename := map[string]string{}
+		for _, s := range statics {
+			rename[s] = prefix + "__" + s
+		}
+		fmt.Fprintf(&out, "/* ---- %s ---- */\n", f.Name)
+		out.WriteString(render(toks, rename))
+	}
+	return out.String(), nil
+}
+
+// manglePrefix derives the mangling prefix from a file name.
+func manglePrefix(name string) string {
+	stem := name
+	if i := strings.LastIndexByte(stem, '/'); i >= 0 {
+		stem = stem[i+1:]
+	}
+	if i := strings.IndexByte(stem, '.'); i >= 0 {
+		stem = stem[:i]
+	}
+	var sb strings.Builder
+	for i := 0; i < len(stem); i++ {
+		c := stem[i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "file"
+	}
+	return sb.String()
+}
+
+// topLevelNames scans the token stream for file-scope definitions,
+// returning static names and non-static (external) names. main is never
+// treated as static.
+func topLevelNames(toks []cc.Token) (statics, globals []string, err error) {
+	depth := 0
+	i := 0
+	for i < len(toks) && toks[i].Kind != cc.TokEOF {
+		t := toks[i]
+		if t.Kind == cc.TokPunct {
+			switch t.Text {
+			case "{":
+				depth++
+			case "}":
+				depth--
+				if depth < 0 {
+					return nil, nil, fmt.Errorf("unbalanced braces at line %d", t.Line)
+				}
+			}
+			i++
+			continue
+		}
+		if depth == 0 && t.Kind == cc.TokKeyword && (t.Text == "static" || t.Text == "int" || t.Text == "void") {
+			isStatic := false
+			if t.Text == "static" {
+				isStatic = true
+				i++
+				if i >= len(toks) || toks[i].Kind != cc.TokKeyword {
+					return nil, nil, fmt.Errorf("static without type at line %d", t.Line)
+				}
+			}
+			// Skip the type keyword.
+			i++
+			// Collect declarator names until ';' or the function body.
+			for i < len(toks) && toks[i].Kind != cc.TokEOF {
+				if toks[i].Kind == cc.TokIdent {
+					name := toks[i].Text
+					if name != "main" {
+						if isStatic {
+							statics = append(statics, name)
+						} else {
+							globals = append(globals, name)
+						}
+					}
+					i++
+					// A '(' means a function: record only the function
+					// name, and skip the parameter list so parameter
+					// declarations are not mistaken for globals.
+					if i < len(toks) && toks[i].Kind == cc.TokPunct && toks[i].Text == "(" {
+						parens := 0
+						for i < len(toks) && toks[i].Kind != cc.TokEOF {
+							if toks[i].Kind == cc.TokPunct {
+								if toks[i].Text == "(" {
+									parens++
+								} else if toks[i].Text == ")" {
+									parens--
+									if parens == 0 {
+										i++
+										break
+									}
+								}
+							}
+							i++
+						}
+						break
+					}
+					// Skip past initializers/array sizes to ',' or ';'.
+					for i < len(toks) && !(toks[i].Kind == cc.TokPunct && (toks[i].Text == "," || toks[i].Text == ";")) {
+						i++
+					}
+					if i < len(toks) && toks[i].Text == "," {
+						i++
+						continue
+					}
+					break
+				}
+				i++
+			}
+			continue
+		}
+		i++
+	}
+	if depth != 0 {
+		return nil, nil, errors.New("unbalanced braces at end of file")
+	}
+	return statics, globals, nil
+}
+
+// render emits the token stream back to source, applying renames. Spacing
+// is canonical: identifiers/keywords/numbers separated by spaces, with
+// newlines after ';' and braces for readability.
+func render(toks []cc.Token, rename map[string]string) string {
+	var sb strings.Builder
+	prevNeedsSpace := false
+	for _, t := range toks {
+		if t.Kind == cc.TokEOF {
+			break
+		}
+		text := t.Text
+		if t.Kind == cc.TokIdent {
+			if r, ok := rename[text]; ok {
+				text = r
+			}
+		}
+		wordLike := t.Kind == cc.TokIdent || t.Kind == cc.TokKeyword || t.Kind == cc.TokNumber
+		if prevNeedsSpace && wordLike {
+			sb.WriteByte(' ')
+		} else if prevNeedsSpace {
+			// Operators also need separation from preceding words and
+			// from each other to avoid token fusion ("+ +" vs "++").
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(text)
+		switch {
+		case t.Kind == cc.TokPunct && (t.Text == ";" || t.Text == "{" || t.Text == "}"):
+			sb.WriteByte('\n')
+			prevNeedsSpace = false
+		default:
+			prevNeedsSpace = true
+		}
+	}
+	return sb.String()
+}

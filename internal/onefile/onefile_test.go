@@ -1,0 +1,164 @@
+package onefile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks/gcc/cc"
+)
+
+// runCombined compiles and runs a combined unit.
+func runCombined(t *testing.T, files []SourceFile) cc.RunResult {
+	t.Helper()
+	combined, err := Combine(files)
+	if err != nil {
+		t.Fatalf("combine: %v", err)
+	}
+	unit, err := cc.CompileSource(combined, cc.O2, nil, nil)
+	if err != nil {
+		t.Fatalf("compile combined:\n%s\nerror: %v", combined, err)
+	}
+	res, err := cc.Run(unit, cc.VMOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestCombineTwoFiles(t *testing.T) {
+	files := []SourceFile{
+		{Name: "util.c", Content: `
+int scale = 3;
+int times(int x) { return x * scale; }
+`},
+		{Name: "main.c", Content: `
+int main() { return times(7); }
+`},
+	}
+	res := runCombined(t, files)
+	if res.Return != 21 {
+		t.Errorf("return = %d, want 21", res.Return)
+	}
+}
+
+func TestCombineManglesStaticCollisions(t *testing.T) {
+	// Both files define a static helper with the same name; the paper's
+	// "name collisions between identifiers used in different files".
+	files := []SourceFile{
+		{Name: "a.c", Content: `
+static int helper(int x) { return x + 1; }
+int fromA(int x) { return helper(x); }
+`},
+		{Name: "b.c", Content: `
+static int helper(int x) { return x * 10; }
+int fromB(int x) { return helper(x); }
+`},
+		{Name: "main.c", Content: `
+int main() { return fromA(5) + fromB(5); }
+`},
+	}
+	res := runCombined(t, files)
+	if res.Return != 56 {
+		t.Errorf("return = %d, want 56 (6 + 50)", res.Return)
+	}
+}
+
+func TestCombineManglesStaticGlobals(t *testing.T) {
+	files := []SourceFile{
+		{Name: "x.c", Content: `
+static int counter = 100;
+int getX() { counter += 1; return counter; }
+`},
+		{Name: "y.c", Content: `
+static int counter = 200;
+int getY() { counter += 1; return counter; }
+`},
+		{Name: "main.c", Content: `
+int main() { return getX() + getY(); }
+`},
+	}
+	res := runCombined(t, files)
+	if res.Return != 302 {
+		t.Errorf("return = %d, want 302", res.Return)
+	}
+}
+
+func TestCombineRejectsNonStaticCollision(t *testing.T) {
+	files := []SourceFile{
+		{Name: "a.c", Content: `int shared() { return 1; }`},
+		{Name: "b.c", Content: `int shared() { return 2; }`},
+	}
+	if _, err := Combine(files); !errors.Is(err, ErrCombine) {
+		t.Errorf("err = %v, want ErrCombine", err)
+	}
+}
+
+func TestCombinePreprocessesPerFile(t *testing.T) {
+	// The same macro with different values in each file must stay
+	// file-local (the paper's "preprocessing logic may produce wrong code
+	// when simply concatenated").
+	files := []SourceFile{
+		{Name: "a.c", Content: "#define K 10\nint ka() { return K; }\n"},
+		{Name: "b.c", Content: "#define K 20\nint kb() { return K; }\n"},
+		{Name: "main.c", Content: "int main() { return ka() * 100 + kb(); }\n"},
+	}
+	res := runCombined(t, files)
+	if res.Return != 1020 {
+		t.Errorf("return = %d, want 1020", res.Return)
+	}
+}
+
+func TestCombineEmptyInput(t *testing.T) {
+	if _, err := Combine(nil); !errors.Is(err, ErrCombine) {
+		t.Errorf("err = %v, want ErrCombine", err)
+	}
+}
+
+func TestCombineBadSource(t *testing.T) {
+	files := []SourceFile{{Name: "bad.c", Content: "int x = $;"}}
+	if _, err := Combine(files); !errors.Is(err, ErrCombine) {
+		t.Errorf("err = %v, want ErrCombine", err)
+	}
+}
+
+func TestCombinedOutputMentionsOrigin(t *testing.T) {
+	out, err := Combine([]SourceFile{{Name: "solo.c", Content: "int main() { return 0; }"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "solo.c") {
+		t.Error("combined output should carry per-file markers")
+	}
+}
+
+func TestManglePrefix(t *testing.T) {
+	cases := map[string]string{
+		"dir/a-b.c": "a_b",
+		"x.c":       "x",
+		"...":       "file",
+	}
+	for in, want := range cases {
+		if got := manglePrefix(in); got != want {
+			t.Errorf("manglePrefix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStaticArraysMangled(t *testing.T) {
+	files := []SourceFile{
+		{Name: "m1.c", Content: `
+static int buf[8];
+int putget1(int v) { buf[2] = v; return buf[2]; }
+`},
+		{Name: "m2.c", Content: `
+static int buf[8];
+int putget2(int v) { buf[2] = v + 1; return buf[2]; }
+`},
+		{Name: "main.c", Content: `int main() { return putget1(5) * 100 + putget2(5); }`},
+	}
+	res := runCombined(t, files)
+	if res.Return != 506 {
+		t.Errorf("return = %d, want 506", res.Return)
+	}
+}

@@ -1,0 +1,173 @@
+// Package optstudy reproduces the compiler-variation analysis distributed
+// with the Alberta Workloads: "a study of the variation in branch
+// prediction, cache/TLB performance, and execution time when different
+// compilers, with different levels of optimization, are used" (Section V).
+// The "different compilers" axis is the mini-C compiler's optimization
+// levels (-O0 … -O3), and the measurements are the modeled hardware rates
+// of the compiled program running each of its workloads.
+package optstudy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/fdo"
+	"repro/internal/perf"
+)
+
+// Row is one (program, input, optimization level) observation.
+type Row struct {
+	Program string
+	Input   string
+	Level   cc.OptLevel
+	Cycles  uint64
+	// BranchMispredictRate is modeled mispredicts / branches.
+	BranchMispredictRate float64
+	// L1DMissRate is loads missing L1 / loads.
+	L1DMissRate float64
+	// TLBMissesPer1K is DTLB misses per thousand loads.
+	TLBMissesPer1K float64
+	// Instructions is retired modeled micro-ops.
+	Instructions uint64
+}
+
+// ErrStudy reports an invalid study configuration.
+var ErrStudy = errors.New("optstudy: invalid study")
+
+// Levels is the studied optimization ladder.
+var Levels = []cc.OptLevel{cc.O0, cc.O1, cc.O2, cc.O3}
+
+// Run measures program × input × level.
+func Run(programs []*fdo.Program) ([]Row, error) {
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("%w: no programs", ErrStudy)
+	}
+	var rows []Row
+	for _, prog := range programs {
+		if err := prog.Validate(); err != nil {
+			return nil, err
+		}
+		for _, level := range Levels {
+			unit, err := cc.CompileSource(prog.Source, level, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("optstudy: %s at %v: %w", prog.Name, level, err)
+			}
+			for _, in := range prog.Inputs {
+				p := perf.New()
+				if _, err := cc.Run(unit, cc.VMOptions{Globals: in.Globals, Prof: p}); err != nil {
+					return nil, fmt.Errorf("optstudy: %s/%s at %v: %w", prog.Name, in.Name, level, err)
+				}
+				rep := p.Report()
+				ev := rep.Total
+				row := Row{
+					Program:      prog.Name,
+					Input:        in.Name,
+					Level:        level,
+					Cycles:       rep.Cycles,
+					Instructions: ev.Ops + ev.LongOps,
+				}
+				if ev.Branches > 0 {
+					row.BranchMispredictRate = float64(ev.Mispredicts) / float64(ev.Branches)
+				}
+				if ev.Loads > 0 {
+					misses := ev.L2Hits + ev.LLCHits + ev.MemHits
+					row.L1DMissRate = float64(misses) / float64(ev.Loads)
+					row.TLBMissesPer1K = 1000 * float64(ev.TLBMisses) / float64(ev.Loads)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Speedups aggregates per-program geometric-mean speedup of each level over
+// -O0 (across inputs).
+func Speedups(rows []Row) map[string]map[cc.OptLevel]float64 {
+	// Collect per program/input the O0 baseline.
+	base := map[string]map[string]uint64{}
+	for _, r := range rows {
+		if r.Level == cc.O0 {
+			if base[r.Program] == nil {
+				base[r.Program] = map[string]uint64{}
+			}
+			base[r.Program][r.Input] = r.Cycles
+		}
+	}
+	type acc struct {
+		logSum float64
+		n      int
+	}
+	accs := map[string]map[cc.OptLevel]*acc{}
+	for _, r := range rows {
+		b := base[r.Program][r.Input]
+		if b == 0 || r.Cycles == 0 {
+			continue
+		}
+		if accs[r.Program] == nil {
+			accs[r.Program] = map[cc.OptLevel]*acc{}
+		}
+		if accs[r.Program][r.Level] == nil {
+			accs[r.Program][r.Level] = &acc{}
+		}
+		a := accs[r.Program][r.Level]
+		a.logSum += logf(float64(b) / float64(r.Cycles))
+		a.n++
+	}
+	out := map[string]map[cc.OptLevel]float64{}
+	for prog, byLevel := range accs {
+		out[prog] = map[cc.OptLevel]float64{}
+		for level, a := range byLevel {
+			out[prog][level] = expf(a.logSum / float64(a.n))
+		}
+	}
+	return out
+}
+
+// Format renders the study as a table plus the speedup summary.
+func Format(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("Optimization-level study (modeled hardware)\n")
+	fmt.Fprintf(&sb, "%-12s %-14s %-4s %10s %12s %10s %10s %10s\n",
+		"program", "input", "opt", "cycles", "instructions", "br-miss%", "L1D-miss%", "TLB/1k")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %-14s %-4s %10d %12d %9.2f%% %9.2f%% %10.2f\n",
+			r.Program, r.Input, r.Level, r.Cycles, r.Instructions,
+			r.BranchMispredictRate*100, r.L1DMissRate*100, r.TLBMissesPer1K)
+	}
+	sb.WriteString("\ngeomean speedup over -O0 (across inputs):\n")
+	sp := Speedups(rows)
+	progs := make([]string, 0, len(sp))
+	for p := range sp {
+		progs = append(progs, p)
+	}
+	sortStrings(progs)
+	for _, p := range progs {
+		fmt.Fprintf(&sb, "  %-12s", p)
+		for _, level := range Levels {
+			fmt.Fprintf(&sb, "  %v=%.3fx", level, sp[p][level])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func logf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+func expf(x float64) float64 { return math.Exp(x) }

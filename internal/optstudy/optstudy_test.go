@@ -1,0 +1,127 @@
+package optstudy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/fdo"
+)
+
+func TestRunProducesFullMatrix(t *testing.T) {
+	prog := fdo.ClassifierProgram()
+	rows, err := Run([]*fdo.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Levels) * len(prog.Inputs)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Cycles == 0 || r.Instructions == 0 {
+			t.Errorf("empty measurement: %+v", r)
+		}
+		if r.BranchMispredictRate < 0 || r.BranchMispredictRate > 1 {
+			t.Errorf("mispredict rate out of range: %+v", r)
+		}
+		if r.L1DMissRate < 0 || r.L1DMissRate > 1 {
+			t.Errorf("L1D miss rate out of range: %+v", r)
+		}
+	}
+}
+
+func TestOptimizationReducesCycles(t *testing.T) {
+	// classifier's hot helper (weigh) binds its parameter once, so O2+
+	// inlining fires and must pay off.
+	rows, err := Run([]*fdo.Program{fdo.ClassifierProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Speedups(rows)["classifier"]
+	if sp[cc.O0] < 0.999 || sp[cc.O0] > 1.001 {
+		t.Errorf("O0 speedup over itself = %v, want 1", sp[cc.O0])
+	}
+	if sp[cc.O3] <= 1.0 {
+		t.Errorf("-O3 speedup = %v, want > 1 (inlining must pay off)", sp[cc.O3])
+	}
+	if sp[cc.O2] < sp[cc.O1]-0.05 {
+		t.Errorf("-O2 (%v) should not be meaningfully slower than -O1 (%v)", sp[cc.O2], sp[cc.O1])
+	}
+}
+
+func TestOptimizationNeverPessimizes(t *testing.T) {
+	// The inliner must refuse transformations that duplicate work: no
+	// study program may get slower at higher levels.
+	for _, prog := range fdo.StudyPrograms() {
+		rows, err := Run([]*fdo.Program{prog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := Speedups(rows)[prog.Name]
+		for _, level := range Levels {
+			if sp[level] < 0.999 {
+				t.Errorf("%s at %v: speedup %v < 1 (pessimization)", prog.Name, level, sp[level])
+			}
+		}
+	}
+}
+
+func TestRatesVaryAcrossInputs(t *testing.T) {
+	// The study's purpose: the same binary shows different hardware
+	// behaviour under different inputs.
+	rows, err := Run([]*fdo.Program{fdo.ClassifierProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[float64]bool{}
+	for _, r := range rows {
+		if r.Level == cc.O2 {
+			rates[r.BranchMispredictRate] = true
+		}
+	}
+	if len(rates) < 3 {
+		t.Errorf("branch behaviour should vary across inputs, got %d distinct rates", len(rates))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil); !errors.Is(err, ErrStudy) {
+		t.Errorf("err = %v", err)
+	}
+	bad := &fdo.Program{Name: "bad", Source: "int main() { return x; }",
+		Inputs: []fdo.Input{{Name: "a"}, {Name: "b"}}}
+	if _, err := Run([]*fdo.Program{bad}); err == nil {
+		t.Error("invalid program should fail")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rows, err := Run([]*fdo.Program{fdo.ClassifierProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(rows)
+	for _, want := range []string{"classifier", "-O3", "geomean speedup", "br-miss%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("format missing %q:\n%s", want, text[:200])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r1, err := Run([]*fdo.Program{fdo.FilterChainProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run([]*fdo.Program{fdo.FilterChainProgram()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package perf provides the instrumentation layer between the benchmark
+// implementations and the micro-architecture model in internal/uarch. A
+// Profiler plays the role that hardware performance counters and a
+// sampling profiler played in the paper: it attributes modeled pipeline
+// slots to the method currently executing, classifies them with the
+// top-down methodology, and reports per-method coverage.
+//
+// Benchmarks call Enter/Leave (or Do) to delimit methods, Ops/LongOps to
+// retire work, Branch to route real branch outcomes through the modeled
+// predictor, and Load/Store to route real addresses through the modeled
+// cache hierarchy.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// ClockHz is the modeled core frequency, matching the i7-2600's 3.4 GHz.
+const ClockHz = 3.4e9
+
+// opBytes is the modeled average encoded size of one micro-op, used to
+// advance the instruction-fetch pointer through a method's code footprint.
+const opBytes = 4
+
+// DefaultFootprint is the synthetic code size assigned to a method unless
+// SetFootprint overrides it. Larger, flatter programs (a compiler, an XSLT
+// engine) should declare bigger footprints so the front-end model sees
+// their instruction-cache pressure.
+const DefaultFootprint = 1 << 10
+
+// Options configure a Profiler.
+type Options struct {
+	// Model supplies the slot cost parameters; zero value means
+	// uarch.DefaultModel.
+	Model uarch.Model
+	// Predictor constructs the branch predictor; nil means a tournament
+	// predictor.
+	Predictor uarch.Predictor
+	// Stride sub-samples expensive event simulation: only every Stride-th
+	// Branch/Load/Store is routed through the simulators and the observed
+	// outcome mix is scaled back up. Stride ≤ 1 simulates everything.
+	Stride int
+}
+
+type methodRecord struct {
+	name     string
+	codeBase uint64
+	codeSize uint64
+	fetchOff uint64
+
+	// Exact event counts.
+	ops, longOps     uint64
+	branches, taken  uint64
+	loads, stores    uint64
+	icMiss, itlbMiss uint64
+
+	// Sampled outcome counts (scaled by stride at report time).
+	sBranches, sMispredicts           uint64
+	sLoads, sL2, sLLC, sMem, sTLBMiss uint64
+}
+
+// Profiler is the modeled equivalent of "perf stat -e topdown... + perf
+// record". It is not safe for concurrent use; benchmarks are single-threaded
+// (SPEC CPU rate runs are independent copies).
+type Profiler struct {
+	model uarch.Model
+	pred  uarch.Predictor
+	mem   *uarch.Hierarchy
+	l1i   *uarch.Cache
+	itlb  *uarch.Cache
+
+	stride  int
+	brTick  int
+	memTick int
+
+	methods map[string]*methodRecord
+	order   []string
+	stack   []*methodRecord
+	current *methodRecord
+
+	started time.Time
+}
+
+// New returns a profiler with default options.
+func New() *Profiler { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a configured profiler.
+func NewWithOptions(opts Options) *Profiler {
+	model := opts.Model
+	if model.IssueWidth == 0 {
+		model = uarch.DefaultModel()
+	}
+	pred := opts.Predictor
+	if pred == nil {
+		pred = uarch.NewTournament(14)
+	}
+	stride := opts.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	p := &Profiler{
+		model:   model,
+		pred:    pred,
+		mem:     uarch.NewHierarchy(),
+		l1i:     uarch.NewCache(uarch.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineSize: 64}),
+		itlb:    uarch.NewCache(uarch.CacheConfig{Name: "ITLB", SizeB: 128 * 4096, Ways: 4, LineSize: 4096}),
+		stride:  stride,
+		methods: make(map[string]*methodRecord),
+		started: time.Now(),
+	}
+	p.current = p.method("(toplevel)")
+	return p
+}
+
+// method returns (creating if needed) the record for name, assigning it a
+// synthetic, stable code region.
+func (p *Profiler) method(name string) *methodRecord {
+	if m, ok := p.methods[name]; ok {
+		return m
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	m := &methodRecord{
+		name:     name,
+		codeBase: (h &^ 0x3f) | 0x4000000000, // cache-line aligned, away from data
+		codeSize: DefaultFootprint,
+	}
+	p.methods[name] = m
+	p.order = append(p.order, name)
+	return m
+}
+
+// SetFootprint declares the synthetic code size, in bytes, of a method. It
+// may be called before or after the method first runs.
+func (p *Profiler) SetFootprint(name string, bytes uint64) {
+	if bytes < 64 {
+		bytes = 64
+	}
+	p.method(name).codeSize = bytes &^ 0x3f
+}
+
+// Enter pushes method name onto the region stack. Events observed until the
+// matching Leave (or a nested Enter) are attributed to it.
+func (p *Profiler) Enter(name string) {
+	p.stack = append(p.stack, p.current)
+	p.current = p.method(name)
+	// A call re-steers fetch to the method entry.
+	p.fetch(p.current, 1)
+}
+
+// Leave pops the region stack. Unbalanced Leave calls panic: they indicate
+// an instrumentation bug in a benchmark.
+func (p *Profiler) Leave() {
+	if len(p.stack) == 0 {
+		panic("perf: Leave without matching Enter")
+	}
+	p.current = p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+}
+
+// Do runs fn inside an Enter/Leave pair for name.
+func (p *Profiler) Do(name string, fn func()) {
+	p.Enter(name)
+	defer p.Leave()
+	fn()
+}
+
+// fetch advances the current method's instruction-fetch pointer by n ops and
+// touches the instruction cache/TLB for every 64-byte line crossed.
+func (p *Profiler) fetch(m *methodRecord, n uint64) {
+	bytes := n * opBytes
+	// Walk at line granularity; bound the walk so a huge Ops batch in a
+	// small method costs one pass over its footprint (the loop body is
+	// resident after that).
+	if bytes > m.codeSize*2 {
+		bytes = m.codeSize * 2
+	}
+	start := m.fetchOff
+	for off := uint64(0); off < bytes; off += 64 {
+		addr := m.codeBase + (start+off)%m.codeSize
+		if !p.l1i.Access(addr) {
+			m.icMiss++
+		}
+		if !p.itlb.Access(addr) {
+			m.itlbMiss++
+		}
+	}
+	m.fetchOff = (start + bytes) % m.codeSize
+}
+
+// Ops retires n simple micro-ops in the current method.
+func (p *Profiler) Ops(n uint64) {
+	m := p.current
+	m.ops += n
+	p.fetch(m, n)
+}
+
+// LongOps retires n long-latency micro-ops (divisions, square roots,
+// transcendental kernels) in the current method.
+func (p *Profiler) LongOps(n uint64) {
+	m := p.current
+	m.longOps += n
+	p.fetch(m, n)
+}
+
+// Branch records a dynamic conditional branch at the given site (any value
+// stable for the static branch) with its actual outcome. The site is
+// combined with the method's code region so sites are globally distinct.
+func (p *Profiler) Branch(site uint64, taken bool) {
+	m := p.current
+	m.branches++
+	if taken {
+		m.taken++
+	}
+	m.ops++ // the branch itself retires
+	p.brTick++
+	if p.brTick >= p.stride {
+		p.brTick = 0
+		m.sBranches++
+		if !p.pred.Observe(m.codeBase+site*8, taken) {
+			m.sMispredicts++
+		}
+	}
+}
+
+// Jump records an unconditional control transfer: it retires one op and
+// redirects fetch (same front-end bubble as a taken branch), but involves
+// no prediction.
+func (p *Profiler) Jump() {
+	m := p.current
+	m.ops++
+	m.taken++
+}
+
+// Load records a data load from addr through the modeled hierarchy.
+func (p *Profiler) Load(addr uint64) {
+	m := p.current
+	m.loads++
+	m.ops++
+	p.memTick++
+	if p.memTick >= p.stride {
+		p.memTick = 0
+		m.sLoads++
+		res, tlbMiss := p.mem.Access(addr)
+		if tlbMiss {
+			m.sTLBMiss++
+		}
+		switch res {
+		case uarch.HitL2:
+			m.sL2++
+		case uarch.HitLLC:
+			m.sLLC++
+		case uarch.HitMemory:
+			m.sMem++
+		}
+	}
+}
+
+// Store records a data store to addr. Stores allocate in the hierarchy but
+// their latency is assumed hidden by the store buffer, so only TLB misses
+// and line fills are modeled.
+func (p *Profiler) Store(addr uint64) {
+	m := p.current
+	m.stores++
+	m.ops++
+	p.memTick++
+	if p.memTick >= p.stride {
+		p.memTick = 0
+		res, tlbMiss := p.mem.Access(addr)
+		if tlbMiss {
+			m.sTLBMiss++
+		}
+		_ = res
+	}
+}
+
+// events converts a method record to scaled uarch events.
+func (m *methodRecord) events(stride uint64) uarch.Events {
+	return uarch.Events{
+		Ops:         m.ops,
+		LongOps:     m.longOps,
+		Branches:    m.branches,
+		Taken:       m.taken,
+		Mispredicts: m.sMispredicts * stride,
+		Loads:       m.loads,
+		Stores:      m.stores,
+		L2Hits:      m.sL2 * stride,
+		LLCHits:     m.sLLC * stride,
+		MemHits:     m.sMem * stride,
+		TLBMisses:   m.sTLBMiss * stride,
+		ICMisses:    m.icMiss,
+		ITLBMisses:  m.itlbMiss,
+	}
+}
+
+// MethodProfile is the per-method portion of a report.
+type MethodProfile struct {
+	Name   string
+	Events uarch.Events
+	Slots  uarch.Slots
+	Cycles uint64
+}
+
+// Report is the complete observation of one benchmark execution: the whole-
+// program event totals, top-down classification, modeled time, and method
+// coverage.
+type Report struct {
+	Total     uarch.Events
+	Slots     uarch.Slots
+	Cycles    uint64
+	TopDown   stats.TopDown
+	Methods   []MethodProfile
+	Coverage  stats.Coverage
+	WallTime  time.Duration
+	ModeledNS float64
+}
+
+// Report finalizes and returns the observation. The profiler can keep
+// accumulating afterwards; Report is a snapshot.
+func (p *Profiler) Report() Report {
+	if len(p.stack) != 0 {
+		panic(fmt.Sprintf("perf: Report with %d unmatched Enter calls (current %q)", len(p.stack), p.current.name))
+	}
+	stride := uint64(p.stride)
+	var total uarch.Events
+	var totalSlots uarch.Slots
+	rep := Report{Coverage: stats.Coverage{}}
+
+	for _, name := range p.order {
+		m := p.methods[name]
+		ev := m.events(stride)
+		slots := p.model.Account(ev)
+		if slots.Total() == 0 {
+			continue
+		}
+		total.Add(ev)
+		totalSlots.Add(slots)
+		rep.Methods = append(rep.Methods, MethodProfile{
+			Name:   name,
+			Events: ev,
+			Slots:  slots,
+			Cycles: p.model.Cycles(slots),
+		})
+	}
+
+	rep.Total = total
+	rep.Slots = totalSlots
+	rep.Cycles = p.model.Cycles(totalSlots)
+	fe, be, bs, rt := totalSlots.Fractions()
+	rep.TopDown = stats.TopDown{FrontEnd: fe, BackEnd: be, BadSpec: bs, Retiring: rt}
+
+	if rep.Cycles > 0 {
+		for i := range rep.Methods {
+			rep.Coverage[rep.Methods[i].Name] = float64(rep.Methods[i].Slots.Total()) / float64(totalSlots.Total())
+		}
+	}
+	sort.Slice(rep.Methods, func(i, j int) bool {
+		if rep.Methods[i].Cycles != rep.Methods[j].Cycles {
+			return rep.Methods[i].Cycles > rep.Methods[j].Cycles
+		}
+		return rep.Methods[i].Name < rep.Methods[j].Name
+	})
+	rep.WallTime = time.Since(p.started)
+	rep.ModeledNS = float64(rep.Cycles) / ClockHz * 1e9
+	return rep
+}
+
+// ModeledSeconds converts modeled cycles to seconds at the modeled clock.
+func ModeledSeconds(cycles uint64) float64 { return float64(cycles) / ClockHz }

@@ -1,0 +1,266 @@
+// Package stats implements the summarization methodology of Section V of
+// "The Alberta Workloads for the SPEC CPU 2017 Benchmark Suite" (ISPASS
+// 2018): geometric means and geometric standard deviations of behaviour
+// ratios across workloads, the proportional variation V = σg/μg, and the
+// per-benchmark variation scores μg(V) (top-down categories, Eq. 4) and
+// μg(M) (method coverage, Eq. 5).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested over no samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// ErrNonPositive is returned when a geometric statistic is requested over a
+// sample set containing a zero or negative value.
+var ErrNonPositive = errors.New("stats: non-positive sample in geometric statistic")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// GeoMean returns the geometric mean of xs (Eq. 1 of the paper):
+//
+//	μg = (Π xᵢ)^(1/n)
+//
+// computed in log space for numerical stability. All samples must be
+// strictly positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("%w: %v", ErrNonPositive, x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// GeoStdDev returns the geometric standard deviation of xs (Eq. 2):
+//
+//	σg = exp( sqrt( Σ (ln(xᵢ/μg))² / n ) )
+//
+// σg is dimensionless and ≥ 1; σg = 1 means no variation at all.
+func GeoStdDev(xs []float64) (float64, error) {
+	mu, err := GeoMean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := math.Log(x / mu)
+		ss += d * d
+	}
+	return math.Exp(math.Sqrt(ss / float64(len(xs)))), nil
+}
+
+// PropVariation returns the proportional variation of xs (Eq. 3): the ratio
+// between the geometric standard deviation and the geometric mean,
+//
+//	V = σg / μg .
+//
+// The paper uses this, rather than the coefficient of variation, because the
+// underlying values are themselves ratios.
+func PropVariation(xs []float64) (float64, error) {
+	mu, err := GeoMean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sigma, err := GeoStdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return sigma / mu, nil
+}
+
+// CategorySummary summarizes one behaviour category (e.g. the front-end
+// bound fraction) over all workloads of a benchmark.
+type CategorySummary struct {
+	Name    string  // category label, e.g. "frontend"
+	GeoMean float64 // μg over workloads
+	GeoStd  float64 // σg over workloads
+	V       float64 // σg/μg
+	N       int     // number of workloads summarized
+}
+
+// Summarize computes the per-category geometric summary for a named sample
+// set.
+func Summarize(name string, xs []float64) (CategorySummary, error) {
+	mu, err := GeoMean(xs)
+	if err != nil {
+		return CategorySummary{}, fmt.Errorf("stats: category %q: %w", name, err)
+	}
+	sigma, err := GeoStdDev(xs)
+	if err != nil {
+		return CategorySummary{}, fmt.Errorf("stats: category %q: %w", name, err)
+	}
+	return CategorySummary{
+		Name:    name,
+		GeoMean: mu,
+		GeoStd:  sigma,
+		V:       sigma / mu,
+		N:       len(xs),
+	}, nil
+}
+
+// VariationScore computes the geometric mean of the proportional variations
+// of a set of categories (Eq. 4 for the top-down categories, Eq. 5 for
+// method coverage):
+//
+//	μg(V) = (Π V(cᵢ))^(1/k)
+func VariationScore(categories []CategorySummary) (float64, error) {
+	if len(categories) == 0 {
+		return 0, ErrEmpty
+	}
+	vs := make([]float64, len(categories))
+	for i, c := range categories {
+		vs[i] = c.V
+	}
+	return GeoMean(vs)
+}
+
+// CoverageOptions control the method-coverage summarization of Section V-C.
+type CoverageOptions struct {
+	// OthersThreshold is the fraction (of total time, per workload) below
+	// which a method is folded into the synthetic "others" category. A
+	// method survives only if it reaches the threshold in at least one
+	// workload. The paper uses 0.05% = 0.0005.
+	OthersThreshold float64
+	// Offset is added to every time fraction before the geometric
+	// statistics are computed, so that methods with zero time in some
+	// workload do not make the geometric mean collapse. The paper adds
+	// 0.01 (i.e. one percentage point when fractions are expressed in
+	// percent; we keep fractions in [0,1], so the equivalent offset is
+	// 0.0001 by default but remains configurable for the ablation study).
+	Offset float64
+}
+
+// DefaultCoverageOptions mirrors the paper's choices with fractions
+// expressed in [0, 1].
+func DefaultCoverageOptions() CoverageOptions {
+	return CoverageOptions{OthersThreshold: 0.0005, Offset: 0.0001}
+}
+
+// Coverage is one workload's method-coverage observation: the fraction of
+// execution time attributed to each method. Fractions should sum to ~1.
+type Coverage map[string]float64
+
+// CoverageSummary is the summarized method-coverage variation for one
+// benchmark across workloads.
+type CoverageSummary struct {
+	// Methods holds the per-method summaries, sorted by descending
+	// geometric-mean time fraction. A synthetic "others" method may be
+	// present.
+	Methods []CategorySummary
+	// Score is μg(M), Eq. 5: the geometric mean of the per-method
+	// proportional variations.
+	Score float64
+	// Workloads is the number of workloads summarized.
+	Workloads int
+}
+
+// SummarizeCoverage applies the Section V-C methodology to per-workload
+// method coverage observations: methods below the "others" threshold in
+// every workload are grouped, an offset is added to every fraction, and the
+// per-method proportional variations are combined with Eq. 5.
+func SummarizeCoverage(covs []Coverage, opts CoverageOptions) (CoverageSummary, error) {
+	if len(covs) == 0 {
+		return CoverageSummary{}, ErrEmpty
+	}
+	if opts.OthersThreshold < 0 || opts.Offset < 0 {
+		return CoverageSummary{}, fmt.Errorf("stats: negative coverage option: %+v", opts)
+	}
+
+	// A method is kept if it reaches the threshold in at least one
+	// workload; all other time is folded into "others".
+	keep := map[string]bool{}
+	for _, cov := range covs {
+		for m, frac := range cov {
+			if frac >= opts.OthersThreshold {
+				keep[m] = true
+			}
+		}
+	}
+
+	names := make([]string, 0, len(keep))
+	for m := range keep {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+
+	// Build the per-method series across workloads, including "others".
+	series := make(map[string][]float64, len(names)+1)
+	var othersSeen bool
+	for _, cov := range covs {
+		others := 0.0
+		for m, frac := range cov {
+			if !keep[m] {
+				others += frac
+			}
+		}
+		for _, m := range names {
+			series[m] = append(series[m], cov[m]+opts.Offset)
+		}
+		if others > 0 {
+			othersSeen = true
+		}
+		series["others"] = append(series["others"], others+opts.Offset)
+	}
+	if othersSeen {
+		names = append(names, "others")
+	} else {
+		delete(series, "others")
+	}
+
+	summary := CoverageSummary{Workloads: len(covs)}
+	for _, m := range names {
+		cs, err := Summarize(m, series[m])
+		if err != nil {
+			return CoverageSummary{}, err
+		}
+		summary.Methods = append(summary.Methods, cs)
+	}
+	sort.Slice(summary.Methods, func(i, j int) bool {
+		if summary.Methods[i].GeoMean != summary.Methods[j].GeoMean {
+			return summary.Methods[i].GeoMean > summary.Methods[j].GeoMean
+		}
+		return summary.Methods[i].Name < summary.Methods[j].Name
+	})
+
+	score, err := VariationScore(summary.Methods)
+	if err != nil {
+		return CoverageSummary{}, err
+	}
+	summary.Score = score
+	return summary, nil
+}

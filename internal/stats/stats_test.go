@@ -1,0 +1,418 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", m)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestGeoMeanBasics(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{4}, 4},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 10, 100}, 10},
+	}
+	for _, tc := range tests {
+		got, err := GeoMean(tc.xs)
+		if err != nil {
+			t.Fatalf("GeoMean(%v): %v", tc.xs, err)
+		}
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("GeoMean(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestGeoMeanRejectsNonPositive(t *testing.T) {
+	for _, xs := range [][]float64{{0}, {-1}, {2, 0, 3}, {1, -2}} {
+		if _, err := GeoMean(xs); !errors.Is(err, ErrNonPositive) {
+			t.Errorf("GeoMean(%v) err = %v, want ErrNonPositive", xs, err)
+		}
+	}
+}
+
+func TestGeoMeanEmpty(t *testing.T) {
+	if _, err := GeoMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("GeoMean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestGeoStdDevConstantSeries(t *testing.T) {
+	// A constant series has σg exactly 1 (no variation).
+	s, err := GeoStdDev([]float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 1, 1e-12) {
+		t.Errorf("GeoStdDev(constant) = %v, want 1", s)
+	}
+}
+
+func TestGeoStdDevKnownValue(t *testing.T) {
+	// For {e, 1/e} the geometric mean is 1 and ln-ratios are ±1, so
+	// σg = exp(sqrt((1+1)/2)) = e.
+	s, err := GeoStdDev([]float64{math.E, 1 / math.E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, math.E, 1e-9) {
+		t.Errorf("GeoStdDev = %v, want e", s)
+	}
+}
+
+func TestPropVariation(t *testing.T) {
+	v, err := PropVariation([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 1/0.5, 1e-9) {
+		t.Errorf("PropVariation = %v, want 2 (σg=1, μg=0.5)", v)
+	}
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	// Property: GeoMean(c*xs) = c * GeoMean(xs) for c > 0.
+	f := func(raw []float64, scale float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := math.Abs(scale)
+		if c < 1e-3 || c > 1e3 || math.IsNaN(c) || math.IsInf(c, 0) {
+			c = 2.5
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = c * x
+		}
+		g1, err1 := GeoMean(xs)
+		g2, err2 := GeoMean(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(g2, c*g1, 1e-6*c*g1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoStdDevScaleInvariance(t *testing.T) {
+	// Property: σg is invariant under positive scaling.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 7 * x
+		}
+		s1, err1 := GeoStdDev(xs)
+		s2, err2 := GeoStdDev(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(s1, s2, 1e-9*s1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	// Property: min ≤ μg ≤ max.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = min(lo, x)
+			hi = max(hi, x)
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cs, err := Summarize("f", []float64{0.2, 0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "f" || cs.N != 3 {
+		t.Errorf("unexpected summary metadata: %+v", cs)
+	}
+	if !almostEqual(cs.GeoMean, 0.2, 1e-12) || !almostEqual(cs.GeoStd, 1, 1e-12) {
+		t.Errorf("unexpected summary values: %+v", cs)
+	}
+	if !almostEqual(cs.V, 5, 1e-9) {
+		t.Errorf("V = %v, want 5", cs.V)
+	}
+}
+
+func TestVariationScoreEmpty(t *testing.T) {
+	if _, err := VariationScore(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("VariationScore(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestTopDownNormalize(t *testing.T) {
+	td := TopDown{FrontEnd: 1, BackEnd: 1, BadSpec: 1, Retiring: 1}
+	n, err := td.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(n.Sum(), 1, 1e-12) || !almostEqual(n.FrontEnd, 0.25, 1e-12) {
+		t.Errorf("Normalize = %+v", n)
+	}
+}
+
+func TestTopDownNormalizeDegenerate(t *testing.T) {
+	if _, err := (TopDown{}).Normalize(); err == nil {
+		t.Error("Normalize of zero observation should fail")
+	}
+}
+
+func TestSummarizeTopDownIdenticalWorkloads(t *testing.T) {
+	obs := []TopDown{
+		{0.1, 0.4, 0.1, 0.4},
+		{0.1, 0.4, 0.1, 0.4},
+		{0.1, 0.4, 0.1, 0.4},
+	}
+	sum, err := SummarizeTopDown(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Workloads != 3 {
+		t.Errorf("Workloads = %d, want 3", sum.Workloads)
+	}
+	// No variation: every σg is 1, so μg(V) = geomean of 1/μg values.
+	want := math.Pow(1/0.1*1/0.4*1/0.1*1/0.4, 0.25)
+	if !almostEqual(sum.Score, want, 1e-9) {
+		t.Errorf("Score = %v, want %v", sum.Score, want)
+	}
+}
+
+func TestSummarizeTopDownMoreVariationHigherScore(t *testing.T) {
+	stable := []TopDown{
+		{0.10, 0.40, 0.10, 0.40},
+		{0.11, 0.39, 0.10, 0.40},
+		{0.10, 0.41, 0.09, 0.40},
+	}
+	volatile := []TopDown{
+		{0.05, 0.60, 0.05, 0.30},
+		{0.30, 0.20, 0.20, 0.30},
+		{0.10, 0.40, 0.02, 0.48},
+	}
+	s1, err := SummarizeTopDown(stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SummarizeTopDown(volatile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Score <= s1.Score {
+		t.Errorf("volatile score %v should exceed stable score %v", s2.Score, s1.Score)
+	}
+}
+
+func TestSummarizeTopDownLowMeanArtifact(t *testing.T) {
+	// The paper's lbm observation: a category with a tiny mean and high
+	// relative noise inflates μg(V) even when the benchmark is otherwise
+	// homogeneous.
+	withArtifact := []TopDown{
+		{0.02, 0.60, 0.001, 0.379},
+		{0.02, 0.60, 0.010, 0.370},
+		{0.02, 0.60, 0.0005, 0.3795},
+	}
+	without := []TopDown{
+		{0.02, 0.60, 0.05, 0.33},
+		{0.02, 0.60, 0.05, 0.33},
+		{0.02, 0.60, 0.05, 0.33},
+	}
+	sa, err := SummarizeTopDown(withArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := SummarizeTopDown(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.BadSpec.GeoStd <= sw.BadSpec.GeoStd {
+		t.Errorf("artifact σg(badspec) = %v, want > %v", sa.BadSpec.GeoStd, sw.BadSpec.GeoStd)
+	}
+	if sa.Score <= sw.Score {
+		t.Errorf("artifact μg(V) = %v should exceed homogeneous %v", sa.Score, sw.Score)
+	}
+}
+
+func TestSummarizeTopDownEmpty(t *testing.T) {
+	if _, err := SummarizeTopDown(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeCoverageGrouping(t *testing.T) {
+	covs := []Coverage{
+		{"hot": 0.90, "warm": 0.09, "tiny1": 0.0001, "tiny2": 0.0099},
+		{"hot": 0.88, "warm": 0.11, "tiny1": 0.0002, "tiny2": 0.0098},
+	}
+	sum, err := SummarizeCoverage(covs, CoverageOptions{OthersThreshold: 0.01, Offset: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range sum.Methods {
+		names[m.Name] = true
+	}
+	if !names["hot"] || !names["warm"] || !names["others"] {
+		t.Errorf("methods = %v, want hot, warm, others", names)
+	}
+	if names["tiny1"] || names["tiny2"] {
+		t.Errorf("tiny methods should have been grouped into others: %v", names)
+	}
+	if sum.Workloads != 2 {
+		t.Errorf("Workloads = %d, want 2", sum.Workloads)
+	}
+	// Methods must be sorted by descending geometric mean.
+	if sum.Methods[0].Name != "hot" {
+		t.Errorf("first method = %q, want hot", sum.Methods[0].Name)
+	}
+}
+
+func TestSummarizeCoverageKeepsMethodReachingThresholdOnce(t *testing.T) {
+	covs := []Coverage{
+		{"a": 0.999, "b": 0.001},
+		{"a": 0.5, "b": 0.5}, // b is large here, so it must be kept
+	}
+	sum, err := SummarizeCoverage(covs, CoverageOptions{OthersThreshold: 0.01, Offset: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range sum.Methods {
+		if m.Name == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("method b reaches threshold in one workload and must be kept")
+	}
+}
+
+func TestSummarizeCoverageStableVsVolatile(t *testing.T) {
+	stable := []Coverage{
+		{"a": 0.5, "b": 0.5},
+		{"a": 0.5, "b": 0.5},
+		{"a": 0.5, "b": 0.5},
+	}
+	volatile := []Coverage{
+		{"a": 0.9, "b": 0.1},
+		{"a": 0.1, "b": 0.9},
+		{"a": 0.5, "b": 0.5},
+	}
+	opts := DefaultCoverageOptions()
+	s1, err := SummarizeCoverage(stable, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SummarizeCoverage(volatile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Score <= s1.Score {
+		t.Errorf("volatile μg(M) = %v should exceed stable %v", s2.Score, s1.Score)
+	}
+}
+
+func TestSummarizeCoverageOffsetPreventsCollapse(t *testing.T) {
+	// A method absent from one workload would yield a zero fraction; the
+	// offset must keep the geometric statistics finite.
+	covs := []Coverage{
+		{"a": 1.0},
+		{"a": 0.5, "b": 0.5},
+	}
+	sum, err := SummarizeCoverage(covs, DefaultCoverageOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sum.Score) || math.IsInf(sum.Score, 0) || sum.Score <= 0 {
+		t.Errorf("Score = %v, want finite positive", sum.Score)
+	}
+}
+
+func TestSummarizeCoverageEmpty(t *testing.T) {
+	if _, err := SummarizeCoverage(nil, DefaultCoverageOptions()); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeCoverageRejectsNegativeOptions(t *testing.T) {
+	_, err := SummarizeCoverage([]Coverage{{"a": 1}}, CoverageOptions{OthersThreshold: -1})
+	if err == nil {
+		t.Error("negative threshold should be rejected")
+	}
+}

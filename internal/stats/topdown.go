@@ -1,0 +1,102 @@
+package stats
+
+import "fmt"
+
+// TopDown is one workload's top-down observation: the fraction of pipeline
+// slots classified into each of Intel's four top-level categories
+// (Section V-B). Fractions are in [0, 1] and should sum to ~1.
+type TopDown struct {
+	FrontEnd float64 // micro-ops could not be supplied by the front end
+	BackEnd  float64 // micro-ops stalled on back-end resources
+	BadSpec  float64 // micro-ops allocated but never retired
+	Retiring float64 // micro-ops allocated and retired
+}
+
+// Sum returns the total of the four fractions (≈ 1 for a well-formed
+// observation).
+func (t TopDown) Sum() float64 {
+	return t.FrontEnd + t.BackEnd + t.BadSpec + t.Retiring
+}
+
+// Normalize returns t scaled so that the four categories sum to exactly 1.
+// It returns an error when the observation is degenerate (sum ≤ 0).
+func (t TopDown) Normalize() (TopDown, error) {
+	s := t.Sum()
+	if s <= 0 {
+		return TopDown{}, fmt.Errorf("stats: degenerate top-down observation %+v", t)
+	}
+	return TopDown{
+		FrontEnd: t.FrontEnd / s,
+		BackEnd:  t.BackEnd / s,
+		BadSpec:  t.BadSpec / s,
+		Retiring: t.Retiring / s,
+	}, nil
+}
+
+// TopDownSummary is the Table II row fragment for one benchmark: the
+// geometric summary of each top-down category across workloads and the
+// combined variation score μg(V).
+type TopDownSummary struct {
+	FrontEnd CategorySummary
+	BackEnd  CategorySummary
+	BadSpec  CategorySummary
+	Retiring CategorySummary
+	// Score is μg(V), Eq. 4.
+	Score float64
+	// Workloads is the number of workloads summarized.
+	Workloads int
+}
+
+// Categories returns the four category summaries in the paper's order
+// (f, b, s, r).
+func (s TopDownSummary) Categories() []CategorySummary {
+	return []CategorySummary{s.FrontEnd, s.BackEnd, s.BadSpec, s.Retiring}
+}
+
+// floorFraction guards the geometric statistics against categories that are
+// exactly zero for some workload. Hardware counters never report an exact
+// zero over a full run (the paper's lbm bad-speculation mean is 0.4%, not
+// 0); the model can, so we clamp to a tiny floor rather than fail.
+const floorFraction = 1e-6
+
+// SummarizeTopDown computes the Section V-B summary over per-workload
+// top-down observations: μg and σg for each category (Eqs. 1–2), the
+// proportional variations (Eq. 3), and μg(V) (Eq. 4). Observations are
+// normalized first.
+func SummarizeTopDown(obs []TopDown) (TopDownSummary, error) {
+	if len(obs) == 0 {
+		return TopDownSummary{}, ErrEmpty
+	}
+	var f, b, sp, r []float64
+	for _, o := range obs {
+		n, err := o.Normalize()
+		if err != nil {
+			return TopDownSummary{}, err
+		}
+		f = append(f, max(n.FrontEnd, floorFraction))
+		b = append(b, max(n.BackEnd, floorFraction))
+		sp = append(sp, max(n.BadSpec, floorFraction))
+		r = append(r, max(n.Retiring, floorFraction))
+	}
+
+	var sum TopDownSummary
+	var err error
+	if sum.FrontEnd, err = Summarize("frontend", f); err != nil {
+		return TopDownSummary{}, err
+	}
+	if sum.BackEnd, err = Summarize("backend", b); err != nil {
+		return TopDownSummary{}, err
+	}
+	if sum.BadSpec, err = Summarize("badspec", sp); err != nil {
+		return TopDownSummary{}, err
+	}
+	if sum.Retiring, err = Summarize("retiring", r); err != nil {
+		return TopDownSummary{}, err
+	}
+	sum.Workloads = len(obs)
+	sum.Score, err = VariationScore(sum.Categories())
+	if err != nil {
+		return TopDownSummary{}, err
+	}
+	return sum, nil
+}

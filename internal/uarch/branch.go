@@ -1,0 +1,170 @@
+// Package uarch models the micro-architectural resources whose utilization
+// Intel's top-down methodology measures: branch prediction, the cache/TLB
+// hierarchy, and a pipeline-slot cycle-accounting model that classifies
+// every issue slot as front-end bound, back-end bound, bad speculation, or
+// retiring (Section V-B of the paper).
+//
+// The paper measured real hardware counters on an i7-2600; this package is
+// the synthetic substitute. It is driven by the *actual* branch outcomes and
+// memory addresses of the benchmark implementations, so workload-induced
+// behaviour changes surface in the same four categories the paper reports.
+package uarch
+
+// Predictor is a branch direction predictor. Predict-then-update is folded
+// into a single Observe call because the model never needs the prediction
+// without immediately learning the outcome.
+type Predictor interface {
+	// Observe records a dynamic branch at the given site with the actual
+	// outcome and reports whether the predictor had predicted it
+	// correctly.
+	Observe(site uint64, taken bool) (correct bool)
+	// Reset restores the initial predictor state.
+	Reset()
+}
+
+// twoBit is a saturating 2-bit counter: 0,1 predict not-taken; 2,3 predict
+// taken.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) update(taken bool) twoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a classic per-site 2-bit saturating counter predictor.
+type Bimodal struct {
+	table []twoBit
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters. Counters are
+// initialized to weakly taken, matching common hardware reset state.
+func NewBimodal(bits uint) *Bimodal {
+	n := uint64(1) << bits
+	b := &Bimodal{table: make([]twoBit, n), mask: n - 1}
+	b.Reset()
+	return b
+}
+
+// Reset restores every counter to weakly taken.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
+}
+
+// Observe implements Predictor.
+func (b *Bimodal) Observe(site uint64, taken bool) bool {
+	idx := mix(site) & b.mask
+	correct := b.table[idx].taken() == taken
+	b.table[idx] = b.table[idx].update(taken)
+	return correct
+}
+
+// GShare is a global-history predictor: the pattern-history table is indexed
+// by the branch site XOR the global outcome history.
+type GShare struct {
+	table   []twoBit
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare returns a gshare predictor with 2^bits counters and a history
+// register of historyLen bits.
+func NewGShare(bits, historyLen uint) *GShare {
+	n := uint64(1) << bits
+	g := &GShare{table: make([]twoBit, n), mask: n - 1, histLen: historyLen}
+	g.Reset()
+	return g
+}
+
+// Reset clears the history and restores counters to weakly taken.
+func (g *GShare) Reset() {
+	g.history = 0
+	for i := range g.table {
+		g.table[i] = 2
+	}
+}
+
+// Observe implements Predictor.
+func (g *GShare) Observe(site uint64, taken bool) bool {
+	idx := (mix(site) ^ g.history) & g.mask
+	correct := g.table[idx].taken() == taken
+	g.table[idx] = g.table[idx].update(taken)
+	g.history = (g.history << 1) & ((1 << g.histLen) - 1)
+	if taken {
+		g.history |= 1
+	}
+	return correct
+}
+
+// Tournament combines a bimodal and a gshare predictor with a per-site
+// chooser, approximating the hybrid predictors of the Sandy Bridge era
+// machines used in the paper.
+type Tournament struct {
+	bimodal *Bimodal
+	gshare  *GShare
+	chooser []twoBit // ≥2 selects gshare
+	mask    uint64
+}
+
+// NewTournament returns a tournament predictor with 2^bits entries in each
+// component table.
+func NewTournament(bits uint) *Tournament {
+	n := uint64(1) << bits
+	t := &Tournament{
+		bimodal: NewBimodal(bits),
+		gshare:  NewGShare(bits, 12),
+		chooser: make([]twoBit, n),
+		mask:    n - 1,
+	}
+	t.Reset()
+	return t
+}
+
+// Reset restores all component predictors and the chooser.
+func (t *Tournament) Reset() {
+	t.bimodal.Reset()
+	t.gshare.Reset()
+	for i := range t.chooser {
+		t.chooser[i] = 2 // weakly prefer gshare
+	}
+}
+
+// Observe implements Predictor.
+func (t *Tournament) Observe(site uint64, taken bool) bool {
+	idx := mix(site) & t.mask
+	useGshare := t.chooser[idx].taken()
+	bCorrect := t.bimodal.Observe(site, taken)
+	gCorrect := t.gshare.Observe(site, taken)
+	// Train the chooser toward whichever component was right.
+	if gCorrect != bCorrect {
+		t.chooser[idx] = t.chooser[idx].update(gCorrect)
+	}
+	if useGshare {
+		return gCorrect
+	}
+	return bCorrect
+}
+
+// mix is a 64-bit finalizer (splitmix64) that spreads branch-site
+// identifiers across the predictor tables.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,214 @@
+package uarch
+
+import "fmt"
+
+// Cache is a set-associative cache (or TLB, with LineSize = page size) with
+// true-LRU replacement.
+type Cache struct {
+	name      string
+	sets      uint64
+	ways      int
+	lineShift uint
+	// lines[set*ways+way] holds the tag; lru[set*ways+way] holds the age
+	// (0 = most recently used).
+	lines []uint64
+	valid []bool
+	lru   []uint8
+
+	accesses uint64
+	misses   uint64
+}
+
+// CacheConfig describes a cache geometry.
+type CacheConfig struct {
+	Name     string
+	SizeB    uint64 // total capacity in bytes
+	Ways     int
+	LineSize uint64 // bytes per line (page size for TLBs)
+}
+
+// NewCache builds a cache from its geometry. It panics on invalid geometry
+// because configurations are compile-time constants of the model.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Ways <= 0 || cfg.SizeB == 0 || cfg.LineSize == 0 {
+		panic(fmt.Sprintf("uarch: invalid cache config %+v", cfg))
+	}
+	if cfg.SizeB%(uint64(cfg.Ways)*cfg.LineSize) != 0 {
+		panic(fmt.Sprintf("uarch: cache %q size %d not divisible by ways*linesize", cfg.Name, cfg.SizeB))
+	}
+	sets := cfg.SizeB / (uint64(cfg.Ways) * cfg.LineSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("uarch: cache %q set count %d not a power of two", cfg.Name, sets))
+	}
+	shift := uint(0)
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	if cfg.LineSize != 1<<shift {
+		panic(fmt.Sprintf("uarch: cache %q line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	n := int(sets) * cfg.Ways
+	return &Cache{
+		name:      cfg.Name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: shift,
+		lines:     make([]uint64, n),
+		valid:     make([]bool, n),
+		lru:       make([]uint8, n),
+	}
+}
+
+// Access looks up addr, updating replacement state, and reports whether it
+// hit. On a miss the line is installed.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := line % c.sets
+	tag := line / c.sets
+	base := int(set) * c.ways
+
+	// Hit path.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == tag {
+			c.touch(base, w)
+			return true
+		}
+	}
+
+	// Miss: fill the LRU (or first invalid) way.
+	c.misses++
+	victim := 0
+	oldest := uint8(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= oldest {
+			oldest = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.lines[base+victim] = tag
+	c.valid[base+victim] = true
+	// Treat the victim as the oldest line so that touch ages every other
+	// way; otherwise cold fills would collapse all ages to zero and the
+	// set would degenerate to fixed-way replacement.
+	c.lru[base+victim] = uint8(c.ways - 1)
+	c.touch(base, victim)
+	return false
+}
+
+// touch marks way w of the set at base as most recently used.
+func (c *Cache) touch(base, w int) {
+	age := c.lru[base+w]
+	for i := 0; i < c.ways; i++ {
+		if c.lru[base+i] < age {
+			c.lru[base+i]++
+		}
+	}
+	c.lru[base+w] = 0
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.accesses = 0
+	c.misses = 0
+}
+
+// Stats reports accesses and misses since the last Reset.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses, or 0 when the cache was never accessed.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.name }
+
+// MemoryResult classifies where a data access was satisfied.
+type MemoryResult int
+
+// Levels of the modeled memory hierarchy, ordered by increasing latency.
+const (
+	HitL1 MemoryResult = iota
+	HitL2
+	HitLLC
+	HitMemory
+)
+
+// String returns the level name.
+func (r MemoryResult) String() string {
+	switch r {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitLLC:
+		return "LLC"
+	default:
+		return "memory"
+	}
+}
+
+// Hierarchy is an inclusive three-level data-cache hierarchy plus a DTLB,
+// mirroring the i7-2600 memory system the paper's measurements ran on.
+type Hierarchy struct {
+	L1   *Cache
+	L2   *Cache
+	LLC  *Cache
+	DTLB *Cache
+
+	tlbMisses uint64
+}
+
+// NewHierarchy builds the default hierarchy: 32 KiB/8-way L1, 256 KiB/8-way
+// L2, 8 MiB/16-way LLC, 64-entry 4-way DTLB with 4 KiB pages.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:   NewCache(CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineSize: 64}),
+		L2:   NewCache(CacheConfig{Name: "L2", SizeB: 256 << 10, Ways: 8, LineSize: 64}),
+		LLC:  NewCache(CacheConfig{Name: "LLC", SizeB: 8 << 20, Ways: 16, LineSize: 64}),
+		DTLB: NewCache(CacheConfig{Name: "DTLB", SizeB: 64 * 4096, Ways: 4, LineSize: 4096}),
+	}
+}
+
+// Access walks addr through the hierarchy and reports the level that
+// satisfied it plus whether the DTLB missed.
+func (h *Hierarchy) Access(addr uint64) (MemoryResult, bool) {
+	tlbMiss := !h.DTLB.Access(addr)
+	if tlbMiss {
+		h.tlbMisses++
+	}
+	if h.L1.Access(addr) {
+		return HitL1, tlbMiss
+	}
+	if h.L2.Access(addr) {
+		return HitL2, tlbMiss
+	}
+	if h.LLC.Access(addr) {
+		return HitLLC, tlbMiss
+	}
+	return HitMemory, tlbMiss
+}
+
+// Reset clears all levels and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+	h.DTLB.Reset()
+	h.tlbMisses = 0
+}
+
+// TLBMisses reports DTLB misses since the last Reset.
+func (h *Hierarchy) TLBMisses() uint64 { return h.tlbMisses }

@@ -1,0 +1,159 @@
+package uarch
+
+// Model holds the cost parameters of the pipeline-slot accounting model.
+// Every event observed by the profiler is converted to issue slots in one of
+// the four top-down categories; fractions are then slots-per-category over
+// total slots, exactly as Intel's methodology defines them.
+type Model struct {
+	// IssueWidth is the number of micro-op issue slots per cycle.
+	IssueWidth uint64
+	// MispredictPenalty is the number of cycles of issue lost to a branch
+	// mispredict (pipeline re-steer + wrong-path work).
+	MispredictPenalty uint64
+	// TakenBranchBubble is the front-end fetch-redirect cost, in cycles,
+	// charged per taken branch (even correctly predicted taken branches
+	// redirect the fetch stream).
+	TakenBranchBubble uint64
+	// L2HitPenalty, LLCHitPenalty, MemPenalty are the additional stall
+	// cycles charged to the back end for a load satisfied at each level.
+	// L1 hits are assumed fully hidden by out-of-order execution.
+	L2HitPenalty  uint64
+	LLCHitPenalty uint64
+	MemPenalty    uint64
+	// TLBPenalty is the page-walk stall charged per DTLB miss.
+	TLBPenalty uint64
+	// LongOpPenalty is the back-end stall charged per long-latency
+	// arithmetic op (divisions, square roots, transcendental kernels).
+	LongOpPenalty uint64
+	// ICacheMissPenalty and ITLBMissPenalty are front-end fetch stalls.
+	ICacheMissPenalty uint64
+	ITLBMissPenalty   uint64
+	// MLP is the memory-level-parallelism divisor: the modeled back-end
+	// memory stall is the raw latency sum divided by MLP, reflecting
+	// overlapping misses. Must be ≥ 1.
+	MLP uint64
+}
+
+// DefaultModel returns cost parameters loosely calibrated to the Sandy
+// Bridge i7-2600 generation used in the paper: 4-wide issue, ~15-cycle
+// mispredict penalty, 12/26/180-cycle L2/LLC/memory latencies.
+func DefaultModel() Model {
+	return Model{
+		IssueWidth:        4,
+		MispredictPenalty: 12,
+		TakenBranchBubble: 2,
+		L2HitPenalty:      12,
+		LLCHitPenalty:     26,
+		MemPenalty:        180,
+		TLBPenalty:        30,
+		LongOpPenalty:     20,
+		ICacheMissPenalty: 14,
+		ITLBMissPenalty:   30,
+		MLP:               2,
+	}
+}
+
+// Events aggregates the raw activity of an instrumented region or program.
+type Events struct {
+	Ops         uint64 // retired simple micro-ops
+	LongOps     uint64 // retired long-latency micro-ops (also counted toward retiring)
+	Branches    uint64 // dynamic conditional branches (retire as ops too)
+	Taken       uint64 // taken branches (fetch redirects)
+	Mispredicts uint64 // branches the modeled predictor got wrong
+	Loads       uint64
+	Stores      uint64
+	L2Hits      uint64 // loads satisfied in L2
+	LLCHits     uint64 // loads satisfied in LLC
+	MemHits     uint64 // loads satisfied in DRAM
+	TLBMisses   uint64
+	ICMisses    uint64 // instruction-cache misses
+	ITLBMisses  uint64
+}
+
+// Add accumulates o into e.
+func (e *Events) Add(o Events) {
+	e.Ops += o.Ops
+	e.LongOps += o.LongOps
+	e.Branches += o.Branches
+	e.Taken += o.Taken
+	e.Mispredicts += o.Mispredicts
+	e.Loads += o.Loads
+	e.Stores += o.Stores
+	e.L2Hits += o.L2Hits
+	e.LLCHits += o.LLCHits
+	e.MemHits += o.MemHits
+	e.TLBMisses += o.TLBMisses
+	e.ICMisses += o.ICMisses
+	e.ITLBMisses += o.ITLBMisses
+}
+
+// Slots is the top-down classification of all issue slots of a region.
+type Slots struct {
+	Retiring uint64
+	BadSpec  uint64
+	FrontEnd uint64
+	BackEnd  uint64
+}
+
+// Total returns the total number of issue slots.
+func (s Slots) Total() uint64 { return s.Retiring + s.BadSpec + s.FrontEnd + s.BackEnd }
+
+// Add accumulates o into s.
+func (s *Slots) Add(o Slots) {
+	s.Retiring += o.Retiring
+	s.BadSpec += o.BadSpec
+	s.FrontEnd += o.FrontEnd
+	s.BackEnd += o.BackEnd
+}
+
+// Fractions returns the four slot fractions (f, b, s, r order is the
+// caller's concern; fields are named). A region with no slots returns all
+// zeros.
+func (s Slots) Fractions() (frontend, backend, badspec, retiring float64) {
+	t := s.Total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	ft := float64(t)
+	return float64(s.FrontEnd) / ft, float64(s.BackEnd) / ft, float64(s.BadSpec) / ft, float64(s.Retiring) / ft
+}
+
+// Account converts raw events into classified issue slots under the model.
+func (m Model) Account(e Events) Slots {
+	mlp := m.MLP
+	if mlp == 0 {
+		mlp = 1
+	}
+
+	// Retiring: every retired op occupies one slot. Memory ops and
+	// branches retire as ops; callers count them in Ops as well as in
+	// their specific counters, or not — we defensively add the specific
+	// counters so a caller that only reports Loads still retires them.
+	retiring := e.Ops + e.LongOps
+
+	// Bad speculation: every mispredict throws away a full pipeline's
+	// worth of issue for the re-steer period.
+	badSpec := e.Mispredicts * m.MispredictPenalty * m.IssueWidth
+
+	// Back end: memory stalls (divided by the MLP factor to model
+	// overlapping misses) plus long-op and TLB stalls.
+	memStall := (e.L2Hits*m.L2HitPenalty + e.LLCHits*m.LLCHitPenalty + e.MemHits*m.MemPenalty) / mlp
+	backStall := memStall + e.TLBMisses*m.TLBPenalty + e.LongOps*m.LongOpPenalty
+	backEnd := backStall * m.IssueWidth
+
+	// Front end: fetch stalls, including taken-branch redirect bubbles.
+	frontStall := e.ICMisses*m.ICacheMissPenalty + e.ITLBMisses*m.ITLBMissPenalty +
+		e.Taken*m.TakenBranchBubble
+	frontEnd := frontStall * m.IssueWidth
+
+	return Slots{Retiring: retiring, BadSpec: badSpec, FrontEnd: frontEnd, BackEnd: backEnd}
+}
+
+// Cycles converts classified slots to modeled core cycles.
+func (m Model) Cycles(s Slots) uint64 {
+	w := m.IssueWidth
+	if w == 0 {
+		w = 1
+	}
+	return (s.Total() + w - 1) / w
+}
