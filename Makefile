@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The harness worker pool is race-checked on every run.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+check: build vet race

@@ -16,7 +16,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/benchmarks"
@@ -29,8 +31,12 @@ import (
 )
 
 // benchOpts keeps regeneration runs affordable: one repetition (the modeled
-// measurements are deterministic) and moderate event sampling.
-func benchOpts() harness.Options { return harness.Options{Reps: 1, Stride: 2} }
+// measurements are deterministic), moderate event sampling, and the full
+// worker pool — results are bit-identical to a serial run except for
+// WallSeconds, which no regeneration consumes.
+func benchOpts() harness.Options {
+	return harness.Options{Reps: 1, Stride: 2, Workers: runtime.GOMAXPROCS(0)}
+}
 
 // runSubSuite measures the named benchmarks only.
 func runSubSuite(b *testing.B, names ...string) harness.SuiteResults {
@@ -51,7 +57,7 @@ func runSubSuite(b *testing.B, names ...string) harness.SuiteResults {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := harness.RunSuite(sub, benchOpts())
+	res, err := harness.RunSuite(context.Background(), sub, benchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -87,7 +93,7 @@ func BenchmarkTableII(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		results, err := harness.RunSuite(suite, benchOpts())
+		results, err := harness.RunSuite(context.Background(), suite, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -248,7 +254,7 @@ func BenchmarkSingleWorkloads(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				m, err := harness.RunWorkload(bench, w, harness.Options{Reps: 1, Stride: 4})
+				m, err := harness.RunWorkload(context.Background(), bench, w, harness.Options{Reps: 1, Stride: 4})
 				if err != nil {
 					b.Fatal(err)
 				}

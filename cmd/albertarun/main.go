@@ -7,12 +7,21 @@
 //	albertarun -fig2            # Figure 2 data: method coverage per workload
 //	albertarun -fdo             # FDO cross-validation study
 //	albertarun -bench 557.xz_r  # restrict to one benchmark
+//	albertarun -parallel 8      # bound the measurement worker pool
+//	albertarun -table2 -json    # machine-readable rows instead of text
+//
+// A SIGINT cancels the run: outstanding measurements are abandoned and the
+// command exits with the context error.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"repro/internal/benchmarks"
 	"repro/internal/cluster"
@@ -22,148 +31,308 @@ import (
 	"repro/internal/optstudy"
 )
 
+// config carries every flag once; experiment funcs take it instead of a
+// positional-argument list, so adding a mode no longer changes call sites.
+type config struct {
+	bench    string
+	reps     int
+	stride   int
+	parallel int
+	failFast bool
+	jsonOut  bool
+	verbose  bool
+	clusterK int
+
+	// results caches the suite run so that several characterization modes
+	// requested together (e.g. -table1 -table2 -fig1) share one run, as
+	// the pre-redesign CLI did.
+	results harness.SuiteResults
+}
+
+func (c *config) options() harness.Options {
+	opts := harness.Options{
+		Reps:     c.reps,
+		Stride:   c.stride,
+		Workers:  c.parallel,
+		FailFast: c.failFast,
+	}
+	if c.verbose {
+		opts.Progress = func(e harness.Event) {
+			switch e.Kind {
+			case harness.EventWorkloadDone:
+				fmt.Fprintf(os.Stderr, "albertarun: [%d/%d] %s/%s\n",
+					e.Completed, e.Total, e.Benchmark, e.Workload)
+			case harness.EventWorkloadError:
+				fmt.Fprintf(os.Stderr, "albertarun: [%d/%d] %s/%s FAILED: %v\n",
+					e.Completed, e.Total, e.Benchmark, e.Workload, e.Err)
+			}
+		}
+	}
+	return opts
+}
+
+// suiteResults runs the characterization matrix once per invocation and
+// caches it for subsequent modes.
+func (c *config) suiteResults(ctx context.Context, suite *core.Suite) (harness.SuiteResults, error) {
+	if c.results == nil {
+		res, err := harness.NewRunner(suite, c.options()).Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.results = res
+	}
+	return c.results, nil
+}
+
+// emitJSON writes one machine-readable document for a mode's result. Field
+// names come from the row types' json tags and are stable.
+func emitJSON(key string, v any) error {
+	doc, err := json.MarshalIndent(map[string]any{key: v}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(doc))
+	return err
+}
+
+// mode is one experiment: a flag name and its implementation. Modes run in
+// table order; several may be selected in one invocation.
+type mode struct {
+	name string
+	help string
+	run  func(ctx context.Context, cfg *config, suite *core.Suite) error
+	// text is true for modes whose output is inherently textual; they
+	// reject -json rather than silently ignoring it.
+	textOnly bool
+}
+
+var modes = []mode{
+	{name: "list", help: "list benchmarks and workload inventories", run: runList, textOnly: true},
+	{name: "fdo", help: "run the FDO cross-validation study", run: runFDO, textOnly: true},
+	{name: "optstudy", help: "run the optimization-level variation study", run: runOptStudy, textOnly: true},
+	{name: "kernels", help: "rank benchmarks by how poorly a single-workload kernel represents them", run: runKernels},
+	{name: "report", help: "emit the per-benchmark report (execution time bars, top-down, hot methods)", run: runReport, textOnly: true},
+	{name: "table1", help: "reproduce Table I", run: runTable1},
+	{name: "table2", help: "reproduce Table II", run: runTable2},
+	{name: "fig1", help: "emit Figure 1 data (xalancbmk vs xz)", run: runFig1},
+	{name: "fig2", help: "emit Figure 2 data (deepsjeng vs xz)", run: runFig2},
+}
+
 func main() {
-	var (
-		table1   = flag.Bool("table1", false, "reproduce Table I")
-		table2   = flag.Bool("table2", false, "reproduce Table II")
-		fig1     = flag.Bool("fig1", false, "emit Figure 1 data (xalancbmk vs xz)")
-		fig2     = flag.Bool("fig2", false, "emit Figure 2 data (deepsjeng vs xz)")
-		fdoRun   = flag.Bool("fdo", false, "run the FDO cross-validation study")
-		clusterK = flag.Int("cluster", 0, "cluster each benchmark's workloads into k groups (Berube workload reduction)")
-		optStudy = flag.Bool("optstudy", false, "run the optimization-level variation study")
-		report   = flag.Bool("report", false, "emit the per-benchmark report (execution time bars, top-down, hot methods)")
-		kernels  = flag.Bool("kernels", false, "rank benchmarks by how poorly a single-workload kernel represents them")
-		bench    = flag.String("bench", "", "restrict to one benchmark (e.g. 505.mcf_r)")
-		reps     = flag.Int("reps", 3, "repetitions per workload (paper: 3)")
-		stride   = flag.Int("stride", 1, "profiler event sampling stride (1 = exact)")
-		listAll  = flag.Bool("list", false, "list benchmarks and workload inventories")
-	)
+	cfg := &config{}
+	selected := make(map[string]*bool, len(modes))
+	for _, m := range modes {
+		selected[m.name] = flag.Bool(m.name, false, m.help)
+	}
+	flag.IntVar(&cfg.clusterK, "cluster", 0, "cluster each benchmark's workloads into k groups (Berube workload reduction)")
+	flag.StringVar(&cfg.bench, "bench", "", "restrict to one benchmark (e.g. 505.mcf_r)")
+	flag.IntVar(&cfg.reps, "reps", 3, "repetitions per workload (paper: 3)")
+	flag.IntVar(&cfg.stride, "stride", 1, "profiler event sampling stride (1 = exact)")
+	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "measurement worker pool size (1 = serial)")
+	flag.BoolVar(&cfg.failFast, "failfast", false, "abort the whole run on the first measurement error")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON instead of text tables")
+	flag.BoolVar(&cfg.verbose, "v", false, "report per-workload progress on stderr")
 	flag.Parse()
 
-	if err := run(*table1, *table2, *fig1, *fig2, *fdoRun, *listAll, *bench, *reps, *stride, *clusterK, *optStudy, *report, *kernels); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, cfg, selected); err != nil {
 		fmt.Fprintln(os.Stderr, "albertarun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, table2, fig1, fig2, fdoRun, listAll bool, bench string, reps, stride, clusterK int, optStudy, report, kernels bool) error {
-	if !table1 && !table2 && !fig1 && !fig2 && !fdoRun && !listAll && clusterK == 0 && !optStudy && !report && !kernels {
-		table2 = true // default action
+func run(ctx context.Context, cfg *config, selected map[string]*bool) error {
+	var active []mode
+	for _, m := range modes {
+		if *selected[m.name] {
+			active = append(active, m)
+		}
 	}
-	opts := harness.Options{Reps: reps, Stride: stride}
+	if cfg.clusterK > 0 {
+		active = append(active, mode{name: "cluster", run: runCluster, textOnly: true})
+	}
+	if len(active) == 0 {
+		active = []mode{{name: "table2", run: runTable2}} // default action
+	}
+	if cfg.jsonOut {
+		for _, m := range active {
+			if m.textOnly {
+				return fmt.Errorf("mode -%s has no JSON form", m.name)
+			}
+		}
+	}
 
 	suite, err := benchmarks.CharacterizedSuite()
 	if err != nil {
 		return err
 	}
-	if listAll {
-		full, err := benchmarks.Suite()
-		if err != nil {
-			return err
-		}
-		for _, b := range full.Benchmarks() {
-			ws, err := b.Workloads()
-			if err != nil {
-				return err
-			}
-			counts := map[core.Kind]int{}
-			for _, w := range ws {
-				counts[w.WorkloadKind()]++
-			}
-			fmt.Printf("%-18s %-34s train=%d refrate=%d alberta=%d\n",
-				b.Name(), b.Area(), counts[core.KindTrain], counts[core.KindRefrate], counts[core.KindAlberta])
-		}
-		return nil
-	}
-	if fdoRun {
-		for _, p := range fdo.StudyPrograms() {
-			cv, err := fdo.CrossValidate(p)
-			if err != nil {
-				return err
-			}
-			fmt.Print(fdo.FormatCrossValidation(cv))
-			fmt.Println()
-		}
-		return nil
-	}
-	if optStudy {
-		rows, err := optstudy.Run(fdo.StudyPrograms())
-		if err != nil {
-			return err
-		}
-		fmt.Print(optstudy.Format(rows))
-		return nil
-	}
-
-	if bench != "" {
-		b, ok := suite.Lookup(bench)
+	if cfg.bench != "" {
+		b, ok := suite.Lookup(cfg.bench)
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (try -list)", bench)
+			return fmt.Errorf("unknown benchmark %q (try -list)", cfg.bench)
 		}
-		suite, err = core.NewSuite(b)
-		if err != nil {
+		if suite, err = core.NewSuite(b); err != nil {
 			return err
 		}
 	}
 
-	results, err := harness.RunSuite(suite, opts)
+	for _, m := range active {
+		if err := m.run(ctx, cfg, suite); err != nil {
+			return fmt.Errorf("-%s: %w", m.name, err)
+		}
+	}
+	return nil
+}
+
+func runList(ctx context.Context, cfg *config, suite *core.Suite) error {
+	full, err := benchmarks.Suite()
 	if err != nil {
 		return err
 	}
-	if kernels {
-		rows, err := harness.KernelRepresentativeness(results)
+	for _, b := range full.Benchmarks() {
+		ws, err := b.Workloads()
 		if err != nil {
 			return err
 		}
-		fmt.Print(harness.FormatKernelRows(rows))
-		return nil
-	}
-	if report {
-		for _, name := range results.SortedBenchmarks() {
-			fmt.Println(harness.BenchmarkReport(name, results[name]))
+		counts := map[core.Kind]int{}
+		for _, w := range ws {
+			counts[w.WorkloadKind()]++
 		}
-		return nil
+		fmt.Printf("%-18s %-34s train=%d refrate=%d alberta=%d\n",
+			b.Name(), b.Area(), counts[core.KindTrain], counts[core.KindRefrate], counts[core.KindAlberta])
 	}
-	if clusterK > 0 {
-		for _, name := range results.SortedBenchmarks() {
-			ms := results[name]
-			k := clusterK
-			if k > len(ms) {
-				k = len(ms)
-			}
-			reps, cl, err := cluster.Representatives(ms, k)
-			if err != nil {
-				return err
-			}
-			fmt.Print(cluster.FormatClustering(name, ms, cl, reps))
+	return nil
+}
+
+func runFDO(ctx context.Context, cfg *config, suite *core.Suite) error {
+	for _, p := range fdo.StudyPrograms() {
+		cv, err := fdo.CrossValidate(p)
+		if err != nil {
+			return err
 		}
-		return nil
-	}
-	if table1 {
-		fmt.Print(harness.FormatTableI(harness.TableI(results)))
+		fmt.Print(fdo.FormatCrossValidation(cv))
 		fmt.Println()
 	}
-	if table2 {
-		rows, err := harness.TableII(results)
+	return nil
+}
+
+func runOptStudy(ctx context.Context, cfg *config, suite *core.Suite) error {
+	rows, err := optstudy.Run(fdo.StudyPrograms())
+	if err != nil {
+		return err
+	}
+	fmt.Print(optstudy.Format(rows))
+	return nil
+}
+
+func runKernels(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	rows, err := harness.KernelRepresentativeness(results)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		return emitJSON("kernels", rows)
+	}
+	fmt.Print(harness.FormatKernelRows(rows))
+	return nil
+}
+
+func runReport(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	for _, name := range results.SortedBenchmarks() {
+		fmt.Println(harness.BenchmarkReport(name, results[name]))
+	}
+	return nil
+}
+
+func runCluster(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	for _, name := range results.SortedBenchmarks() {
+		ms := results[name]
+		k := cfg.clusterK
+		if k > len(ms) {
+			k = len(ms)
+		}
+		reps, cl, err := cluster.Representatives(ms, k)
 		if err != nil {
 			return err
 		}
-		fmt.Print(harness.FormatTableII(rows))
+		fmt.Print(cluster.FormatClustering(name, ms, cl, reps))
 	}
-	if fig1 {
-		series, err := harness.Figure1(results, pick(results, bench, "523.xalancbmk_r", "557.xz_r")...)
-		if err != nil {
-			return err
-		}
-		fmt.Print(harness.FormatFigure1(series))
+	return nil
+}
+
+func runTable1(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
 	}
-	if fig2 {
-		series, err := harness.Figure2(results, 6, pick(results, bench, "531.deepsjeng_r", "557.xz_r")...)
-		if err != nil {
-			return err
-		}
-		fmt.Print(harness.FormatFigure2(series))
+	rows := harness.TableI(results)
+	if cfg.jsonOut {
+		return emitJSON("table1", rows)
 	}
+	fmt.Print(harness.FormatTableI(rows))
+	fmt.Println()
+	return nil
+}
+
+func runTable2(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	rows, err := harness.TableII(results)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		return emitJSON("table2", rows)
+	}
+	fmt.Print(harness.FormatTableII(rows))
+	return nil
+}
+
+func runFig1(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	series, err := harness.Figure1(results, pick(results, cfg.bench, "523.xalancbmk_r", "557.xz_r")...)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		return emitJSON("figure1", series)
+	}
+	fmt.Print(harness.FormatFigure1(series))
+	return nil
+}
+
+func runFig2(ctx context.Context, cfg *config, suite *core.Suite) error {
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	series, err := harness.Figure2(results, 6, pick(results, cfg.bench, "531.deepsjeng_r", "557.xz_r")...)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		return emitJSON("figure2", series)
+	}
+	fmt.Print(harness.FormatFigure2(series))
 	return nil
 }
 

@@ -4,9 +4,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"repro/internal/benchmarks"
@@ -18,6 +20,7 @@ func main() {
 	which := flag.String("benchmarks", "531.deepsjeng_r,557.xz_r",
 		"comma-separated benchmark names to characterize")
 	reps := flag.Int("reps", 3, "repetitions per workload (paper: 3)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "measurement worker pool size (1 = serial)")
 	flag.Parse()
 
 	full, err := benchmarks.Suite()
@@ -40,7 +43,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results, err := harness.RunSuite(suite, harness.Options{Reps: *reps, Stride: 2})
+	results, err := harness.RunSuite(context.Background(), suite,
+		harness.Options{Reps: *reps, Stride: 2, Workers: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}

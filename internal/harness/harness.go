@@ -1,9 +1,16 @@
 // Package harness runs the characterization experiments of Section V: the
 // benchmark × workload × repetition matrix, the Table I and Table II
 // summaries, and the per-workload series behind Figures 1 and 2.
+//
+// The matrix is executed by a Runner, which fans (benchmark, workload)
+// pairs out over a bounded worker pool and assembles results in
+// deterministic inventory order regardless of scheduling. RunSuite,
+// RunBenchmark and RunWorkload are thin convenience wrappers over the
+// Runner.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -24,6 +31,21 @@ type Options struct {
 	// IncludeTest keeps the SPEC test inputs (excluded by default, as in
 	// the paper).
 	IncludeTest bool
+	// Workers bounds the number of (benchmark, workload) measurements in
+	// flight at once. Zero or negative means runtime.GOMAXPROCS(0);
+	// Workers = 1 reproduces the serial path. Every measurement uses its
+	// own perf.Profiler, so any worker count yields bit-identical results
+	// except for the WallSeconds field.
+	Workers int
+	// FailFast cancels outstanding work on the first measurement error
+	// and returns that error alone. When false, the run continues past
+	// failures and reports them all in a *RunError alongside the partial
+	// results.
+	FailFast bool
+	// Progress, when non-nil, receives an Event as each workload
+	// measurement starts and finishes. The Runner serializes calls, so
+	// the callback needs no locking of its own.
+	Progress func(Event)
 }
 
 // DefaultOptions mirror the paper's methodology.
@@ -31,26 +53,34 @@ func DefaultOptions() Options { return Options{Reps: 3, Stride: 1} }
 
 // Measurement is the summarized observation of one workload (over reps).
 type Measurement struct {
-	Benchmark string
-	Workload  string
-	Kind      core.Kind
-	Checksum  uint64
-	TopDown   stats.TopDown
-	Coverage  stats.Coverage
-	Cycles    uint64
+	Benchmark string         `json:"benchmark"`
+	Workload  string         `json:"workload"`
+	Kind      core.Kind      `json:"kind"`
+	Checksum  uint64         `json:"checksum"`
+	TopDown   stats.TopDown  `json:"top_down"`
+	Coverage  stats.Coverage `json:"coverage"`
+	Cycles    uint64         `json:"cycles"`
 	// ModeledSeconds is cycles at the modeled 3.4 GHz clock.
-	ModeledSeconds float64
-	// WallSeconds is the mean wall-clock run time of the repetitions.
-	WallSeconds float64
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	// WallSeconds is the mean wall-clock run time of the repetitions. It
+	// is the only field that may differ between runs (and between worker
+	// counts); everything else is deterministic.
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// RunWorkload executes one benchmark/workload pair opts.Reps times.
-func RunWorkload(b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
+// RunWorkload executes one benchmark/workload pair opts.Reps times. The
+// context is checked between repetitions; a benchmark's Run itself is not
+// interruptible.
+func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
 	if opts.Reps < 1 {
 		opts.Reps = 1
 	}
 	var m Measurement
+	first := true
 	for rep := 0; rep < opts.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		p := perf.NewWithOptions(perf.Options{Stride: opts.Stride})
 		start := time.Now()
 		res, err := b.Run(w, p)
@@ -58,18 +88,19 @@ func RunWorkload(b core.Benchmark, w core.Workload, opts Options) (Measurement, 
 			return Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
 		}
 		wall := time.Since(start).Seconds()
-		rep := p.Report()
-		if m.Checksum == 0 {
+		report := p.Report()
+		if first {
+			first = false
 			m = Measurement{
 				Benchmark: b.Name(),
 				Workload:  w.WorkloadName(),
 				Kind:      w.WorkloadKind(),
 				Checksum:  res.Checksum,
-				TopDown:   rep.TopDown,
-				Coverage:  rep.Coverage,
-				Cycles:    rep.Cycles,
+				TopDown:   report.TopDown,
+				Coverage:  report.Coverage,
+				Cycles:    report.Cycles,
 			}
-			m.ModeledSeconds = perf.ModeledSeconds(rep.Cycles)
+			m.ModeledSeconds = perf.ModeledSeconds(report.Cycles)
 		} else if m.Checksum != res.Checksum {
 			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
 				b.Name(), w.WorkloadName())
@@ -80,8 +111,9 @@ func RunWorkload(b core.Benchmark, w core.Workload, opts Options) (Measurement, 
 	return m, nil
 }
 
-// RunBenchmark measures every (measurement) workload of b.
-func RunBenchmark(b core.Benchmark, opts Options) ([]Measurement, error) {
+// measurementInventory returns b's workloads under the Options' test-input
+// policy.
+func measurementInventory(b core.Benchmark, opts Options) ([]core.Workload, error) {
 	var ws []core.Workload
 	var err error
 	if opts.IncludeTest {
@@ -92,31 +124,30 @@ func RunBenchmark(b core.Benchmark, opts Options) ([]Measurement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name(), err)
 	}
-	out := make([]Measurement, 0, len(ws))
-	for _, w := range ws {
-		m, err := RunWorkload(b, w, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
+	return ws, nil
+}
+
+// RunBenchmark measures every (measurement) workload of b. It is a thin
+// wrapper over a single-benchmark Runner.
+func RunBenchmark(ctx context.Context, b core.Benchmark, opts Options) ([]Measurement, error) {
+	s, err := core.NewSuite(b)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	res, err := NewRunner(s, opts).Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res[b.Name()], nil
 }
 
 // SuiteResults maps benchmark name to its per-workload measurements.
 type SuiteResults map[string][]Measurement
 
-// RunSuite measures every benchmark of the suite.
-func RunSuite(s *core.Suite, opts Options) (SuiteResults, error) {
-	res := SuiteResults{}
-	for _, b := range s.Benchmarks() {
-		ms, err := RunBenchmark(b, opts)
-		if err != nil {
-			return nil, err
-		}
-		res[b.Name()] = ms
-	}
-	return res, nil
+// RunSuite measures every benchmark of the suite. It is a thin wrapper
+// over NewRunner(s, opts).Run(ctx).
+func RunSuite(ctx context.Context, s *core.Suite, opts Options) (SuiteResults, error) {
+	return NewRunner(s, opts).Run(ctx)
 }
 
 // refrateOf finds the refrate measurement in a benchmark's list.

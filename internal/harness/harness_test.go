@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestRunWorkloadRepetitionsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := RunWorkload(b, w, quickOpts())
+	m, err := RunWorkload(context.Background(), b, w, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestRunWorkloadRepetitionsAgree(t *testing.T) {
 
 func TestRunBenchmarkExcludesTestByDefault(t *testing.T) {
 	b := &quickBench{name: "900.quick_r"}
-	ms, err := RunBenchmark(b, quickOpts())
+	ms, err := RunBenchmark(context.Background(), b, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRunBenchmarkExcludesTestByDefault(t *testing.T) {
 	}
 	withTest := quickOpts()
 	withTest.IncludeTest = true
-	ms, err = RunBenchmark(b, withTest)
+	ms, err = RunBenchmark(context.Background(), b, withTest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRunSuiteAndTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSuite(s, quickOpts())
+	res, err := RunSuite(context.Background(), s, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFigure1Extraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSuite(s, quickOpts())
+	res, err := RunSuite(context.Background(), s, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestFigure2Extraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSuite(s, quickOpts())
+	res, err := RunSuite(context.Background(), s, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestRealBenchmarkThroughHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := RunWorkload(b, w, Options{Reps: 2, Stride: 4})
+	m, err := RunWorkload(context.Background(), b, w, Options{Reps: 2, Stride: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestRealBenchmarkThroughHarness(t *testing.T) {
 
 func TestBenchmarkReport(t *testing.T) {
 	b := &quickBench{name: "900.quick_r"}
-	ms, err := RunBenchmark(b, quickOpts())
+	ms, err := RunBenchmark(context.Background(), b, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

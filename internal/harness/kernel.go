@@ -15,15 +15,15 @@ import (
 // reference input); this analysis measures how far the other workloads'
 // behaviour vectors sit from that single reference point.
 type KernelRow struct {
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// Reference is the workload the kernel would be derived from.
-	Reference string
+	Reference string `json:"reference"`
 	// MeanDistance and MaxDistance are the Euclidean distances between
 	// the reference's top-down vector and every other workload's.
-	MeanDistance float64
-	MaxDistance  float64
+	MeanDistance float64 `json:"mean_distance"`
+	MaxDistance  float64 `json:"max_distance"`
 	// WorstWorkload is the workload farthest from the reference.
-	WorstWorkload string
+	WorstWorkload string `json:"worst_workload"`
 }
 
 // topDownVector embeds a measurement for distance computation.

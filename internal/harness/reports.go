@@ -13,12 +13,12 @@ import (
 // mean and standard deviation of the four top-down categories, the
 // variation scores μg(V) and μg(M), and the refrate time.
 type TableIIRow struct {
-	Benchmark     string
-	Workloads     int
-	TopDown       stats.TopDownSummary
-	Coverage      stats.CoverageSummary
-	RefrateTimeS  float64 // modeled seconds
-	RefrateCycles uint64
+	Benchmark     string                `json:"benchmark"`
+	Workloads     int                   `json:"workloads"`
+	TopDown       stats.TopDownSummary  `json:"top_down"`
+	Coverage      stats.CoverageSummary `json:"coverage"`
+	RefrateTimeS  float64               `json:"refrate_modeled_seconds"`
+	RefrateCycles uint64                `json:"refrate_cycles"`
 }
 
 // TableII summarizes suite results into the paper's Table II rows.
@@ -105,12 +105,12 @@ var PaperTableI = []struct {
 
 // TableIRow is one line of the reproduced Table I.
 type TableIRow struct {
-	Area      string
-	Name      string
-	Paper2017 float64
-	Paper2006 float64
+	Area      string  `json:"area"`
+	Name      string  `json:"name"`
+	Paper2017 float64 `json:"paper_2017_seconds"`
+	Paper2006 float64 `json:"paper_2006_seconds"`
 	// MeasuredS is this reproduction's modeled refrate time.
-	MeasuredS float64
+	MeasuredS float64 `json:"modeled_seconds"`
 }
 
 // TableI builds the historical comparison with this run's measured column.
@@ -170,9 +170,9 @@ func FormatTableI(rows []TableIRow) string {
 // FigureSeries is one benchmark's per-workload top-down breakdown: the data
 // behind Figure 1.
 type FigureSeries struct {
-	Benchmark string
-	Workloads []string
-	Values    []stats.TopDown
+	Benchmark string          `json:"benchmark"`
+	Workloads []string        `json:"workloads"`
+	Values    []stats.TopDown `json:"values"`
 }
 
 // Figure1 extracts the stacked top-down series for the requested
@@ -213,13 +213,13 @@ func FormatFigure1(series []FigureSeries) string {
 // CoverageSeries is one benchmark's per-workload method coverage: the data
 // behind Figure 2.
 type CoverageSeries struct {
-	Benchmark string
-	Workloads []string
+	Benchmark string   `json:"benchmark"`
+	Workloads []string `json:"workloads"`
 	// Methods lists the reported methods (top methods by mean coverage,
 	// plus "others").
-	Methods []string
+	Methods []string `json:"methods"`
 	// Values[w][m] is workload w's fraction in Methods[m].
-	Values [][]float64
+	Values [][]float64 `json:"values"`
 }
 
 // Figure2 extracts per-workload method coverage for the requested

@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// EventKind classifies a progress Event.
+type EventKind int
+
+const (
+	// EventWorkloadStart fires when a worker picks up a (benchmark,
+	// workload) pair.
+	EventWorkloadStart EventKind = iota
+	// EventWorkloadDone fires when a measurement completes successfully.
+	EventWorkloadDone
+	// EventWorkloadError fires when a measurement fails.
+	EventWorkloadError
+)
+
+// String returns a short label for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventWorkloadStart:
+		return "start"
+	case EventWorkloadDone:
+		return "done"
+	case EventWorkloadError:
+		return "error"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one progress notification from a Runner. Events for the same
+// run are delivered serially.
+type Event struct {
+	Kind      EventKind
+	Benchmark string
+	Workload  string
+	// Err is set on EventWorkloadError.
+	Err error
+	// Completed counts measurements finished (done or failed) so far;
+	// Total is the size of the (benchmark, workload) matrix.
+	Completed int
+	Total     int
+}
+
+// WorkloadError records one failed measurement inside a RunError.
+type WorkloadError struct {
+	Benchmark string
+	Workload  string
+	Err       error
+}
+
+// Error implements error.
+func (e *WorkloadError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying measurement error.
+func (e *WorkloadError) Unwrap() error { return e.Err }
+
+// RunError aggregates the per-workload failures of a run executed with
+// FailFast off. Failures are ordered by suite inventory position
+// (benchmark name order, then workload order), not by completion time.
+type RunError struct {
+	Failures []*WorkloadError
+}
+
+// Error implements error, summarizing up to three failures.
+func (e *RunError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "harness: %d of the measurements failed: ", len(e.Failures))
+	for i, f := range e.Failures {
+		if i == 3 {
+			fmt.Fprintf(&sb, "; and %d more", len(e.Failures)-i)
+			break
+		}
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(f.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *RunError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
+
+// Runner executes a suite's benchmark × workload matrix over a bounded
+// worker pool. Each measurement owns a private perf.Profiler, so results
+// are bit-identical across worker counts except for WallSeconds; the
+// returned SuiteResults always follow suite inventory order regardless of
+// scheduling.
+type Runner struct {
+	suite *core.Suite
+	opts  Options
+}
+
+// NewRunner builds a Runner for the suite with the given options.
+func NewRunner(s *core.Suite, opts Options) *Runner {
+	return &Runner{suite: s, opts: opts}
+}
+
+// unit is one cell of the benchmark × workload matrix.
+type unit struct {
+	bench core.Benchmark
+	w     core.Workload
+}
+
+// Run executes the matrix. Cancellation of ctx stops the run promptly
+// (between measurements; a benchmark's Run is not interruptible) and
+// returns ctx.Err(). With FailFast set, the first measurement error
+// cancels the rest and is returned alone; otherwise all failures are
+// collected into a *RunError and returned together with the successful
+// partial results.
+func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Enumerate the matrix in inventory order. Inventory errors abort the
+	// run regardless of FailFast: they mean the suite itself is broken.
+	var units []unit
+	for _, b := range r.suite.Benchmarks() {
+		ws, err := measurementInventory(b, r.opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range ws {
+			units = append(units, unit{bench: b, w: w})
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each unit writes only its own slot, so the slices need no lock; mu
+	// guards the shared progress counter and serializes Progress calls.
+	ms := make([]Measurement, len(units))
+	oks := make([]bool, len(units))
+	errs := make([]*WorkloadError, len(units))
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		completed int
+		firstErr  error // first failure by completion time (FailFast)
+	)
+	emit := func(e Event) {
+		if r.opts.Progress != nil {
+			r.opts.Progress(e)
+		}
+	}
+
+	jobs := make(chan int)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				u := units[idx]
+				if runCtx.Err() != nil {
+					continue // drain after cancellation
+				}
+				mu.Lock()
+				emit(Event{Kind: EventWorkloadStart, Benchmark: u.bench.Name(),
+					Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
+				mu.Unlock()
+				m, err := RunWorkload(runCtx, u.bench, u.w, r.opts)
+				mu.Lock()
+				completed++
+				switch {
+				case err == nil:
+					ms[idx], oks[idx] = m, true
+					emit(Event{Kind: EventWorkloadDone, Benchmark: u.bench.Name(),
+						Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
+				case runCtx.Err() != nil && errors.Is(err, runCtx.Err()):
+					// The measurement was interrupted by cancellation
+					// (parent context or a FailFast abort), not by a
+					// failure of its own; leave the slot empty.
+				default:
+					errs[idx] = &WorkloadError{Benchmark: u.bench.Name(), Workload: u.w.WorkloadName(), Err: err}
+					if firstErr == nil {
+						firstErr = err
+					}
+					emit(Event{Kind: EventWorkloadError, Benchmark: u.bench.Name(),
+						Workload: u.w.WorkloadName(), Err: err, Completed: completed, Total: len(units)})
+					if r.opts.FailFast {
+						cancel()
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range units {
+			select {
+			case jobs <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Assemble in inventory order, skipping failed slots. Units that were
+	// never run (drained after a FailFast cancellation) carry neither a
+	// measurement nor an error and are simply absent.
+	res := SuiteResults{}
+	var failures []*WorkloadError
+	for idx, u := range units {
+		switch {
+		case errs[idx] != nil:
+			failures = append(failures, errs[idx])
+		case oks[idx]:
+			res[u.bench.Name()] = append(res[u.bench.Name()], ms[idx])
+		}
+	}
+	if len(failures) > 0 {
+		if r.opts.FailFast {
+			return nil, firstErr
+		}
+		return res, &RunError{Failures: failures}
+	}
+	return res, nil
+}

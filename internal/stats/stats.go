@@ -106,11 +106,11 @@ func PropVariation(xs []float64) (float64, error) {
 // CategorySummary summarizes one behaviour category (e.g. the front-end
 // bound fraction) over all workloads of a benchmark.
 type CategorySummary struct {
-	Name    string  // category label, e.g. "frontend"
-	GeoMean float64 // μg over workloads
-	GeoStd  float64 // σg over workloads
-	V       float64 // σg/μg
-	N       int     // number of workloads summarized
+	Name    string  `json:"name"`     // category label, e.g. "frontend"
+	GeoMean float64 `json:"geo_mean"` // μg over workloads
+	GeoStd  float64 `json:"geo_std"`  // σg over workloads
+	V       float64 `json:"v"`        // σg/μg
+	N       int     `json:"n"`        // number of workloads summarized
 }
 
 // Summarize computes the per-category geometric summary for a named sample
@@ -181,12 +181,12 @@ type CoverageSummary struct {
 	// Methods holds the per-method summaries, sorted by descending
 	// geometric-mean time fraction. A synthetic "others" method may be
 	// present.
-	Methods []CategorySummary
+	Methods []CategorySummary `json:"methods"`
 	// Score is μg(M), Eq. 5: the geometric mean of the per-method
 	// proportional variations.
-	Score float64
+	Score float64 `json:"score"`
 	// Workloads is the number of workloads summarized.
-	Workloads int
+	Workloads int `json:"workloads"`
 }
 
 // SummarizeCoverage applies the Section V-C methodology to per-workload

@@ -6,10 +6,10 @@ import "fmt"
 // slots classified into each of Intel's four top-level categories
 // (Section V-B). Fractions are in [0, 1] and should sum to ~1.
 type TopDown struct {
-	FrontEnd float64 // micro-ops could not be supplied by the front end
-	BackEnd  float64 // micro-ops stalled on back-end resources
-	BadSpec  float64 // micro-ops allocated but never retired
-	Retiring float64 // micro-ops allocated and retired
+	FrontEnd float64 `json:"frontend"` // micro-ops could not be supplied by the front end
+	BackEnd  float64 `json:"backend"`  // micro-ops stalled on back-end resources
+	BadSpec  float64 `json:"badspec"`  // micro-ops allocated but never retired
+	Retiring float64 `json:"retiring"` // micro-ops allocated and retired
 }
 
 // Sum returns the total of the four fractions (≈ 1 for a well-formed
@@ -37,14 +37,14 @@ func (t TopDown) Normalize() (TopDown, error) {
 // geometric summary of each top-down category across workloads and the
 // combined variation score μg(V).
 type TopDownSummary struct {
-	FrontEnd CategorySummary
-	BackEnd  CategorySummary
-	BadSpec  CategorySummary
-	Retiring CategorySummary
+	FrontEnd CategorySummary `json:"frontend"`
+	BackEnd  CategorySummary `json:"backend"`
+	BadSpec  CategorySummary `json:"badspec"`
+	Retiring CategorySummary `json:"retiring"`
 	// Score is μg(V), Eq. 4.
-	Score float64
+	Score float64 `json:"score"`
 	// Workloads is the number of workloads summarized.
-	Workloads int
+	Workloads int `json:"workloads"`
 }
 
 // Categories returns the four category summaries in the paper's order
