@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet lint test race bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism & harness-invariant static analysis (see DESIGN.md).
+lint:
+	$(GO) run ./cmd/albertalint ./...
 
 test:
 	$(GO) test ./...
@@ -18,4 +22,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
-check: build vet race
+check: build vet lint race

@@ -1,0 +1,110 @@
+// Command albertalint checks the repository's determinism and harness
+// invariants: replayable RNG, no wall-clock reads outside the timing
+// packages, no map-iteration-order dependence, single-threaded kernels,
+// pure-compute benchmark imports, and no discarded checksum folds.
+//
+// Usage:
+//
+//	albertalint [-json] [-rules] [packages ...]
+//
+// Package patterns are directories relative to the module root; the
+// trailing /... wildcard matches recursively, and the default ./... lints
+// the whole analyzed surface (internal/benchmarks, internal/harness,
+// internal/stats, internal/uarch, internal/fdo — patterns outside the
+// surface are ignored). Diagnostics print as
+//
+//	file:line: rule-id: message
+//
+// and the exit status is 1 when violations were found, 2 on usage or
+// analysis errors, and 0 on a clean tree. A finding is suppressed by a
+// `//lint:allow <rule-id> <reason>` comment on the flagged line or the
+// line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	listRules := flag.Bool("rules", false, "list rule ids and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: albertalint [-json] [-rules] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.DefaultRules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-26s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := lint.SelectDirs(loader.RepoRoot, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		pass, err := loader.LoadDir(filepath.Join(loader.RepoRoot, dir))
+		if err != nil {
+			fatal(err)
+		}
+		if pass == nil {
+			continue
+		}
+		for _, d := range lint.Lint(pass, rules) {
+			// Report module-relative paths regardless of where the tool
+			// was invoked from.
+			if rel, err := filepath.Rel(loader.RepoRoot, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.File = filepath.ToSlash(rel)
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "albertalint: %d violation(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "albertalint:", err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -65,14 +66,12 @@ func topMethods(m Measurement, n int) []methodFrac {
 	for name, frac := range m.Coverage {
 		out = append(out, methodFrac{name, frac})
 	}
-	// Insertion sort by descending fraction with name tie-break (lists
-	// are tiny).
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && (out[j].frac > out[j-1].frac ||
-			(out[j].frac == out[j-1].frac && out[j].name < out[j-1].name)); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].frac != out[j].frac {
+			return out[i].frac > out[j].frac
 		}
-	}
+		return out[i].name < out[j].name
+	})
 	if len(out) > n {
 		out = out[:n]
 	}

@@ -266,8 +266,11 @@ func Figure2(results SuiteResults, topN int, benchmarks ...string) ([]CoverageSe
 		for _, m := range ms {
 			cs.Workloads = append(cs.Workloads, m.Workload)
 			row := make([]float64, len(cs.Methods))
+			// Walk the coverage in sorted order so the "others" float sum
+			// is identical run to run.
 			others := 0.0
-			for meth, frac := range m.Coverage {
+			for _, meth := range m.Coverage.SortedMethods() {
+				frac := m.Coverage[meth]
 				if keep[meth] {
 					for k, kept := range cs.Methods {
 						if kept == meth {

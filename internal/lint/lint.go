@@ -1,0 +1,191 @@
+// Package lint is a static analyzer for the repository's determinism and
+// harness invariants: replayable RNG, no wall-clock reads outside the
+// timing packages, no map-iteration-order dependence in anything that
+// feeds a report or a checksum, no goroutines inside benchmark kernels,
+// pure-compute imports in benchmark packages, and no silently discarded
+// checksum folds.
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/types, go/token).
+// Each invariant is a Rule; rules receive a fully type-checked Pass and
+// report Diagnostics. A finding can be suppressed — explicitly and
+// auditably — with a comment on the flagged line or the line above it:
+//
+//	//lint:allow <rule-id> <reason>
+//
+// The reason is mandatory; an allow comment without one is ignored.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	RuleID  string         `json:"rule"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical "file:line: rule-id: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.RuleID, d.Message)
+}
+
+// Pass is one type-checked package presented to rules.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgPath string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// diag builds a Diagnostic at n's position.
+func (p *Pass) diag(ruleID string, n ast.Node, format string, args ...any) Diagnostic {
+	pos := p.Fset.Position(n.Pos())
+	return Diagnostic{
+		Pos:     pos,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		RuleID:  ruleID,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// Rule checks one invariant over a package.
+type Rule interface {
+	// ID is the stable identifier used in diagnostics and allow comments.
+	ID() string
+	// Doc is a one-line description for -rules listings and documentation.
+	Doc() string
+	// Check inspects the package and returns every violation found.
+	Check(p *Pass) []Diagnostic
+}
+
+// DefaultRules returns the full rule set in a stable order.
+func DefaultRules() []Rule {
+	return []Rule{
+		NoGlobalRand{},
+		NoWallClock{},
+		NoMapOrderDependence{},
+		NoGoroutinesInKernels{},
+		ForbiddenImports{},
+		ChecksumDiscipline{},
+	}
+}
+
+// Lint runs rules over the pass, drops suppressed findings, and returns
+// the rest sorted by position.
+func Lint(p *Pass, rules []Rule) []Diagnostic {
+	allows := collectAllows(p)
+	var out []Diagnostic
+	for _, r := range rules {
+		for _, d := range r.Check(p) {
+			if allows.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
+	return out
+}
+
+// allowKey identifies one allow grant: a rule on a line of a file.
+type allowKey struct {
+	file   string
+	line   int
+	ruleID string
+}
+
+type allowSet map[allowKey]bool
+
+// collectAllows parses every "//lint:allow <rule-id> <reason>" comment in
+// the pass. A grant covers the comment's own line (trailing form) and the
+// line below it (standalone form). Comments without a reason are ignored
+// so that every suppression carries its justification.
+func collectAllows(p *Pass) allowSet {
+	set := allowSet{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					// Rule id but no reason (or nothing at all): not a
+					// valid suppression.
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				set[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				set[allowKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[allowKey{d.File, d.Line, d.RuleID}]
+}
+
+// --- shared helpers used by several rules ---
+
+// isBenchmarkPkg reports whether pkgpath is a benchmark-kernel package
+// (anything under internal/benchmarks).
+func isBenchmarkPkg(pkgpath string) bool {
+	return strings.Contains(pkgpath, "/internal/benchmarks")
+}
+
+// isTimingPkg reports whether pkgpath is allowed to read the wall clock:
+// the harness (wall-time averaging) and the modeled profiler.
+func isTimingPkg(pkgpath string) bool {
+	return strings.HasSuffix(pkgpath, "/internal/harness") ||
+		strings.HasSuffix(pkgpath, "/internal/perf")
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" if it is not a package qualifier.
+func pkgNameOf(p *Pass, id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// pkgCall matches a call of the form pkg.Fn(...) where pkg's import path
+// is pkgpath, returning the function name.
+func pkgCall(p *Pass, call *ast.CallExpr, pkgpath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pkgNameOf(p, id) != pkgpath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across tests: the standard-library source import
+// is the dominant cost and its cache makes every later fixture cheap.
+var (
+	loaderOnce sync.Once
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLdr, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+// expectation is one `// want <rule-id> "substr"` annotation in a fixture.
+type expectation struct {
+	line   int
+	rule   string
+	substr string
+}
+
+// wantRE matches `want <rule-id>` with an optional quoted or backquoted
+// message substring.
+var wantRE = regexp.MustCompile("// want ([a-z-]+)(?: (?:\"([^\"]*)\"|`([^`]*)`))?")
+
+func parseWants(t *testing.T, path string) []expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	var wants []expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		substr := m[2]
+		if substr == "" {
+			substr = m[3]
+		}
+		wants = append(wants, expectation{line: i + 1, rule: m[1], substr: substr})
+	}
+	return wants
+}
+
+// runFixture lints one fixture file with one rule under a synthetic
+// package path and matches the diagnostics against the fixture's want
+// annotations, both ways.
+func runFixture(t *testing.T, rule Rule, pkgpath, fixture string) {
+	t.Helper()
+	l := testLoader(t)
+	path := filepath.Join("testdata", fixture)
+	pass, err := l.LoadFiles(pkgpath, path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", fixture, err)
+	}
+	diags := Lint(pass, []Rule{rule})
+	wants := parseWants(t, path)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Line != w.line || d.RuleID != w.rule {
+				continue
+			}
+			if w.substr != "" && !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: expected %s diagnostic (substr %q), got none", fixture, w.line, w.rule, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", fixture, d)
+		}
+	}
+}
+
+// benchPkg is a synthetic benchmark-kernel package path used to trigger
+// the benchmark-scoped rules; statsPkg is outside every special scope.
+const (
+	benchPkg = "repro/internal/benchmarks/fixture"
+	statsPkg = "repro/internal/stats/fixture"
+)
+
+func TestNoGlobalRand(t *testing.T) {
+	runFixture(t, NoGlobalRand{}, benchPkg, "rand.go")
+}
+
+func TestNoWallClock(t *testing.T) {
+	runFixture(t, NoWallClock{}, statsPkg, "wallclock.go")
+}
+
+func TestNoWallClockAllowedInTimingPackages(t *testing.T) {
+	l := testLoader(t)
+	for _, pkg := range []string{"repro/internal/harness", "repro/internal/perf"} {
+		pass, err := l.LoadFiles(pkg, filepath.Join("testdata", "wallclock.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := Lint(pass, []Rule{NoWallClock{}}); len(diags) != 0 {
+			t.Errorf("%s: wall-clock reads should be allowed, got %v", pkg, diags)
+		}
+	}
+}
+
+func TestNoMapOrderDependence(t *testing.T) {
+	runFixture(t, NoMapOrderDependence{}, statsPkg, "maporder.go")
+}
+
+func TestNoGoroutinesInKernels(t *testing.T) {
+	runFixture(t, NoGoroutinesInKernels{}, benchPkg, "goroutine.go")
+}
+
+func TestGoroutinesAllowedOutsideKernels(t *testing.T) {
+	l := testLoader(t)
+	pass, err := l.LoadFiles(statsPkg, filepath.Join("testdata", "goroutine.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Lint(pass, []Rule{NoGoroutinesInKernels{}}); len(diags) != 0 {
+		t.Errorf("goroutines outside kernels should pass, got %v", diags)
+	}
+}
+
+func TestForbiddenImports(t *testing.T) {
+	runFixture(t, ForbiddenImports{}, benchPkg, "imports.go")
+}
+
+func TestImportsAllowedOutsideKernels(t *testing.T) {
+	l := testLoader(t)
+	pass, err := l.LoadFiles(statsPkg, filepath.Join("testdata", "imports.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Lint(pass, []Rule{ForbiddenImports{}}); len(diags) != 0 {
+		t.Errorf("imports outside kernels should pass, got %v", diags)
+	}
+}
+
+func TestChecksumDiscipline(t *testing.T) {
+	runFixture(t, ChecksumDiscipline{}, benchPkg, "checksum.go")
+}
+
+func TestAllowSuppression(t *testing.T) {
+	runFixture(t, NoWallClock{}, statsPkg, "allow.go")
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 7, RuleID: "no-wall-clock", Message: "m"}
+	if got, want := d.String(), "a/b.go:7: no-wall-clock: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDefaultRuleIDs(t *testing.T) {
+	want := []string{
+		"no-global-rand",
+		"no-wall-clock",
+		"no-map-order-dependence",
+		"no-goroutines-in-kernels",
+		"forbidden-imports",
+		"checksum-discipline",
+	}
+	rules := DefaultRules()
+	if len(rules) != len(want) {
+		t.Fatalf("DefaultRules() has %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.ID() != want[i] {
+			t.Errorf("rule %d: id %q, want %q", i, r.ID(), want[i])
+		}
+		if r.Doc() == "" {
+			t.Errorf("rule %s: empty Doc", r.ID())
+		}
+	}
+}
+
+func TestSelectDirs(t *testing.T) {
+	l := testLoader(t)
+	all, err := SelectDirs(l.RepoRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("./... selected no surface directories")
+	}
+	for _, d := range all {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata directory selected: %s", d)
+		}
+	}
+	one, err := SelectDirs(l.RepoRoot, []string{"internal/stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "internal/stats" {
+		t.Errorf("internal/stats selected %v", one)
+	}
+	sub, err := SelectDirs(l.RepoRoot, []string{"./internal/benchmarks/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) < 2 {
+		t.Errorf("internal/benchmarks/... selected only %v", sub)
+	}
+	for _, d := range sub {
+		if !strings.HasPrefix(d, "internal/benchmarks") {
+			t.Errorf("pattern leaked outside subtree: %s", d)
+		}
+	}
+	none, err := SelectDirs(l.RepoRoot, []string{"internal/perf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("internal/perf is outside the surface, selected %v", none)
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the repository's own analyzed
+// surface must lint clean with the default rules.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole surface")
+	}
+	l := testLoader(t)
+	dirs, err := SurfaceDirs(l.RepoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("suspiciously small surface: %v", dirs)
+	}
+	var failures []string
+	for _, dir := range dirs {
+		pass, err := l.LoadDir(filepath.Join(l.RepoRoot, dir))
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		if pass == nil {
+			continue
+		}
+		for _, d := range Lint(pass, DefaultRules()) {
+			failures = append(failures, d.String())
+		}
+	}
+	if len(failures) > 0 {
+		t.Errorf("repository surface has %d violation(s):\n%s",
+			len(failures), strings.Join(failures, "\n"))
+	}
+}
+
+// Example output shape kept in sync with the README's sample run.
+func ExampleDiagnostic_String() {
+	d := Diagnostic{
+		File:    "internal/harness/reports.go",
+		Line:    278,
+		RuleID:  "no-map-order-dependence",
+		Message: "float others accumulated in map iteration order; the rounded sum differs run to run",
+	}
+	fmt.Println(d)
+	// Output: internal/harness/reports.go:278: no-map-order-dependence: float others accumulated in map iteration order; the rounded sum differs run to run
+}

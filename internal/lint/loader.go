@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of the enclosing module without
+// shelling out to the go tool. Imports of the module itself are resolved
+// from source relative to the repository root; standard-library imports go
+// through the compiler's source importer. All type-checked packages are
+// cached, so checking many packages in one process pays the (dominant)
+// standard-library cost once.
+type Loader struct {
+	Fset *token.FileSet
+	// RepoRoot is the directory containing go.mod.
+	RepoRoot string
+	// ModulePath is the module path declared in go.mod (e.g. "repro").
+	ModulePath string
+
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+// NewLoader builds a Loader rooted at the module containing dir (dir or any
+// of its ancestors must hold a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		RepoRoot:   root,
+		ModulePath: modpath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*types.Package{},
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and extracts the
+// module path.
+func findModule(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// pkgPathFor maps a directory inside the repository to its import path.
+func (l *Loader) pkgPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.RepoRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.RepoRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses the non-test .go files of one directory.
+func (l *Loader) parseDir(dir string) ([]*ast.File, []string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	return files, names, nil
+}
+
+// LoadDir parses and type-checks the package in dir, returning a Pass ready
+// for rules to inspect. Directories with no non-test .go files return a nil
+// Pass and no error.
+func (l *Loader) LoadDir(dir string) (*Pass, error) {
+	files, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkgpath, err := l.pkgPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(pkgpath, files)
+}
+
+// LoadFiles type-checks an explicit file set under a caller-chosen package
+// path. Rules scope themselves by package path, so tests use synthetic
+// paths (e.g. ".../internal/benchmarks/fixture") to exercise scoping.
+func (l *Loader) LoadFiles(pkgpath string, paths ...string) (*Pass, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(pkgpath, files)
+}
+
+// check runs the type checker over one package's files.
+func (l *Loader) check(pkgpath string, files []*ast.File) (*Pass, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	pkg, err := conf.Check(pkgpath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgpath, err)
+	}
+	return &Pass{Fset: l.Fset, PkgPath: pkgpath, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// loaderImporter resolves imports during type-checking: module-internal
+// paths from source, everything else via the standard-library importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.RepoRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")))
+		files, _, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: li}
+		pkg, err := conf.Check(path, l.Fset, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		l.cache[path] = pkg
+	}
+	return pkg, err
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChecksumDiscipline flags discarded results of checksum/hash helpers.
+// The repo's checksum type (core.Checksum) is a value type whose Add*
+// methods return the folded value: calling `c.AddUint64(v)` as a
+// statement silently drops the fold, so the benchmark's output stops
+// contributing to the checksum the harness verifies. The same applies to
+// any function whose name marks it as a checksum/hash producer.
+type ChecksumDiscipline struct{}
+
+func (ChecksumDiscipline) ID() string { return "checksum-discipline" }
+
+func (ChecksumDiscipline) Doc() string {
+	return "results of checksum/hash helpers must be used (folded into the returned checksum), not discarded"
+}
+
+func (r ChecksumDiscipline) Check(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.AssignStmt:
+				// _ = checksum(...) discards just as surely.
+				if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					call, _ = n.Rhs[0].(*ast.CallExpr)
+				}
+			}
+			if call == nil {
+				return true
+			}
+			if name, ok := checksumProducer(p, call); ok {
+				out = append(out, p.diag(r.ID(), call,
+					"result of %s is discarded; fold it into the checksum that Run returns", name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checksumProducer reports whether call yields a checksum: its result type
+// is a named Checksum/Hash type, or its callee is named like a
+// checksum/hash helper. Returns a display name for the diagnostic.
+func checksumProducer(p *Pass, call *ast.CallExpr) (string, bool) {
+	// A call with no results (e.g. a recomputeHash that mutates its
+	// receiver) discards nothing.
+	if tv, ok := p.Info.Types[call]; !ok || tv.IsVoid() {
+		return "", false
+	}
+	name := calleeName(call)
+	if t := p.Info.TypeOf(call); t != nil && resultsContainChecksum(t) {
+		return name, true
+	}
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "checksum") || strings.Contains(lower, "hash") || strings.Contains(lower, "digest") {
+		return name, true
+	}
+	return "", false
+}
+
+// calleeName extracts the called function's name for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return "call"
+}
+
+// resultsContainChecksum reports whether a call's result type (single or
+// tuple) includes a named type whose name marks it as a checksum.
+func resultsContainChecksum(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if resultsContainChecksum(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(named.Obj().Name())
+	return strings.Contains(name, "checksum") || strings.Contains(name, "hash")
+}

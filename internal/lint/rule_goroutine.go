@@ -1,0 +1,33 @@
+package lint
+
+import "go/ast"
+
+// NoGoroutinesInKernels flags `go` statements inside benchmark packages.
+// Parallelism belongs to the harness Runner: goroutine scheduling inside a
+// kernel reorders floating-point accumulation and makes the checksum
+// depend on the interleaving, which breaks the bit-identical-results
+// contract regardless of worker count.
+type NoGoroutinesInKernels struct{}
+
+func (NoGoroutinesInKernels) ID() string { return "no-goroutines-in-kernels" }
+
+func (NoGoroutinesInKernels) Doc() string {
+	return "benchmark kernels must be single-threaded; parallelism belongs to the harness Runner"
+}
+
+func (r NoGoroutinesInKernels) Check(p *Pass) []Diagnostic {
+	if !isBenchmarkPkg(p.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				out = append(out, p.diag(r.ID(), g,
+					"go statement in a benchmark kernel; scheduling reorders accumulation and breaks run-to-run determinism"))
+			}
+			return true
+		})
+	}
+	return out
+}

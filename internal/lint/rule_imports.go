@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ForbiddenImports flags benchmark packages that import the outside world.
+// Kernels must stay pure compute: no filesystem, no processes, no network,
+// no unsafe — their only inputs are the seeded workload parameters, and
+// their only output is the checksum and modeled events.
+type ForbiddenImports struct{}
+
+func (ForbiddenImports) ID() string { return "forbidden-imports" }
+
+func (ForbiddenImports) Doc() string {
+	return "benchmark packages must stay pure compute: no os, os/exec, net, or unsafe imports"
+}
+
+// forbiddenInKernels lists exact import paths and prefixes banned in
+// benchmark packages.
+var forbiddenInKernels = []string{"os", "os/exec", "net", "unsafe"}
+
+func forbiddenImport(path string) bool {
+	for _, f := range forbiddenInKernels {
+		if path == f || strings.HasPrefix(path, f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ForbiddenImports) Check(p *Pass) []Diagnostic {
+	if !isBenchmarkPkg(p.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbiddenImport(path) {
+				out = append(out, p.diag(r.ID(), imp,
+					"benchmark package imports %q; kernels are pure compute and may not touch the OS, network, or unsafe", path))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoMapOrderDependence flags loops that range over a map while building
+// order-sensitive state declared outside the loop: appending to a slice
+// (unless the slice is sorted afterwards in the same function), folding
+// into a float or checksum accumulator, or writing output. Go randomizes
+// map iteration order per run, so each of these produces run-to-run drift
+// in reports, summary statistics, and checksums.
+//
+// Order-insensitive updates are permitted: writes keyed by the range
+// variable (m[k] = v), integer sums, and bitwise-commutative folds.
+type NoMapOrderDependence struct{}
+
+func (NoMapOrderDependence) ID() string { return "no-map-order-dependence" }
+
+func (NoMapOrderDependence) Doc() string {
+	return "ranging over a map must not feed order-sensitive state (slice append without a later sort, float/checksum folds, output writes)"
+}
+
+func (r NoMapOrderDependence) Check(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			r.walkFunc(p, fd.Body, &out)
+		}
+	}
+	return out
+}
+
+// walkFunc scans one function body, recursing into function literals so
+// each closure is analyzed against its own body (the scope a post-loop
+// sort could live in).
+func (r NoMapOrderDependence) walkFunc(p *Pass, body *ast.BlockStmt, out *[]Diagnostic) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			r.walkFunc(p, n.Body, out)
+			return false
+		case *ast.RangeStmt:
+			if isMapType(p.Info.TypeOf(n.X)) {
+				r.checkMapRange(p, n, body, out)
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body. funcBody is the enclosing
+// function's body, searched for a sort call that launders an append.
+func (r NoMapOrderDependence) checkMapRange(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, out *[]Diagnostic) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed separately by walkFunc
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			r.checkAssign(p, rs, funcBody, n, out)
+		case *ast.CallExpr:
+			r.checkOutputCall(p, rs, n, out)
+		}
+		return true
+	})
+}
+
+// checkAssign classifies an assignment inside a map-range body.
+func (r NoMapOrderDependence) checkAssign(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, as *ast.AssignStmt, out *[]Diagnostic) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	target, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		// Indexed writes (m[k] = v) are keyed by the range variable and
+		// therefore order-independent; selector targets are rare enough
+		// to leave to the ident rules below.
+		return
+	}
+	obj := p.Info.ObjectOf(target)
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	t := p.Info.TypeOf(target)
+
+	switch as.Tok {
+	case token.ASSIGN:
+		// s = append(s, ...) builds a slice in map order: fine only if the
+		// slice is sorted later in the same function.
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isAppendOf(p, call, obj) {
+			if !sortedAfter(p, funcBody, rs, obj) {
+				*out = append(*out, p.diag(r.ID(), as,
+					"%s is appended to in map iteration order and never sorted afterwards", obj.Name()))
+			}
+			return
+		}
+		// x = f(x, ...) or x = x*31 + v: a fold whose result depends on
+		// visit order, unless it is a commutative integer update.
+		if usesObject(p, as.Rhs[0], obj) && !commutativeUpdate(p, as.Rhs[0], obj, t) {
+			*out = append(*out, p.diag(r.ID(), as,
+				"%s is folded in map iteration order; iterate sorted keys instead", obj.Name()))
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Exact and commutative for integers, order-sensitive for floats
+		// (rounding differs with accumulation order).
+		if isFloat(t) {
+			*out = append(*out, p.diag(r.ID(), as,
+				"float %s accumulated in map iteration order; the rounded sum differs run to run", obj.Name()))
+		}
+	case token.QUO_ASSIGN, token.REM_ASSIGN:
+		*out = append(*out, p.diag(r.ID(), as,
+			"%s updated with a non-commutative operator in map iteration order", obj.Name()))
+	}
+}
+
+// checkOutputCall flags writes (fmt.Fprint*, Builder/Writer methods) whose
+// destination outlives the loop: emitted text would appear in map order.
+func (r NoMapOrderDependence) checkOutputCall(p *Pass, rs *ast.RangeStmt, call *ast.CallExpr, out *[]Diagnostic) {
+	if name, ok := pkgCall(p, call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println":
+			*out = append(*out, p.diag(r.ID(), call,
+				"fmt.%s inside a map range writes output in map iteration order", name))
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && rootDeclaredOutside(p, call.Args[0], rs) {
+				*out = append(*out, p.diag(r.ID(), call,
+					"fmt.%s inside a map range writes output in map iteration order", name))
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if p.Info.Selections[sel] != nil && rootDeclaredOutside(p, sel.X, rs) {
+			*out = append(*out, p.diag(r.ID(), call,
+				"%s on a writer that outlives the loop emits output in map iteration order", sel.Sel.Name))
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's span
+// (e.g. a loop-local variable).
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// rootDeclaredOutside resolves an expression like &sb, w.out, or sb to its
+// root identifier and reports whether that identifier was declared outside
+// the range statement.
+func rootDeclaredOutside(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := p.Info.ObjectOf(x)
+			return obj != nil && !declaredWithin(obj, rs)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isAppendOf matches append(obj, ...).
+func isAppendOf(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && p.Info.ObjectOf(first) == obj
+}
+
+// usesObject reports whether obj appears anywhere in e.
+func usesObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// commutativeUpdate reports whether `x = rhs` is an order-independent
+// self-update: an integer x combined with one other operand by +, |, &,
+// or ^ at the top level (x + v, v ^ x, ...). Anything else — float math,
+// nested folds like x*31 + v, or calls like x.Add(v) — is order-sensitive.
+func commutativeUpdate(p *Pass, rhs ast.Expr, obj types.Object, t types.Type) bool {
+	if isFloat(t) {
+		return false
+	}
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.OR, token.AND, token.XOR:
+	default:
+		return false
+	}
+	xIsObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && p.Info.ObjectOf(id) == obj
+	}
+	// Exactly one side is x itself, and x does not also hide in the other.
+	switch {
+	case xIsObj(bin.X):
+		return !usesObject(p, bin.Y, obj)
+	case xIsObj(bin.Y):
+		return !usesObject(p, bin.X, obj)
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call referencing
+// obj appears after the range statement in the enclosing function body —
+// the append-then-sort idiom that makes map-order appends deterministic.
+func sortedAfter(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch pkgNameOf(p, id) {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if usesObject(p, arg, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

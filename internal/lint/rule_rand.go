@@ -1,0 +1,48 @@
+package lint
+
+import "go/ast"
+
+// NoGlobalRand flags calls to the package-level math/rand (and
+// math/rand/v2) functions: Intn, Float64, Shuffle, etc. draw from the
+// auto-seeded global source, so workload generation that uses them cannot
+// be replayed from a recorded seed. Constructors that build an explicit
+// seeded generator (rand.New, rand.NewSource, ...) are the only allowed
+// entry points; everything else must go through a *rand.Rand.
+type NoGlobalRand struct{}
+
+func (NoGlobalRand) ID() string { return "no-global-rand" }
+
+func (NoGlobalRand) Doc() string {
+	return "kernel code must draw randomness from a seeded *rand.Rand, never the global math/rand source"
+}
+
+// globalRandAllowed lists the package-level functions that construct or
+// parameterize an explicit generator rather than drawing from the global
+// source.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *rand.Rand
+	"NewPCG":     true, // math/rand/v2 seeded source
+	"NewChaCha8": true, // math/rand/v2 seeded source
+}
+
+func (r NoGlobalRand) Check(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := pkgCall(p, call, path); ok && !globalRandAllowed[name] {
+					out = append(out, p.diag(r.ID(), call,
+						"call to global rand.%s; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so the workload is replayable", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "go/ast"
+
+// NoWallClock flags reads of the wall clock (time.Now, time.Since)
+// outside internal/harness and internal/perf. Those two packages own all
+// timing; a kernel or a stats routine that consults the clock produces
+// output that can never be bit-identical across runs.
+type NoWallClock struct{}
+
+func (NoWallClock) ID() string { return "no-wall-clock" }
+
+func (NoWallClock) Doc() string {
+	return "only internal/harness and internal/perf may read the wall clock (time.Now/time.Since)"
+}
+
+func (r NoWallClock) Check(p *Pass) []Diagnostic {
+	if isTimingPkg(p.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgCall(p, call, "time"); ok && (name == "Now" || name == "Since") {
+				out = append(out, p.diag(r.ID(), call,
+					"time.%s outside the timing packages; measurements belong to internal/harness and internal/perf", name))
+			}
+			return true
+		})
+	}
+	return out
+}

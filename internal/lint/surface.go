@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SurfaceRoots are the module-relative trees the analyzer covers: every
+// package whose behavior feeds measurements, statistics, or reports.
+// internal/perf is deliberately absent — it owns the wall clock — and the
+// CLIs and examples are I/O by nature.
+var SurfaceRoots = []string{
+	"internal/benchmarks",
+	"internal/harness",
+	"internal/stats",
+	"internal/uarch",
+	"internal/fdo",
+}
+
+// SurfaceDirs walks the analyzed trees under root, returning every
+// directory (module-relative, slash-separated, sorted) holding non-test Go
+// files. testdata directories are skipped, as the go tool does.
+func SurfaceDirs(root string) ([]string, error) {
+	var dirs []string
+	for _, sr := range SurfaceRoots {
+		base := filepath.Join(root, filepath.FromSlash(sr))
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) && path == base {
+					return filepath.SkipDir
+				}
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" || (strings.HasPrefix(d.Name(), ".") && path != base) {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					rel, err := filepath.Rel(root, path)
+					if err != nil {
+						return err
+					}
+					dirs = append(dirs, filepath.ToSlash(rel))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// SelectDirs expands go-style package patterns ("./...", "internal/stats",
+// "internal/benchmarks/...") into the sorted subset of the surface they
+// match. Patterns outside the surface select nothing.
+func SelectDirs(root string, patterns []string) ([]string, error) {
+	all, err := SurfaceDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		switch {
+		case pat == "..." || pat == "":
+			for _, d := range all {
+				keep[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			for _, d := range all {
+				if d == prefix || strings.HasPrefix(d, prefix+"/") {
+					keep[d] = true
+				}
+			}
+		default:
+			for _, d := range all {
+				if d == pat {
+					keep[d] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(keep))
+	for d := range keep {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,20 @@
+// Fixture for //lint:allow suppression handling, exercised with the
+// no-wall-clock rule.
+package fixture
+
+import "time"
+
+func suppressed() time.Duration {
+	start := time.Now() //lint:allow no-wall-clock fixture demonstrates trailing suppression
+	//lint:allow no-wall-clock fixture demonstrates line-above suppression
+	mid := time.Now()
+	return mid.Sub(start)
+}
+
+func notSuppressed() time.Time {
+	//lint:allow no-wall-clock
+	a := time.Now() // want no-wall-clock "time.Now"
+	//lint:allow no-global-rand wrong rule id does not suppress
+	b := time.Now()             // want no-wall-clock "time.Now"
+	return a.Add(time.Since(b)) // want no-wall-clock "time.Since"
+}

@@ -1,0 +1,38 @@
+// Fixture for the checksum-discipline rule: checksum/hash helper results
+// must be folded onward, never dropped.
+package fixture
+
+// Checksum mirrors the repo's core.Checksum: a value type whose Add
+// methods return the folded value.
+type Checksum uint64
+
+// NewChecksum returns the offset basis.
+func NewChecksum() Checksum { return 14695981039346656037 }
+
+// AddUint64 folds v into the checksum.
+func (c Checksum) AddUint64(v uint64) Checksum { return (c ^ Checksum(v)) * 1099511628211 }
+
+// hashBytes is a name-matched helper with a plain uint64 result.
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range b {
+		h = (h ^ uint64(x)) * 1099511628211
+	}
+	return h
+}
+
+// rehashInPlace has no results: calling it for effect discards nothing.
+func rehashInPlace(c *Checksum) { *c = c.AddUint64(1) }
+
+func discards(data []uint64) uint64 {
+	c := NewChecksum()
+	NewChecksum()      // want checksum-discipline "result of NewChecksum is discarded"
+	c.AddUint64(1)     // want checksum-discipline "result of AddUint64 is discarded"
+	_ = c.AddUint64(2) // want checksum-discipline "result of AddUint64 is discarded"
+	hashBytes(nil)     // want checksum-discipline "result of hashBytes is discarded"
+	rehashInPlace(&c)  // void call: nothing to discard
+	for _, v := range data {
+		c = c.AddUint64(v) // folded onward: fine
+	}
+	return uint64(c) + hashBytes([]byte("x"))
+}

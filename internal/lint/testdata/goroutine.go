@@ -1,0 +1,20 @@
+// Fixture for the no-goroutines-in-kernels rule. Loaded under a
+// benchmark package path the `go` statements are violations; under any
+// other path the rule stays silent (scoping is covered by the test).
+package fixture
+
+func spawns(ch chan int) int {
+	go func() { ch <- 1 }() // want no-goroutines-in-kernels "go statement"
+	go helper(ch)           // want no-goroutines-in-kernels "go statement"
+	return <-ch + <-ch
+}
+
+func helper(ch chan int) { ch <- 2 }
+
+func sequential(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

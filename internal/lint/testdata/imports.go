@@ -1,0 +1,22 @@
+// Fixture for the forbidden-imports rule: benchmark kernels are pure
+// compute and may not reach the OS, processes, the network, or unsafe.
+package fixture
+
+import (
+	"net"     // want forbidden-imports `imports "net"`
+	"os"      // want forbidden-imports `imports "os"`
+	"os/exec" // want forbidden-imports `imports "os/exec"`
+	"unsafe"  // want forbidden-imports `imports "unsafe"`
+
+	"math"    // pure compute: fine
+	"strings" // pure compute: fine
+)
+
+var (
+	_ = os.Args
+	_ = exec.ErrNotFound
+	_ = net.IPv4len
+	_ = unsafe.Sizeof(0)
+	_ = math.Pi
+	_ = strings.TrimSpace
+)

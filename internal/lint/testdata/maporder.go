@@ -1,0 +1,127 @@
+// Fixture for the no-map-order-dependence rule.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// appendNoSort builds a slice in map order and never sorts it.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want no-map-order-dependence "never sorted"
+	}
+	return keys
+}
+
+// appendThenSort is the blessed idiom: collect, then sort.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice also counts: any sort./slices. call naming the slice.
+func appendThenSortSlice(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// floatFold accumulates a float in map order: the rounded sum drifts.
+func floatFold(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want no-map-order-dependence "float total accumulated"
+	}
+	return total
+}
+
+// intSum is exact and commutative: order cannot matter.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedWrites land on the range key: order-independent by construction.
+func keyedWrites(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// hashFold mixes a multiplicative hash in map order.
+func hashFold(m map[string]uint64) uint64 {
+	h := uint64(17)
+	for _, v := range m {
+		h = h*31 + v // want no-map-order-dependence "folded in map iteration order"
+	}
+	return h
+}
+
+// xorFold is commutative bit mixing: order-independent.
+func xorFold(m map[string]uint64) uint64 {
+	h := uint64(0)
+	for _, v := range m {
+		h = h ^ v
+	}
+	return h
+}
+
+// methodFold threads an accumulator through a method call in map order.
+type folder uint64
+
+func (f folder) add(v uint64) folder { return folder(uint64(f)*31 + v) }
+
+func methodFold(m map[string]uint64) folder {
+	var f folder
+	for _, v := range m {
+		f = f.add(v) // want no-map-order-dependence "folded in map iteration order"
+	}
+	return f
+}
+
+// printsInLoop emits output in map order.
+func printsInLoop(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v) // want no-map-order-dependence "fmt.Fprintf"
+	}
+	for k := range m {
+		sb.WriteString(k) // want no-map-order-dependence "WriteString"
+	}
+	return sb.String()
+}
+
+// loopLocalBuilder's writer dies with the iteration: per-key text is fine.
+func loopLocalBuilder(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s=%d", k, v)
+		out[k] = sb.String()
+	}
+	return out
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Fixture for the no-global-rand rule: only a seeded *rand.Rand may
+// produce randomness; the auto-seeded package-level source may not.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want no-global-rand "global rand.Intn"
+	f := rand.Float64()                // want no-global-rand "global rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want no-global-rand "global rand.Shuffle"
+	m := randv2.IntN(4)                // want no-global-rand "global rand.IntN"
+	return n + int(f) + m
+}
+
+func seededDraws(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	zipf := rand.NewZipf(rng, 1.2, 1, 100)
+	pcg := randv2.New(randv2.NewPCG(1, 2))
+	return rng.Intn(10) + int(zipf.Uint64()) + pcg.IntN(3)
+}

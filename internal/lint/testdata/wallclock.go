@@ -1,0 +1,17 @@
+// Fixture for the no-wall-clock rule: time.Now/time.Since are reserved
+// for internal/harness and internal/perf.
+package fixture
+
+import "time"
+
+func reads() time.Duration {
+	start := time.Now()      // want no-wall-clock "time.Now"
+	return time.Since(start) // want no-wall-clock "time.Since"
+}
+
+func allowedUses() time.Time {
+	// Constructing times and durations is fine; only reading the clock is
+	// restricted.
+	d := 3 * time.Second
+	return time.Unix(0, 0).Add(d)
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+)
+
+// Degenerate-input behavior for the Eq. 1–3 statistics, documented here
+// as the contract the reports rely on:
+//
+//   - single element: μg = x, σg = 1, V = 1/x;
+//   - all equal: μg = x, σg = 1, V = 1/x — "no variation" is σg = 1, not
+//     0, because σg is a multiplicative spread factor. σg is 1 only up to
+//     floating-point rounding: μg round-trips through exp(log x), so
+//     x/μg can differ from 1 in the last ulp;
+//   - any zero (or negative) sample: ErrNonPositive. Geometric statistics
+//     are undefined at 0; callers must offset (CoverageOptions.Offset)
+//     before summarizing series that can touch zero.
+
+func TestGeoMeanSingleElement(t *testing.T) {
+	got, err := GeoMean([]float64{7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 7.5, 1e-12) {
+		t.Errorf("GeoMean([7.5]) = %v, want 7.5", got)
+	}
+}
+
+func TestGeoStdDevSingleElement(t *testing.T) {
+	// One sample has no spread: σg is 1 (to rounding; see the contract
+	// note above).
+	got, err := GeoStdDev([]float64{7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("GeoStdDev([7.5]) = %v, want 1", got)
+	}
+}
+
+func TestPropVariationSingleElement(t *testing.T) {
+	// V = σg/μg = 1/x: proportional variation of a single sample depends
+	// on its magnitude, which is why the paper compares V across
+	// benchmarks only at equal workload counts.
+	got, err := PropVariation([]float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("PropVariation([4]) = %v, want 0.25", got)
+	}
+}
+
+func TestAllEqualSamples(t *testing.T) {
+	xs := []float64{0.3, 0.3, 0.3, 0.3}
+	mu, err := GeoMean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mu, 0.3, 1e-12) {
+		t.Errorf("GeoMean(all-equal) = %v, want 0.3", mu)
+	}
+	sigma, err := GeoStdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sigma, 1, 1e-12) {
+		t.Errorf("GeoStdDev(all-equal) = %v, want 1", sigma)
+	}
+	v, err := PropVariation(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 1/0.3, 1e-9) {
+		t.Errorf("PropVariation(all-equal) = %v, want %v", v, 1/0.3)
+	}
+}
+
+func TestZeroContainingSamplesRejected(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		f    func([]float64) (float64, error)
+	}{
+		{"GeoMean", GeoMean},
+		{"GeoStdDev", GeoStdDev},
+		{"PropVariation", PropVariation},
+	} {
+		if _, err := fn.f([]float64{1, 0, 2}); !errors.Is(err, ErrNonPositive) {
+			t.Errorf("%s with a zero sample: err = %v, want ErrNonPositive", fn.name, err)
+		}
+	}
+}
+
+func TestSummarizeSingleWorkload(t *testing.T) {
+	cs, err := Summarize("frontend", []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.N != 1 || !almostEqual(cs.GeoMean, 0.4, 1e-12) || !almostEqual(cs.GeoStd, 1, 1e-12) {
+		t.Errorf("Summarize single workload = %+v, want N=1 μg=0.4 σg=1", cs)
+	}
+	if !almostEqual(cs.V, 1/0.4, 1e-9) {
+		t.Errorf("V = %v, want %v", cs.V, 1/0.4)
+	}
+}
+
+// SummarizeCoverage must survive methods that drop to exactly zero in
+// some workload: the offset keeps the geometric statistics defined.
+func TestSummarizeCoverageZeroFractionWorkload(t *testing.T) {
+	covs := []Coverage{
+		{"hot": 0.9, "cold": 0.1},
+		{"hot": 1.0}, // "cold" has zero time here
+	}
+	sum, err := SummarizeCoverage(covs, DefaultCoverageOptions())
+	if err != nil {
+		t.Fatalf("zero-fraction workload must not collapse the summary: %v", err)
+	}
+	if sum.Workloads != 2 {
+		t.Errorf("Workloads = %d, want 2", sum.Workloads)
+	}
+	if sum.Score <= 0 {
+		t.Errorf("Score = %v, want > 0", sum.Score)
+	}
+}
+
+// SortedMethods is the deterministic-iteration contract the harness
+// reports rely on.
+func TestCoverageSortedMethods(t *testing.T) {
+	c := Coverage{"b": 0.2, "a": 0.5, "c": 0.3}
+	got := c.SortedMethods()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("SortedMethods = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedMethods = %v, want %v", got, want)
+		}
+	}
+	if len(Coverage{}.SortedMethods()) != 0 {
+		t.Error("empty coverage should yield no methods")
+	}
+}

@@ -175,6 +175,18 @@ func DefaultCoverageOptions() CoverageOptions {
 // execution time attributed to each method. Fractions should sum to ~1.
 type Coverage map[string]float64
 
+// SortedMethods returns c's method names in lexical order. Go randomizes
+// map iteration per run, so any float accumulation or output derived from
+// a Coverage must walk it through this to stay bit-identical across runs.
+func (c Coverage) SortedMethods() []string {
+	names := make([]string, 0, len(c))
+	for m := range c {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // CoverageSummary is the summarized method-coverage variation for one
 // benchmark across workloads.
 type CoverageSummary struct {
@@ -222,10 +234,12 @@ func SummarizeCoverage(covs []Coverage, opts CoverageOptions) (CoverageSummary, 
 	series := make(map[string][]float64, len(names)+1)
 	var othersSeen bool
 	for _, cov := range covs {
+		// Accumulate in sorted-key order so the rounded sum is identical
+		// run to run.
 		others := 0.0
-		for m, frac := range cov {
+		for _, m := range cov.SortedMethods() {
 			if !keep[m] {
-				others += frac
+				others += cov[m]
 			}
 		}
 		for _, m := range names {
