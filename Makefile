@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench check
+.PHONY: build vet lint test race bench bench-smoke diff-full check
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Regenerate the tracked benchmark baseline: event-path microbenchmarks
+# (optimized vs reference simulators) plus the full-suite wall-clock
+# comparison. Slow — it characterizes the whole suite twice.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) run ./cmd/albertabench -out BENCH_profiler.json
+
+# One-iteration pass over every go-test benchmark; catches bit-rot without
+# the cost of a real measurement.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./internal/perf/ .
+
+# Full differential sweep: every benchmark × every workload, optimized vs
+# reference event path, Reports required bit-identical.
+diff-full:
+	ALBERTA_DIFF_FULL=1 $(GO) test -run TestSuiteDifferentialReference -v ./internal/harness/
 
 check: build vet lint race

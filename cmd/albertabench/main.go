@@ -1,0 +1,206 @@
+// Command albertabench measures the profiler event path and maintains the
+// tracked benchmark baseline, BENCH_profiler.json. It times each event
+// microbenchmark twice — once on the optimized simulators and once on the
+// retained pre-optimization reference path (perf.Options.Reference) — and
+// then runs the full characterization suite both ways for the wall-clock
+// comparison:
+//
+//	albertabench -out BENCH_profiler.json   # regenerate the baseline (make bench)
+//	albertabench -micro                     # microbenchmarks only, print to stdout
+//
+// The microbenchmark bodies mirror internal/perf's go-test benchmarks
+// (BenchmarkLoadHit etc.); the committed JSON is the reviewable record of
+// the speedup.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchmarks"
+	"repro/internal/harness"
+	"repro/internal/perf"
+)
+
+// microBench is one event-path microbenchmark: body issues profiler events
+// for i in [0, n).
+type microBench struct {
+	name string
+	body func(p *perf.Profiler, n int)
+}
+
+// micros mirrors internal/perf's benchmark suite. Each entry represents the
+// event shape a converted kernel inner loop issues.
+var micros = []microBench{
+	{"load_hit", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.Load(uint64(i&511) * 8)
+		}
+	}},
+	{"load_stream", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.Load(uint64(i) * 8 % (64 << 20))
+		}
+	}},
+	{"store", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.Store(uint64(i&511) * 8)
+		}
+	}},
+	{"branch", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.OpsBranch(8, 3, i&7 != 0)
+		}
+	}},
+	{"load_range", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.LoadRange(uint64(i)*512%(16<<20), 8, 64)
+		}
+	}},
+	{"load_store", func(p *perf.Profiler, n int) {
+		for i := 0; i < n; i++ {
+			p.LoadStore(uint64(i&4095) * 16)
+		}
+	}},
+}
+
+// MicroResult is one microbenchmark row of the baseline.
+type MicroResult struct {
+	Name       string  `json:"name"`
+	NsPerOpOpt float64 `json:"ns_per_op_opt"`
+	NsPerOpRef float64 `json:"ns_per_op_ref"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// SuiteResult is the full-suite wall-clock comparison.
+type SuiteResult struct {
+	WallSecondsOpt float64 `json:"wall_seconds_opt"`
+	WallSecondsRef float64 `json:"wall_seconds_ref"`
+	ReductionPct   float64 `json:"reduction_pct"`
+}
+
+// Baseline is the schema of BENCH_profiler.json.
+type Baseline struct {
+	Go         string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Micro      []MicroResult `json:"micro"`
+	Suite      *SuiteResult  `json:"suite,omitempty"`
+}
+
+// measure times one micro body on one path via the testing package's
+// calibration loop.
+func measure(mb microBench, reference bool) float64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		p := perf.NewWithOptions(perf.Options{Reference: reference})
+		p.Enter("bench")
+		b.ResetTimer()
+		mb.body(p, b.N)
+	})
+	return float64(res.T.Nanoseconds()) / float64(res.N)
+}
+
+// runSuite times one full characterization run (reps=1, stride=1, the
+// albertarun defaults apart from repetitions).
+func runSuite(reference bool) (float64, error) {
+	suite, err := benchmarks.CharacterizedSuite()
+	if err != nil {
+		return 0, err
+	}
+	opts := harness.Options{
+		Reps:      1,
+		Stride:    1,
+		Workers:   runtime.GOMAXPROCS(0),
+		Reference: reference,
+	}
+	start := time.Now()
+	if _, err := harness.RunSuite(context.Background(), suite, opts); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the baseline JSON to this file (stdout when empty)")
+	microOnly := flag.Bool("micro", false, "skip the full-suite wall-clock comparison")
+	suiteCount := flag.Int("suitecount", 3, "suite timing passes per path; the minimum is recorded")
+	flag.Parse()
+
+	if err := run(*out, *microOnly, *suiteCount); err != nil {
+		fmt.Fprintln(os.Stderr, "albertabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, microOnly bool, suiteCount int) error {
+	base := Baseline{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, mb := range micros {
+		opt := measure(mb, false)
+		ref := measure(mb, true)
+		base.Micro = append(base.Micro, MicroResult{
+			Name:       mb.name,
+			NsPerOpOpt: round2(opt),
+			NsPerOpRef: round2(ref),
+			Speedup:    round2(ref / opt),
+		})
+		fmt.Fprintf(os.Stderr, "albertabench: %-12s opt %8.2f ns/op   ref %8.2f ns/op   %.2fx\n",
+			mb.name, opt, ref, ref/opt)
+	}
+
+	if !microOnly {
+		// Alternate opt/ref passes and keep the per-path minimum: wall-clock
+		// noise only ever inflates a measurement, so the minimum is the
+		// noise-robust estimator, and interleaving decorrelates slow drift
+		// (thermal, co-tenant load) from the opt/ref comparison.
+		opt, ref := math.Inf(1), math.Inf(1)
+		for i := 0; i < suiteCount; i++ {
+			fmt.Fprintf(os.Stderr, "albertabench: suite pass %d/%d (optimized)...\n", i+1, suiteCount)
+			o, err := runSuite(false)
+			if err != nil {
+				return err
+			}
+			opt = math.Min(opt, o)
+			fmt.Fprintf(os.Stderr, "albertabench: suite pass %d/%d (reference)...\n", i+1, suiteCount)
+			r, err := runSuite(true)
+			if err != nil {
+				return err
+			}
+			ref = math.Min(ref, r)
+			fmt.Fprintf(os.Stderr, "albertabench: pass %d: opt %.1fs ref %.1fs (best %.1fs / %.1fs)\n",
+				i+1, o, r, opt, ref)
+		}
+		base.Suite = &SuiteResult{
+			WallSecondsOpt: round2(opt),
+			WallSecondsRef: round2(ref),
+			ReductionPct:   round2((1 - opt/ref) * 100),
+		}
+		fmt.Fprintf(os.Stderr, "albertabench: suite opt %.1fs   ref %.1fs   -%.1f%%\n",
+			opt, ref, base.Suite.ReductionPct)
+	}
+
+	doc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(out, doc, 0o644)
+}
+
+// round2 keeps the committed baseline diffable: two decimals are plenty for
+// ns/op and seconds alike.
+func round2(v float64) float64 {
+	if v < 0 {
+		return -round2(-v)
+	}
+	return float64(int64(v*100+0.5)) / 100
+}

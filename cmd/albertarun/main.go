@@ -9,6 +9,9 @@
 //	albertarun -bench 557.xz_r  # restrict to one benchmark
 //	albertarun -parallel 8      # bound the measurement worker pool
 //	albertarun -table2 -json    # machine-readable rows instead of text
+//	albertarun -reference       # retained pre-optimization event path
+//	albertarun -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # pprof profiles of the run itself
 //
 // A SIGINT cancels the run: outstanding measurements are abandoned and the
 // command exits with the context error.
@@ -22,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/benchmarks"
 	"repro/internal/cluster"
@@ -34,14 +38,17 @@ import (
 // config carries every flag once; experiment funcs take it instead of a
 // positional-argument list, so adding a mode no longer changes call sites.
 type config struct {
-	bench    string
-	reps     int
-	stride   int
-	parallel int
-	failFast bool
-	jsonOut  bool
-	verbose  bool
-	clusterK int
+	bench      string
+	reps       int
+	stride     int
+	parallel   int
+	failFast   bool
+	jsonOut    bool
+	verbose    bool
+	clusterK   int
+	reference  bool
+	cpuProfile string
+	memProfile string
 
 	// results caches the suite run so that several characterization modes
 	// requested together (e.g. -table1 -table2 -fig1) share one run, as
@@ -51,10 +58,11 @@ type config struct {
 
 func (c *config) options() harness.Options {
 	opts := harness.Options{
-		Reps:     c.reps,
-		Stride:   c.stride,
-		Workers:  c.parallel,
-		FailFast: c.failFast,
+		Reps:      c.reps,
+		Stride:    c.stride,
+		Workers:   c.parallel,
+		FailFast:  c.failFast,
+		Reference: c.reference,
 	}
 	if c.verbose {
 		opts.Progress = func(e harness.Event) {
@@ -132,15 +140,52 @@ func main() {
 	flag.BoolVar(&cfg.failFast, "failfast", false, "abort the whole run on the first measurement error")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON instead of text tables")
 	flag.BoolVar(&cfg.verbose, "v", false, "report per-workload progress on stderr")
+	flag.BoolVar(&cfg.reference, "reference", false, "run the retained pre-optimization profiler event path (bit-identical results, slower)")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, cfg, selected); err != nil {
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "albertarun:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "albertarun:", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(ctx, cfg, selected)
+
+	if cfg.cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		if werr := writeMemProfile(cfg.memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "albertarun:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile captures the heap at exit, after a GC so the profile
+// reflects live objects rather than collection timing.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func run(ctx context.Context, cfg *config, selected map[string]*bool) error {

@@ -105,9 +105,10 @@ func (s *Searcher) probe() *ttEntry {
 	idx := s.board.hash & uint64(len(s.tt)-1)
 	e := &s.tt[idx]
 	if s.p != nil {
-		s.p.Ops(4)
+		// Fused ops+branch, then the load: cross-channel reorder is
+		// Report-invariant (DESIGN.md §10).
+		s.p.OpsBranch(4, 10, e.key == s.board.hash)
 		s.p.Load(ttBase + idx*24)
-		s.p.Branch(10, e.key == s.board.hash)
 	}
 	if e.key == s.board.hash {
 		return e
@@ -175,8 +176,7 @@ func (s *Searcher) genLegal(ply int) []Move {
 		ok := k >= 0 && !s.board.SquareAttacked(k, s.board.WhiteToMove)
 		s.board.UnmakeMove(u)
 		if s.p != nil {
-			s.p.Ops(12)
-			s.p.Branch(12, ok)
+			s.p.OpsBranch(12, 12, ok)
 		}
 		if ok {
 			legal = append(legal, m)

@@ -193,13 +193,12 @@ func (s *Sim) step() {
 			s.f[base+i] += s.prm.Omega * (feq - s.f[base+i])
 		}
 		if s.p != nil && c%8 == 0 {
-			s.p.Ops(q * 6)
-			s.p.LongOps(2)
-			s.p.Load(cellBase + uint64(c)*152)
-			s.p.Store(cellBase + uint64(c)*152)
 			// Sparse data-dependent guard (flow-direction dependent
-			// handling in the real kernel's flag tests).
-			s.p.Branch(91, ux > 0)
+			// handling in the real kernel's flag tests), fused with the
+			// cell's arithmetic work.
+			s.p.OpsBranch(q*6, 91, ux > 0)
+			s.p.LongOps(2)
+			s.p.LoadStore(cellBase + uint64(c)*152)
 		}
 	}
 	if s.p != nil {
@@ -232,10 +231,9 @@ func (s *Sim) step() {
 					}
 				}
 				if s.p != nil && c%16 == 0 {
-					s.p.Ops(q * 3)
+					s.p.OpsBranch(q*3, 90, g.Solid[(c+1)%n])
 					s.p.Load(cellBase + uint64(c)*152)
 					s.p.Store(cellBase + uint64((c+g.NX))*152)
-					s.p.Branch(90, g.Solid[(c+1)%n])
 				}
 			}
 		}

@@ -61,6 +61,11 @@ type Board struct {
 	visited []int32
 	stamp   int32
 	queue   []int
+	// Precomputed neighbor table: nbr[p*4 : p*4+nbrN[p]] are p's orthogonal
+	// neighbors, in the fixed up/down/left/right order the flood fills and
+	// capture scans depend on. Immutable after NewBoard; shared by clones.
+	nbr  []int16
+	nbrN []uint8
 }
 
 // NewBoard returns an empty board of the given size (9, 13 or 19 in the
@@ -69,12 +74,42 @@ func NewBoard(size int) (*Board, error) {
 	if size < 3 || size > 25 {
 		return nil, fmt.Errorf("leela: unsupported board size %d", size)
 	}
-	return &Board{
+	b := &Board{
 		Size:    size,
 		points:  make([]Color, size*size),
 		koPoint: -1,
 		visited: make([]int32, size*size),
-	}, nil
+		nbr:     make([]int16, size*size*4),
+		nbrN:    make([]uint8, size*size),
+	}
+	for p := 0; p < size*size; p++ {
+		r, c := p/size, p%size
+		k := p * 4
+		if r > 0 {
+			b.nbr[k] = int16(p - size)
+			k++
+		}
+		if r < size-1 {
+			b.nbr[k] = int16(p + size)
+			k++
+		}
+		if c > 0 {
+			b.nbr[k] = int16(p - 1)
+			k++
+		}
+		if c < size-1 {
+			b.nbr[k] = int16(p + 1)
+			k++
+		}
+		b.nbrN[p] = uint8(k - p*4)
+		// Pad edge/corner slots with the point itself so flood fills can
+		// iterate a fixed 4 entries: a self entry is already stamped (every
+		// queued point is) and never Vacant there, so it is a no-op.
+		for ; k < p*4+4; k++ {
+			b.nbr[k] = int16(p)
+		}
+	}
+	return b, nil
 }
 
 // At returns the point's color.
@@ -85,47 +120,41 @@ func (b *Board) Captures(c Color) int { return b.captures[c] }
 
 // neighbors appends p's orthogonal neighbors to buf.
 func (b *Board) neighbors(p int, buf []int) []int {
-	n := b.Size
-	r, c := p/n, p%n
-	if r > 0 {
-		buf = append(buf, p-n)
-	}
-	if r < n-1 {
-		buf = append(buf, p+n)
-	}
-	if c > 0 {
-		buf = append(buf, p-1)
-	}
-	if c < n-1 {
-		buf = append(buf, p+1)
+	k := p * 4
+	for _, nb := range b.nbr[k : k+int(b.nbrN[p])] {
+		buf = append(buf, int(nb))
 	}
 	return buf
 }
 
 // groupHasLiberty reports whether the group containing p (of color col) has
-// at least one liberty, and records the group's points in b.queue.
+// at least one liberty. When it returns false the group's points are
+// recorded in b.queue (which removeGroup and the ko check consume); on true
+// it returns at the first liberty, so b.queue holds only a partial group —
+// no caller reads it in that case.
 func (b *Board) groupHasLiberty(p int, col Color) bool {
 	b.stamp++
 	b.queue = b.queue[:0]
 	b.queue = append(b.queue, p)
 	b.visited[p] = b.stamp
-	var nbuf [4]int
-	hasLib := false
 	for i := 0; i < len(b.queue); i++ {
 		q := b.queue[i]
-		for _, nb := range b.neighbors(q, nbuf[:0]) {
+		k := q * 4
+		// Fixed 4-wide iteration over the padded table (see NewBoard): every
+		// queued point is col-colored and stamped, so self pads fall through.
+		for _, nb := range b.nbr[k : k+4 : k+4] {
 			switch b.points[nb] {
 			case Vacant:
-				hasLib = true
+				return true
 			case col:
 				if b.visited[nb] != b.stamp {
 					b.visited[nb] = b.stamp
-					b.queue = append(b.queue, nb)
+					b.queue = append(b.queue, int(nb))
 				}
 			}
 		}
 	}
-	return hasLib
+	return false
 }
 
 // removeGroup removes the group recorded in b.queue, crediting captures.
@@ -148,13 +177,21 @@ func (b *Board) Legal(p int, c Color) bool {
 	if p < 0 || p >= len(b.points) || b.points[p] != Vacant || p == b.koPoint {
 		return false
 	}
+	k := p * 4
+	nbrs := b.nbr[k : k+int(b.nbrN[p])]
+	// A vacant neighbor is a liberty of the placed stone's group, so the move
+	// can be neither suicide nor ko-barred (p != koPoint already held): legal.
+	for _, nb := range nbrs {
+		if b.points[nb] == Vacant {
+			return true
+		}
+	}
 	// Tentatively place and test for suicide.
 	b.points[p] = c
 	opp := c.Opponent()
-	var nbuf [4]int
 	capturesSomething := false
-	for _, nb := range b.neighbors(p, nbuf[:0]) {
-		if b.points[nb] == opp && !b.groupHasLiberty(nb, opp) {
+	for _, nb := range nbrs {
+		if b.points[nb] == opp && !b.groupHasLiberty(int(nb), opp) {
 			capturesSomething = true
 			break
 		}
@@ -221,6 +258,9 @@ func (b *Board) Clone() *Board {
 		koPoint:  b.koPoint,
 		captures: b.captures,
 		visited:  make([]int32, len(b.points)),
+		// The neighbor table is immutable — clones share it.
+		nbr:  b.nbr,
+		nbrN: b.nbrN,
 	}
 	return nb
 }

@@ -53,9 +53,11 @@ func (e *Engine) legalMoves(b *Board, c Color, buf []int) []int {
 		}
 		legal := b.Legal(p, c)
 		if e.p != nil {
-			e.p.Ops(3)
+			// Fused ops+branch, then the load: the three event channels are
+			// independent, so hoisting the branch past the load is
+			// Report-invariant (DESIGN.md §10).
+			e.p.OpsBranch(3, 200+uint64(p), legal)
 			e.p.Load(boardAddr + uint64(p)*2)
-			e.p.Branch(200+uint64(p), legal)
 		}
 		if legal {
 			buf = append(buf, p)
@@ -128,10 +130,9 @@ func (e *Engine) uctChild(n *mctsNode) *mctsNode {
 		}
 		better := val > bestVal
 		if e.p != nil {
-			e.p.Ops(6)
+			e.p.OpsBranch(6, 21, better)
 			e.p.LongOps(1) // sqrt/log
 			e.p.Load(treeBase + uint64(i)*32)
-			e.p.Branch(21, better)
 		}
 		if better {
 			bestVal = val

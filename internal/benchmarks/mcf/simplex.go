@@ -231,10 +231,9 @@ func (s *simplex) pivot(e int) {
 	x, y := ev, eu
 	for x != y {
 		if s.p != nil {
-			s.p.Ops(4)
+			s.p.OpsBranch(4, 2, s.depth[x] >= s.depth[y])
 			s.p.Load(nodeBase + uint64(x)*nodeRec)
 			s.p.Load(nodeBase + uint64(y)*nodeRec)
-			s.p.Branch(2, s.depth[x] >= s.depth[y])
 		}
 		if s.depth[x] >= s.depth[y] {
 			a := s.parentArc[x]
@@ -264,9 +263,8 @@ func (s *simplex) pivot(e int) {
 			res = s.flow[st.arc]
 		}
 		if s.p != nil {
-			s.p.Ops(3)
+			s.p.OpsBranch(3, 3, res < delta)
 			s.p.Load(arcBase + uint64(st.arc)*arcRec)
-			s.p.Branch(3, res < delta)
 		}
 		if res < delta {
 			delta = res

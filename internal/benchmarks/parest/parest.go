@@ -143,10 +143,15 @@ func (pb *Problem) applyA(coeffs, u, out []float64) {
 				aN*get(x, y+1) - aS*get(x, y-1)
 			if pb.p != nil && i%16 == 0 {
 				pb.p.Ops(24)
-				pb.p.Load(solBase + uint64(i)*8)
-				pb.p.Store(solBase + uint64(i)*8 + 4)
 			}
 		}
+	}
+	if pb.p != nil {
+		// The per-site load/store pairs of the loop above, hoisted into one
+		// batched call: every 16th cell reads its solution entry and writes
+		// the neighbouring field of the same record (same cache line, so
+		// the pair costs one probe).
+		pb.p.LoadStoreRange(solBase, 16*8, uint64(n*n+15)/16)
 	}
 }
 
@@ -184,9 +189,8 @@ func (pb *Problem) Solve(coeffs []float64) ([]float64, error) {
 		rr = rrNew
 		pb.CGIterations++
 		if pb.p != nil {
-			pb.p.Ops(uint64(n2) / 2)
+			pb.p.OpsBranch(uint64(n2)/2, 140, rr > target)
 			pb.p.LongOps(2)
-			pb.p.Branch(140, rr > target)
 		}
 		if math.IsNaN(rr) {
 			return nil, errors.New("parest: CG diverged")

@@ -276,8 +276,7 @@ func (e *Encoder) encodeBlock(w *bitWriter, res *[blockSize * blockSize]int32) [
 		written++
 	}
 	if e.p != nil {
-		e.p.Ops(uint64(8 + nz*4))
-		e.p.Branch(61, nz > 0)
+		e.p.OpsBranch(uint64(8+nz*4), 61, nz > 0)
 		e.p.Leave()
 	}
 	// Local reconstruction.
@@ -474,9 +473,8 @@ func Decode(stream []byte, p *perf.Profiler) ([]*Frame, error) {
 						}
 						rec := idct(&deq)
 						if p != nil {
-							p.Ops(blockSize*blockSize + uint64(nz)*4)
+							p.OpsBranch(blockSize*blockSize+uint64(nz)*4, 62, nz > 0)
 							p.Load(frameBase + uint64(my*W+mx))
-							p.Branch(62, nz > 0)
 						}
 						for y := 0; y < blockSize; y++ {
 							for x := 0; x < blockSize; x++ {

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+)
+
+// TestSuiteDifferentialReference replays benchmark workloads through the
+// optimized event path and the retained pre-optimization reference path
+// (Options.Reference) and requires bit-identical Measurements — the proof
+// that the event-path rewrite changed no Report anywhere in the suite.
+//
+// By default every benchmark runs its test and train workloads, which keeps
+// the sweep affordable on one core. Set ALBERTA_DIFF_FULL=1 (CI does, in a
+// dedicated step) to sweep all 15 benchmarks × every workload, including
+// refrate/refspeed and the Alberta inputs.
+func TestSuiteDifferentialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short mode")
+	}
+	full := os.Getenv("ALBERTA_DIFF_FULL") == "1"
+
+	suite, err := benchmarks.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pairs := 0
+	for _, b := range suite.Benchmarks() {
+		ws, err := b.Workloads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ws {
+			if !full {
+				if k := w.WorkloadKind(); k != core.KindTest && k != core.KindTrain {
+					continue
+				}
+			}
+			b, w := b, w
+			pairs++
+			t.Run(b.Name()+"/"+w.WorkloadName(), func(t *testing.T) {
+				opt, err := RunWorkload(ctx, b, w, Options{Reps: 1, Stride: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := RunWorkload(ctx, b, w, Options{Reps: 1, Stride: 1, Reference: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.WallSeconds, ref.WallSeconds = 0, 0
+				if !reflect.DeepEqual(opt, ref) {
+					t.Errorf("optimized measurement diverges from reference\noptimized: %+v\nreference: %+v", opt, ref)
+				}
+			})
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no workloads selected")
+	}
+}

@@ -31,6 +31,11 @@ type Options struct {
 	// IncludeTest keeps the SPEC test inputs (excluded by default, as in
 	// the paper).
 	IncludeTest bool
+	// Reference runs the profiler's retained pre-optimization event path
+	// (see perf.Options.Reference). Measurements are bit-identical to the
+	// optimized path except WallSeconds; the option exists for differential
+	// testing and for the tracked benchmark baseline.
+	Reference bool
 	// Workers bounds the number of (benchmark, workload) measurements in
 	// flight at once. Zero or negative means runtime.GOMAXPROCS(0);
 	// Workers = 1 reproduces the serial path. Every measurement uses its
@@ -76,12 +81,19 @@ func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 		opts.Reps = 1
 	}
 	var m Measurement
-	first := true
+	// One profiler serves all repetitions: Reset restores the
+	// just-constructed state without reallocating the multi-megabyte
+	// modeled hierarchy, and reuse does not weaken the determinism check
+	// below — a Reset profiler must reproduce the first rep's Report
+	// exactly, which perf's own tests assert.
+	p := perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference})
 	for rep := 0; rep < opts.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
 			return Measurement{}, err
 		}
-		p := perf.NewWithOptions(perf.Options{Stride: opts.Stride})
+		if rep > 0 {
+			p.Reset()
+		}
 		start := time.Now()
 		res, err := b.Run(w, p)
 		if err != nil {
@@ -89,8 +101,7 @@ func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 		}
 		wall := time.Since(start).Seconds()
 		report := p.Report()
-		if first {
-			first = false
+		if rep == 0 {
 			m = Measurement{
 				Benchmark: b.Name(),
 				Workload:  w.WorkloadName(),
@@ -103,6 +114,9 @@ func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 			m.ModeledSeconds = perf.ModeledSeconds(report.Cycles)
 		} else if m.Checksum != res.Checksum {
 			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
+				b.Name(), w.WorkloadName())
+		} else if m.Cycles != report.Cycles || m.TopDown != report.TopDown {
+			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic profile across repetitions",
 				b.Name(), w.WorkloadName())
 		}
 		m.WallSeconds += wall

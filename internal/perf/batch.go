@@ -1,0 +1,169 @@
+package perf
+
+import "repro/internal/uarch"
+
+// Batched event APIs. Each call is *defined* by its per-event decomposition
+// (stated in its doc comment) and is bit-identical to it in every Report
+// field; benchmark kernels use the batched forms on their hottest inner
+// loops to shed per-event call and bookkeeping overhead, and to let the
+// same-line memo (see classifyLoad) collapse runs of consecutive same-line
+// accesses into a single hierarchy probe.
+//
+// Two conditions force the literal per-event fallback:
+//
+//   - Stride > 1: the sampling phase (memTick/brTick) must advance exactly
+//     as the decomposition would advance it.
+//   - Options.Reference: the reference path is the retained pre-optimization
+//     event path, which had no batched forms.
+//
+// Events on the three independent simulator channels — fetch (Ops/LongOps →
+// L1I/ITLB), data (Load/Store → hierarchy) and branch (Branch → predictor)
+// — only order within their own channel; fused calls such as OpsBranch may
+// therefore reorder across channels and still report identically.
+
+// LoadRange records n loads at base, base+stride, ..., base+(n-1)*stride:
+// exactly `for k := 0..n-1 { Load(base + k*stride) }`, with the per-load
+// bookkeeping hoisted out of the loop.
+func (p *Profiler) LoadRange(base, stride uint64, n uint64) {
+	if p.stride != 1 || p.ref != nil {
+		for k := uint64(0); k < n; k++ {
+			p.Load(base + k*stride)
+		}
+		return
+	}
+	m := p.current
+	m.loads += n
+	m.ops += n
+	m.sLoads += n
+	for k := uint64(0); k < n; k++ {
+		p.classifyLoad(m, base+k*stride)
+	}
+}
+
+// StoreRange records n stores at base, base+stride, ...: exactly
+// `for k := 0..n-1 { Store(base + k*stride) }`.
+func (p *Profiler) StoreRange(base, stride uint64, n uint64) {
+	if p.stride != 1 || p.ref != nil {
+		for k := uint64(0); k < n; k++ {
+			p.Store(base + k*stride)
+		}
+		return
+	}
+	m := p.current
+	m.stores += n
+	m.ops += n
+	for k := uint64(0); k < n; k++ {
+		p.storeProbe(m, base+k*stride)
+	}
+}
+
+// LoadStore records the read-modify-write idiom of stencil and solver
+// kernels: exactly `Load(addr); Store(addr)`. The store's probe is always
+// coalesced by the memo — the load just made the line MRU.
+func (p *Profiler) LoadStore(addr uint64) {
+	if p.stride != 1 || p.ref != nil {
+		p.Load(addr)
+		p.Store(addr)
+		return
+	}
+	m := p.current
+	m.loads++
+	m.stores++
+	m.ops += 2
+	m.sLoads++
+	p.classifyLoad(m, addr)
+}
+
+// LoadStoreRange records n load/store pairs at base, base+stride, ...:
+// exactly `for k := 0..n-1 { Load(base + k*stride); Store(base + k*stride) }`.
+func (p *Profiler) LoadStoreRange(base, stride uint64, n uint64) {
+	if p.stride != 1 || p.ref != nil {
+		for k := uint64(0); k < n; k++ {
+			addr := base + k*stride
+			p.Load(addr)
+			p.Store(addr)
+		}
+		return
+	}
+	m := p.current
+	m.loads += n
+	m.stores += n
+	m.ops += 2 * n
+	m.sLoads += n
+	for k := uint64(0); k < n; k++ {
+		p.classifyLoad(m, base+k*stride)
+	}
+}
+
+// OpsBranch fuses the ubiquitous "do work, then branch on its result"
+// kernel step: exactly `Ops(n); Branch(site, taken)` in one call.
+func (p *Profiler) OpsBranch(n uint64, site uint64, taken bool) {
+	if p.ref != nil {
+		p.Ops(n)
+		p.Branch(site, taken)
+		return
+	}
+	m := p.current
+	m.ops += n + 1 // n work ops plus the branch itself retiring
+	p.fetch(m, n)
+	m.branches++
+	if taken {
+		m.taken++
+	}
+	if p.stride == 1 {
+		m.sBranches++
+		if !p.observe(m.codeBase+site*8, taken) {
+			m.sMispredicts++
+		}
+		return
+	}
+	p.brTick++
+	if p.brTick >= p.stride {
+		p.brTick = 0
+		m.sBranches++
+		if !p.observe(m.codeBase+site*8, taken) {
+			m.sMispredicts++
+		}
+	}
+}
+
+// classifyLoad probes the hierarchy for one sampled load and folds the
+// outcome into the method's sampled counters. On the optimized path a
+// repeat of the last probed line is skipped: it is a guaranteed L1+DTLB MRU
+// hit (same line ⇒ same page; touching an MRU way of a true-LRU set is the
+// identity; an L1 hit never reaches L2/LLC), and HitL1 without a TLB miss
+// increments nothing here.
+func (p *Profiler) classifyLoad(m *methodRecord, addr uint64) {
+	if line := addr >> p.memShift; p.ref == nil {
+		if line == p.lastData {
+			return
+		}
+		p.lastData = line
+	}
+	res, tlbMiss := p.memAccess(addr)
+	if tlbMiss {
+		m.sTLBMiss++
+	}
+	switch res {
+	case uarch.HitL2:
+		m.sL2++
+	case uarch.HitLLC:
+		m.sLLC++
+	case uarch.HitMemory:
+		m.sMem++
+	}
+}
+
+// storeProbe probes the hierarchy for one sampled store (TLB outcome only),
+// with the same same-line memo as classifyLoad.
+func (p *Profiler) storeProbe(m *methodRecord, addr uint64) {
+	if line := addr >> p.memShift; p.ref == nil {
+		if line == p.lastData {
+			return
+		}
+		p.lastData = line
+	}
+	if _, tlbMiss := p.memAccess(addr); tlbMiss {
+		m.sTLBMiss++
+	}
+}

@@ -45,6 +45,13 @@ type Options struct {
 	// Branch/Load/Store is routed through the simulators and the observed
 	// outcome mix is scaled back up. Stride ≤ 1 simulates everything.
 	Stride int
+	// Reference selects the retained pre-optimization event path: reference
+	// simulators (uarch.RefHierarchy, uarch.RefCache, uarch.RefTournament
+	// unless Predictor is set) and per-event decomposition of the batched
+	// APIs. Reports are bit-identical to the optimized path — the option
+	// exists so differential tests and the benchmark baseline can compare
+	// the two in place.
+	Reference bool
 }
 
 type methodRecord struct {
@@ -70,9 +77,31 @@ type methodRecord struct {
 type Profiler struct {
 	model uarch.Model
 	pred  uarch.Predictor
-	mem   *uarch.Hierarchy
-	l1i   *uarch.Cache
-	itlb  *uarch.Cache
+	// tour devirtualizes the default predictor: when pred is the concrete
+	// *uarch.Tournament, the branch hot path calls it directly instead of
+	// through the interface.
+	tour *uarch.Tournament
+	mem  *uarch.Hierarchy
+	l1i  *uarch.Cache
+	itlb *uarch.Cache
+
+	// ref, when non-nil, routes every simulator probe through the retained
+	// pre-optimization models instead (see Options.Reference). The hot path
+	// pays one well-predicted nil check per probe.
+	ref *refSims
+
+	// memShift is the data-side coalescing granularity (log2 of the L1 line
+	// size): two addresses with equal addr>>memShift are indistinguishable
+	// to the modeled hierarchy. Batched APIs rely on it.
+	memShift uint
+
+	// lastData and lastFetch memoize the line of the most recent data and
+	// instruction probe. A repeat of the last probed line is a guaranteed
+	// MRU hit at every level — probing it neither changes simulator state
+	// nor any Report counter — so the optimized path skips the probe
+	// entirely (see DESIGN.md). Sentinel ^0 means "nothing probed yet".
+	lastData  uint64
+	lastFetch uint64
 
 	stride  int
 	brTick  int
@@ -86,6 +115,13 @@ type Profiler struct {
 	started time.Time
 }
 
+// refSims bundles the reference simulators of the pre-optimization path.
+type refSims struct {
+	mem  *uarch.RefHierarchy
+	l1i  *uarch.RefCache
+	itlb *uarch.RefCache
+}
+
 // New returns a profiler with default options.
 func New() *Profiler { return NewWithOptions(Options{}) }
 
@@ -97,24 +133,100 @@ func NewWithOptions(opts Options) *Profiler {
 	}
 	pred := opts.Predictor
 	if pred == nil {
-		pred = uarch.NewTournament(14)
+		if opts.Reference {
+			pred = uarch.NewRefTournament(14)
+		} else {
+			pred = uarch.NewTournament(14)
+		}
 	}
 	stride := opts.Stride
 	if stride < 1 {
 		stride = 1
 	}
 	p := &Profiler{
-		model:   model,
-		pred:    pred,
-		mem:     uarch.NewHierarchy(),
-		l1i:     uarch.NewCache(uarch.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineSize: 64}),
-		itlb:    uarch.NewCache(uarch.CacheConfig{Name: "ITLB", SizeB: 128 * 4096, Ways: 4, LineSize: 4096}),
-		stride:  stride,
-		methods: make(map[string]*methodRecord),
-		started: time.Now(),
+		model:     model,
+		pred:      pred,
+		stride:    stride,
+		methods:   make(map[string]*methodRecord),
+		started:   time.Now(),
+		lastData:  ^uint64(0),
+		lastFetch: ^uint64(0),
+	}
+	if t, ok := pred.(*uarch.Tournament); ok {
+		p.tour = t
+	}
+	if opts.Reference {
+		p.ref = &refSims{
+			mem:  uarch.NewRefHierarchy(),
+			l1i:  uarch.NewRefCache(uarch.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineSize: 64}),
+			itlb: uarch.NewRefCache(uarch.CacheConfig{Name: "ITLB", SizeB: 128 * 4096, Ways: 4, LineSize: 4096}),
+		}
+		p.memShift = 6
+	} else {
+		p.mem = uarch.NewHierarchy()
+		p.l1i = uarch.NewCache(uarch.CacheConfig{Name: "L1I", SizeB: 32 << 10, Ways: 8, LineSize: 64})
+		p.itlb = uarch.NewCache(uarch.CacheConfig{Name: "ITLB", SizeB: 128 * 4096, Ways: 4, LineSize: 4096})
+		p.memShift = p.mem.L1.LineShift()
 	}
 	p.current = p.method("(toplevel)")
 	return p
+}
+
+// Reference reports whether the profiler runs the retained pre-optimization
+// event path.
+func (p *Profiler) Reference() bool { return p.ref != nil }
+
+// memAccess routes a data access through the modeled (or reference)
+// hierarchy.
+func (p *Profiler) memAccess(addr uint64) (uarch.MemoryResult, bool) {
+	if p.ref != nil {
+		return p.ref.mem.Access(addr)
+	}
+	return p.mem.Access(addr)
+}
+
+// l1iAccess probes the instruction cache.
+func (p *Profiler) l1iAccess(addr uint64) bool {
+	if p.ref != nil {
+		return p.ref.l1i.Access(addr)
+	}
+	return p.l1i.Access(addr)
+}
+
+// itlbAccess probes the instruction TLB.
+func (p *Profiler) itlbAccess(addr uint64) bool {
+	if p.ref != nil {
+		return p.ref.itlb.Access(addr)
+	}
+	return p.itlb.Access(addr)
+}
+
+// Reset restores the profiler to its just-constructed state — empty method
+// table, cold simulators, fresh wall clock — without reallocating the
+// multi-megabyte modeled hierarchy. The harness reuses one profiler across
+// repetitions through it.
+func (p *Profiler) Reset() {
+	p.pred.Reset()
+	if p.ref != nil {
+		p.ref.mem.Reset()
+		p.ref.l1i.Reset()
+		p.ref.itlb.Reset()
+	} else {
+		p.mem.Reset()
+		p.l1i.Reset()
+		p.itlb.Reset()
+	}
+	p.brTick = 0
+	p.memTick = 0
+	p.lastData = ^uint64(0)
+	p.lastFetch = ^uint64(0)
+	// The method table must be rebuilt, not recycled: records carry run
+	// state (fetch offsets, counters) and Report iterates insertion order.
+	p.methods = make(map[string]*methodRecord)
+	p.order = p.order[:0]
+	p.stack = p.stack[:0]
+	p.current = p.method("(toplevel)")
+	p.started = time.Now()
 }
 
 // method returns (creating if needed) the record for name, assigning it a
@@ -186,10 +298,20 @@ func (p *Profiler) fetch(m *methodRecord, n uint64) {
 	start := m.fetchOff
 	for off := uint64(0); off < bytes; off += 64 {
 		addr := m.codeBase + (start+off)%m.codeSize
-		if !p.l1i.Access(addr) {
+		// A refetch of the line just fetched (a short Ops batch that did
+		// not cross a line boundary) is a guaranteed L1I and ITLB MRU hit
+		// with no state change; skip the probes. The reference path keeps
+		// the original probe-always behaviour.
+		if line := addr >> 6; p.ref == nil {
+			if line == p.lastFetch {
+				continue
+			}
+			p.lastFetch = line
+		}
+		if !p.l1iAccess(addr) {
 			m.icMiss++
 		}
-		if !p.itlb.Access(addr) {
+		if !p.itlbAccess(addr) {
 			m.itlbMiss++
 		}
 	}
@@ -211,6 +333,15 @@ func (p *Profiler) LongOps(n uint64) {
 	p.fetch(m, n)
 }
 
+// observe routes a sampled branch to the predictor, devirtualized when the
+// default tournament is in use.
+func (p *Profiler) observe(site uint64, taken bool) bool {
+	if p.tour != nil {
+		return p.tour.Observe(site, taken)
+	}
+	return p.pred.Observe(site, taken)
+}
+
 // Branch records a dynamic conditional branch at the given site (any value
 // stable for the static branch) with its actual outcome. The site is
 // combined with the method's code region so sites are globally distinct.
@@ -221,11 +352,19 @@ func (p *Profiler) Branch(site uint64, taken bool) {
 		m.taken++
 	}
 	m.ops++ // the branch itself retires
+	if p.stride == 1 {
+		// Exact simulation: every branch is sampled and brTick stays 0.
+		m.sBranches++
+		if !p.observe(m.codeBase+site*8, taken) {
+			m.sMispredicts++
+		}
+		return
+	}
 	p.brTick++
 	if p.brTick >= p.stride {
 		p.brTick = 0
 		m.sBranches++
-		if !p.pred.Observe(m.codeBase+site*8, taken) {
+		if !p.observe(m.codeBase+site*8, taken) {
 			m.sMispredicts++
 		}
 	}
@@ -249,18 +388,7 @@ func (p *Profiler) Load(addr uint64) {
 	if p.memTick >= p.stride {
 		p.memTick = 0
 		m.sLoads++
-		res, tlbMiss := p.mem.Access(addr)
-		if tlbMiss {
-			m.sTLBMiss++
-		}
-		switch res {
-		case uarch.HitL2:
-			m.sL2++
-		case uarch.HitLLC:
-			m.sLLC++
-		case uarch.HitMemory:
-			m.sMem++
-		}
+		p.classifyLoad(m, addr)
 	}
 }
 
@@ -274,11 +402,7 @@ func (p *Profiler) Store(addr uint64) {
 	p.memTick++
 	if p.memTick >= p.stride {
 		p.memTick = 0
-		res, tlbMiss := p.mem.Access(addr)
-		if tlbMiss {
-			m.sTLBMiss++
-		}
-		_ = res
+		p.storeProbe(m, addr)
 	}
 }
 

@@ -65,7 +65,13 @@ func (b *Bimodal) Reset() {
 
 // Observe implements Predictor.
 func (b *Bimodal) Observe(site uint64, taken bool) bool {
-	idx := mix(site) & b.mask
+	return b.observeHashed(mix(site), taken)
+}
+
+// observeHashed is the table update with the site hash already computed, so
+// a combining predictor can hash once per branch for all its components.
+func (b *Bimodal) observeHashed(h uint64, taken bool) bool {
+	idx := h & b.mask
 	correct := b.table[idx].taken() == taken
 	b.table[idx] = b.table[idx].update(taken)
 	return correct
@@ -74,17 +80,19 @@ func (b *Bimodal) Observe(site uint64, taken bool) bool {
 // GShare is a global-history predictor: the pattern-history table is indexed
 // by the branch site XOR the global outcome history.
 type GShare struct {
-	table   []twoBit
-	mask    uint64
-	history uint64
-	histLen uint
+	table    []twoBit
+	mask     uint64
+	history  uint64
+	histLen  uint
+	histMask uint64
 }
 
 // NewGShare returns a gshare predictor with 2^bits counters and a history
 // register of historyLen bits.
 func NewGShare(bits, historyLen uint) *GShare {
 	n := uint64(1) << bits
-	g := &GShare{table: make([]twoBit, n), mask: n - 1, histLen: historyLen}
+	g := &GShare{table: make([]twoBit, n), mask: n - 1, histLen: historyLen,
+		histMask: (1 << historyLen) - 1}
 	g.Reset()
 	return g
 }
@@ -99,35 +107,59 @@ func (g *GShare) Reset() {
 
 // Observe implements Predictor.
 func (g *GShare) Observe(site uint64, taken bool) bool {
-	idx := (mix(site) ^ g.history) & g.mask
+	return g.observeHashed(mix(site), taken)
+}
+
+// observeHashed is the table update with the site hash already computed.
+func (g *GShare) observeHashed(h uint64, taken bool) bool {
+	idx := (h ^ g.history) & g.mask
 	correct := g.table[idx].taken() == taken
 	g.table[idx] = g.table[idx].update(taken)
-	g.history = (g.history << 1) & ((1 << g.histLen) - 1)
+	g.history = (g.history << 1) & g.histMask
 	if taken {
 		g.history |= 1
 	}
 	return correct
 }
 
+// satNext is the saturating 2-bit counter transition table, indexed by
+// (counter<<1)|outcome. It is twoBit.update flattened into a branchless
+// lookup for the predictor hot path.
+var satNext = [8]twoBit{
+	0, 1, // from 0: not-taken → 0, taken → 1
+	0, 2, // from 1
+	1, 3, // from 2
+	2, 3, // from 3
+}
+
+// tournEntry packs the two per-site tables the tournament indexes with the
+// same hash — the bimodal counter and the chooser — into one slot, so a
+// branch touches one cache line for both.
+type tournEntry struct {
+	bimodal twoBit
+	chooser twoBit // ≥2 selects gshare
+}
+
 // Tournament combines a bimodal and a gshare predictor with a per-site
 // chooser, approximating the hybrid predictors of the Sandy Bridge era
 // machines used in the paper.
 type Tournament struct {
-	bimodal *Bimodal
-	gshare  *GShare
-	chooser []twoBit // ≥2 selects gshare
-	mask    uint64
+	sites    []tournEntry
+	gshare   []twoBit
+	mask     uint64
+	history  uint64
+	histMask uint64
 }
 
 // NewTournament returns a tournament predictor with 2^bits entries in each
-// component table.
+// component table and a 12-bit gshare history.
 func NewTournament(bits uint) *Tournament {
 	n := uint64(1) << bits
 	t := &Tournament{
-		bimodal: NewBimodal(bits),
-		gshare:  NewGShare(bits, 12),
-		chooser: make([]twoBit, n),
-		mask:    n - 1,
+		sites:    make([]tournEntry, n),
+		gshare:   make([]twoBit, n),
+		mask:     n - 1,
+		histMask: (1 << 12) - 1,
 	}
 	t.Reset()
 	return t
@@ -135,22 +167,43 @@ func NewTournament(bits uint) *Tournament {
 
 // Reset restores all component predictors and the chooser.
 func (t *Tournament) Reset() {
-	t.bimodal.Reset()
-	t.gshare.Reset()
-	for i := range t.chooser {
-		t.chooser[i] = 2 // weakly prefer gshare
+	for i := range t.sites {
+		t.sites[i] = tournEntry{bimodal: 2, chooser: 2} // weakly taken, weakly prefer gshare
 	}
+	for i := range t.gshare {
+		t.gshare[i] = 2
+	}
+	t.history = 0
 }
 
-// Observe implements Predictor.
+// Observe implements Predictor. The site is hashed once and shared by the
+// chooser and both component tables (the components index with the same
+// mix(site) value they would compute themselves), and counters step through
+// satNext, so predictions are bit-identical to the retained RefTournament —
+// three hashes and branchy updates per branch — which
+// TestTournamentMatchesReference asserts.
 func (t *Tournament) Observe(site uint64, taken bool) bool {
-	idx := mix(site) & t.mask
-	useGshare := t.chooser[idx].taken()
-	bCorrect := t.bimodal.Observe(site, taken)
-	gCorrect := t.gshare.Observe(site, taken)
+	h := mix(site)
+	e := &t.sites[h&t.mask]
+	gi := (h ^ t.history) & t.mask
+	g := t.gshare[gi]
+	bit := twoBit(0)
+	if taken {
+		bit = 1
+	}
+	bCorrect := e.bimodal.taken() == taken
+	gCorrect := g.taken() == taken
+	useGshare := e.chooser.taken()
+	e.bimodal = satNext[e.bimodal<<1|bit]
+	t.gshare[gi] = satNext[g<<1|bit]
+	t.history = (t.history<<1 | uint64(bit)) & t.histMask
 	// Train the chooser toward whichever component was right.
 	if gCorrect != bCorrect {
-		t.chooser[idx] = t.chooser[idx].update(gCorrect)
+		gbit := twoBit(0)
+		if gCorrect {
+			gbit = 1
+		}
+		e.chooser = satNext[e.chooser<<1|gbit]
 	}
 	if useGshare {
 		return gCorrect

@@ -2,18 +2,40 @@ package uarch
 
 import "fmt"
 
+// invalidTag marks an empty way. Tags are full line numbers (addr >>
+// lineShift), so the sentinel collides only with an address in the last
+// modeled line of the 64-bit space, which no benchmark address map reaches.
+const invalidTag = ^uint64(0)
+
+// wayEntry packs one way's replacement state into a single cache-friendly
+// record: the full line number acting as tag (invalidTag when empty) and the
+// LRU age (0 = most recently used). A set's ways are contiguous in
+// Cache.ways, so a probe touches one array instead of chasing the three
+// parallel slices (lines/valid/lru) the pre-optimization model used — see
+// RefCache for that retained implementation.
+type wayEntry struct {
+	tag uint64
+	age uint8
+}
+
 // Cache is a set-associative cache (or TLB, with LineSize = page size) with
-// true-LRU replacement.
+// true-LRU replacement. This is the optimized event-path model: set
+// selection is a mask (NewCache guarantees power-of-two sets), the probe
+// checks the set's MRU way first so looping and streaming patterns hit on
+// the first compare, and touch early-outs when the way is already MRU.
+// Behaviour is bit-identical to RefCache; TestCacheMatchesReference holds
+// the two to the same hit/miss sequence over randomized streams.
 type Cache struct {
 	name      string
 	sets      uint64
+	setMask   uint64
 	ways      int
 	lineShift uint
-	// lines[set*ways+way] holds the tag; lru[set*ways+way] holds the age
-	// (0 = most recently used).
-	lines []uint64
-	valid []bool
-	lru   []uint8
+	// ways of set s occupy entries[s*ways : (s+1)*ways].
+	entries []wayEntry
+	// mru[s] is the way index of set s's most-recently-used entry, probed
+	// before the way loop.
+	mru []int32
 
 	accesses uint64
 	misses   uint64
@@ -47,75 +69,94 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.LineSize != 1<<shift {
 		panic(fmt.Sprintf("uarch: cache %q line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
-	n := int(sets) * cfg.Ways
-	return &Cache{
+	c := &Cache{
 		name:      cfg.Name,
 		sets:      sets,
+		setMask:   sets - 1,
 		ways:      cfg.Ways,
 		lineShift: shift,
-		lines:     make([]uint64, n),
-		valid:     make([]bool, n),
-		lru:       make([]uint8, n),
+		entries:   make([]wayEntry, int(sets)*cfg.Ways),
+		mru:       make([]int32, sets),
 	}
+	for i := range c.entries {
+		c.entries[i].tag = invalidTag
+	}
+	return c
 }
+
+// LineShift returns log2 of the line size: the granularity below which two
+// addresses are indistinguishable to the model. The profiler's batched event
+// APIs use it to coalesce consecutive same-line accesses.
+func (c *Cache) LineShift() uint { return c.lineShift }
 
 // Access looks up addr, updating replacement state, and reports whether it
 // hit. On a miss the line is installed.
 func (c *Cache) Access(addr uint64) bool {
 	c.accesses++
 	line := addr >> c.lineShift
-	set := line % c.sets
-	tag := line / c.sets
+	set := line & c.setMask
 	base := int(set) * c.ways
+	ws := c.entries[base : base+c.ways : base+c.ways]
 
-	// Hit path.
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.lines[base+w] == tag {
-			c.touch(base, w)
+	// MRU-first probe: repeated and streaming accesses resolve on one
+	// compare, and an MRU hit needs no replacement update at all.
+	if ws[c.mru[set]].tag == line {
+		return true
+	}
+	for w := range ws {
+		if ws[w].tag == line {
+			c.touch(ws, set, w)
 			return true
 		}
 	}
 
-	// Miss: fill the LRU (or first invalid) way.
+	// Miss: fill the first invalid way, or the LRU one.
 	c.misses++
 	victim := 0
 	oldest := uint8(0)
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+	for w := range ws {
+		if ws[w].tag == invalidTag {
 			victim = w
 			break
 		}
-		if c.lru[base+w] >= oldest {
-			oldest = c.lru[base+w]
+		if ws[w].age >= oldest {
+			oldest = ws[w].age
 			victim = w
 		}
 	}
-	c.lines[base+victim] = tag
-	c.valid[base+victim] = true
+	ws[victim].tag = line
 	// Treat the victim as the oldest line so that touch ages every other
 	// way; otherwise cold fills would collapse all ages to zero and the
 	// set would degenerate to fixed-way replacement.
-	c.lru[base+victim] = uint8(c.ways - 1)
-	c.touch(base, victim)
+	ws[victim].age = uint8(c.ways - 1)
+	c.touch(ws, set, victim)
 	return false
 }
 
-// touch marks way w of the set at base as most recently used.
-func (c *Cache) touch(base, w int) {
-	age := c.lru[base+w]
-	for i := 0; i < c.ways; i++ {
-		if c.lru[base+i] < age {
-			c.lru[base+i]++
+// touch marks way w of the set as most recently used. Callers on the hit
+// path only reach it for non-MRU ways, so the aging loop always has work.
+func (c *Cache) touch(ws []wayEntry, set uint64, w int) {
+	age := ws[w].age
+	if age == 0 {
+		c.mru[set] = int32(w)
+		return
+	}
+	for i := range ws {
+		if ws[i].age < age {
+			ws[i].age++
 		}
 	}
-	c.lru[base+w] = 0
+	ws[w].age = 0
+	c.mru[set] = int32(w)
 }
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.lru[i] = 0
+	for i := range c.entries {
+		c.entries[i] = wayEntry{tag: invalidTag}
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.accesses = 0
 	c.misses = 0

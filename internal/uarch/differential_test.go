@@ -1,0 +1,137 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cacheGeometries are the differential-test geometries: the real hierarchy's
+// shapes plus deliberately awkward ones (direct-mapped-ish, single-set,
+// tall-and-narrow, TLB-like pages).
+var cacheGeometries = []CacheConfig{
+	{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineSize: 64},
+	{Name: "L2", SizeB: 256 << 10, Ways: 8, LineSize: 64},
+	{Name: "LLC", SizeB: 8 << 20, Ways: 16, LineSize: 64},
+	{Name: "DTLB", SizeB: 64 * 4096, Ways: 4, LineSize: 4096},
+	{Name: "tiny", SizeB: 512, Ways: 2, LineSize: 32},
+	{Name: "one-set", SizeB: 1024, Ways: 16, LineSize: 64},
+	{Name: "one-way", SizeB: 4096, Ways: 1, LineSize: 64},
+	{Name: "byte-lines", SizeB: 256, Ways: 4, LineSize: 1},
+}
+
+// streamFor builds an address stream that mixes the regimes the profiler
+// generates: hot reuse, sequential streaming, strided walks, and uniform
+// noise, so LRU state is exercised through hits, cold fills and evictions.
+func streamFor(rng *rand.Rand, cfg CacheConfig, n int) []uint64 {
+	span := 4 * cfg.SizeB // 4x capacity: plenty of conflict misses
+	hot := make([]uint64, 16)
+	for i := range hot {
+		hot[i] = rng.Uint64() % span
+	}
+	stream := make([]uint64, n)
+	seq := rng.Uint64() % span
+	for i := range stream {
+		switch rng.Intn(4) {
+		case 0:
+			stream[i] = hot[rng.Intn(len(hot))]
+		case 1:
+			seq += cfg.LineSize
+			stream[i] = seq % (2 * span)
+		case 2:
+			stream[i] = (uint64(i) * 3 * cfg.LineSize) % span
+		default:
+			stream[i] = rng.Uint64() % (8 * span)
+		}
+	}
+	return stream
+}
+
+// TestCacheMatchesReference holds the optimized Cache to the exact hit/miss
+// sequence of the retained pre-optimization RefCache over randomized address
+// streams on every geometry, including across a mid-stream Reset.
+func TestCacheMatchesReference(t *testing.T) {
+	for _, cfg := range cacheGeometries {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			opt := NewCache(cfg)
+			ref := NewRefCache(cfg)
+			stream := streamFor(rng, cfg, 20000)
+			for i, addr := range stream {
+				if i == len(stream)/2 {
+					opt.Reset()
+					ref.Reset()
+				}
+				oh, rh := opt.Access(addr), ref.Access(addr)
+				if oh != rh {
+					t.Fatalf("access %d (addr %#x): optimized hit=%v, reference hit=%v", i, addr, oh, rh)
+				}
+			}
+			oa, om := opt.Stats()
+			ra, rm := ref.Stats()
+			if oa != ra || om != rm {
+				t.Errorf("stats diverged: optimized %d/%d, reference %d/%d", oa, om, ra, rm)
+			}
+		})
+	}
+}
+
+// TestHierarchyMatchesReference checks the full data hierarchy: every access
+// must be satisfied at the same level with the same TLB outcome.
+func TestHierarchyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opt := NewHierarchy()
+	ref := NewRefHierarchy()
+	stream := streamFor(rng, CacheConfig{SizeB: 1 << 20, LineSize: 64}, 50000)
+	for i, addr := range stream {
+		or, ot := opt.Access(addr)
+		rr, rt := ref.Access(addr)
+		if or != rr || ot != rt {
+			t.Fatalf("access %d (addr %#x): optimized (%v, tlb=%v), reference (%v, tlb=%v)",
+				i, addr, or, ot, rr, rt)
+		}
+	}
+	if opt.TLBMisses() != ref.TLBMisses() {
+		t.Errorf("TLB misses diverged: %d vs %d", opt.TLBMisses(), ref.TLBMisses())
+	}
+}
+
+// TestTournamentMatchesReference holds the single-hash Tournament to the
+// prediction sequence of the retained three-hash RefTournament over random
+// branch sites and outcomes, across a mid-stream Reset.
+func TestTournamentMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	opt := NewTournament(14)
+	ref := NewRefTournament(14)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			opt.Reset()
+			ref.Reset()
+		}
+		site := uint64(rng.Intn(512)) * 8
+		// Mix of biased, patterned and random branches.
+		var taken bool
+		switch site % 3 {
+		case 0:
+			taken = rng.Float64() < 0.9
+		case 1:
+			taken = i%4 != 0
+		default:
+			taken = rng.Intn(2) == 0
+		}
+		oc, rc := opt.Observe(site, taken), ref.Observe(site, taken)
+		if oc != rc {
+			t.Fatalf("branch %d (site %#x): optimized correct=%v, reference correct=%v", i, site, oc, rc)
+		}
+	}
+}
+
+// TestCacheLineShift pins the coalescing granularity the profiler's batched
+// APIs depend on.
+func TestCacheLineShift(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", SizeB: 1024, Ways: 2, LineSize: 64})
+	if c.LineShift() != 6 {
+		t.Errorf("LineShift = %d, want 6", c.LineShift())
+	}
+}
