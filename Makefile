@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-smoke diff-full check
+.PHONY: build vet lint test race bench bench-check bench-smoke diff-full check
 
 build:
 	$(GO) build ./...
@@ -25,14 +25,22 @@ race:
 bench:
 	$(GO) run ./cmd/albertabench -out BENCH_profiler.json
 
+# Warn-only drift check of the committed baseline: re-times the event-path
+# microbenchmarks and flags anything outside the tolerance band. Never fails
+# on timing (CI runners are too noisy for a hard gate); structural drift —
+# a micro missing from the baseline — is a real error.
+bench-check:
+	$(GO) run ./cmd/albertabench -check BENCH_profiler.json
+
 # One-iteration pass over every go-test benchmark; catches bit-rot without
 # the cost of a real measurement.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./internal/perf/ .
 
 # Full differential sweep: every benchmark × every workload, optimized vs
-# reference event path, Reports required bit-identical.
+# reference event path AND prepared vs cold runs, Reports required
+# bit-identical.
 diff-full:
-	ALBERTA_DIFF_FULL=1 $(GO) test -run TestSuiteDifferentialReference -v ./internal/harness/
+	ALBERTA_DIFF_FULL=1 $(GO) test -run 'TestSuiteDifferentialReference|TestPreparedMatchesColdRuns' -v ./internal/harness/
 
 check: build vet lint race

@@ -5,8 +5,15 @@
 // then runs the full characterization suite both ways for the wall-clock
 // comparison:
 //
-//	albertabench -out BENCH_profiler.json   # regenerate the baseline (make bench)
-//	albertabench -micro                     # microbenchmarks only, print to stdout
+//	albertabench -out BENCH_profiler.json     # regenerate the baseline (make bench)
+//	albertabench -micro                       # microbenchmarks only, print to stdout
+//	albertabench -check BENCH_profiler.json   # warn-only drift check (make bench-check)
+//
+// The suite section carries two rows — serial (workers=1) and parallel
+// (workers=GOMAXPROCS, the resolved count recorded in the row) — each with
+// the optimized path's allocation profile (allocs/bytes/GC cycles per
+// characterization), which is deterministic and therefore reviewable the
+// same way cycle counts are.
 //
 // The microbenchmark bodies mirror internal/perf's go-test benchmarks
 // (BenchmarkLoadHit etc.); the committed JSON is the reviewable record of
@@ -79,11 +86,23 @@ type MicroResult struct {
 	Speedup    float64 `json:"speedup"`
 }
 
-// SuiteResult is the full-suite wall-clock comparison.
+// SuiteResult is one full-suite comparison row: wall clock on both event
+// paths plus the allocation profile of the optimized path (heap-allocation
+// counts are deterministic, so they are part of the reviewable record the
+// same way cycles are).
 type SuiteResult struct {
+	// Workers is the actual worker count the row ran with (the parallel
+	// row records the resolved GOMAXPROCS, not a symbolic "all").
+	Workers        int     `json:"workers"`
 	WallSecondsOpt float64 `json:"wall_seconds_opt"`
 	WallSecondsRef float64 `json:"wall_seconds_ref"`
 	ReductionPct   float64 `json:"reduction_pct"`
+	// AllocsPerSuite / BytesPerSuite / GCCycles are runtime.MemStats deltas
+	// (Mallocs, TotalAlloc, NumGC) over one optimized-path characterization
+	// of the whole suite.
+	AllocsPerSuite uint64 `json:"allocs_per_suite"`
+	BytesPerSuite  uint64 `json:"bytes_per_suite"`
+	GCCycles       uint32 `json:"gc_cycles"`
 }
 
 // Baseline is the schema of BENCH_profiler.json.
@@ -91,7 +110,11 @@ type Baseline struct {
 	Go         string        `json:"go"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Micro      []MicroResult `json:"micro"`
-	Suite      *SuiteResult  `json:"suite,omitempty"`
+	// Suite is the serial row (Workers = 1); SuiteParallel runs the same
+	// matrix with Workers = GOMAXPROCS and is present even when that
+	// resolves to 1, so the recorded workers count documents the machine.
+	Suite         *SuiteResult `json:"suite,omitempty"`
+	SuiteParallel *SuiteResult `json:"suite_parallel,omitempty"`
 }
 
 // measure times one micro body on one path via the testing package's
@@ -106,44 +129,106 @@ func measure(mb microBench, reference bool) float64 {
 	return float64(res.T.Nanoseconds()) / float64(res.N)
 }
 
+// suitePass is one timed characterization of the whole suite.
+type suitePass struct {
+	wall   float64
+	allocs uint64
+	bytes  uint64
+	gc     uint32
+}
+
 // runSuite times one full characterization run (reps=1, stride=1, the
-// albertarun defaults apart from repetitions).
-func runSuite(reference bool) (float64, error) {
+// albertarun defaults apart from repetitions) and captures the allocation
+// delta around it. A forced GC before the pass keeps the NumGC delta from
+// charging a previous pass's leftover heap to this one.
+func runSuite(reference bool, workers int) (suitePass, error) {
 	suite, err := benchmarks.CharacterizedSuite()
 	if err != nil {
-		return 0, err
+		return suitePass{}, err
 	}
 	opts := harness.Options{
 		Reps:      1,
 		Stride:    1,
-		Workers:   runtime.GOMAXPROCS(0),
+		Workers:   workers,
 		Reference: reference,
 	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	if _, err := harness.RunSuite(context.Background(), suite, opts); err != nil {
-		return 0, err
+		return suitePass{}, err
 	}
-	return time.Since(start).Seconds(), nil
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return suitePass{
+		wall:   wall,
+		allocs: after.Mallocs - before.Mallocs,
+		bytes:  after.TotalAlloc - before.TotalAlloc,
+		gc:     after.NumGC - before.NumGC,
+	}, nil
+}
+
+// measureSuite builds one baseline row: suiteCount interleaved opt/ref
+// passes, per-path minimum wall (noise only inflates), allocation profile
+// from the first optimized pass (allocation counts are deterministic).
+func measureSuite(workers, suiteCount int) (*SuiteResult, error) {
+	row := &SuiteResult{Workers: workers}
+	opt, ref := math.Inf(1), math.Inf(1)
+	for i := 0; i < suiteCount; i++ {
+		fmt.Fprintf(os.Stderr, "albertabench: suite[workers=%d] pass %d/%d (optimized)...\n", workers, i+1, suiteCount)
+		o, err := runSuite(false, workers)
+		if err != nil {
+			return nil, err
+		}
+		opt = math.Min(opt, o.wall)
+		if i == 0 {
+			row.AllocsPerSuite, row.BytesPerSuite, row.GCCycles = o.allocs, o.bytes, o.gc
+		}
+		fmt.Fprintf(os.Stderr, "albertabench: suite[workers=%d] pass %d/%d (reference)...\n", workers, i+1, suiteCount)
+		r, err := runSuite(true, workers)
+		if err != nil {
+			return nil, err
+		}
+		ref = math.Min(ref, r.wall)
+		fmt.Fprintf(os.Stderr, "albertabench: pass %d: opt %.1fs ref %.1fs (best %.1fs / %.1fs)\n",
+			i+1, o.wall, r.wall, opt, ref)
+	}
+	row.WallSecondsOpt = round2(opt)
+	row.WallSecondsRef = round2(ref)
+	row.ReductionPct = round2((1 - opt/ref) * 100)
+	fmt.Fprintf(os.Stderr, "albertabench: suite[workers=%d] opt %.1fs   ref %.1fs   -%.1f%%   %d allocs / %d bytes / %d GCs\n",
+		workers, opt, ref, row.ReductionPct, row.AllocsPerSuite, row.BytesPerSuite, row.GCCycles)
+	return row, nil
 }
 
 func main() {
 	out := flag.String("out", "", "write the baseline JSON to this file (stdout when empty)")
 	microOnly := flag.Bool("micro", false, "skip the full-suite wall-clock comparison")
 	suiteCount := flag.Int("suitecount", 3, "suite timing passes per path; the minimum is recorded")
+	check := flag.String("check", "", "re-run the microbenchmarks and compare against this baseline JSON (warn-only)")
+	tol := flag.Float64("tol", 0.5, "relative tolerance band for -check (0.5 = ±50%)")
 	flag.Parse()
 
-	if err := run(*out, *microOnly, *suiteCount); err != nil {
+	var err error
+	if *check != "" {
+		err = runCheck(*check, *tol)
+	} else {
+		err = run(*out, *microOnly, *suiteCount)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "albertabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, microOnly bool, suiteCount int) error {
-	base := Baseline{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+// measureMicros times the microbenchmark set on both paths.
+func measureMicros() []MicroResult {
+	var out []MicroResult
 	for _, mb := range micros {
 		opt := measure(mb, false)
 		ref := measure(mb, true)
-		base.Micro = append(base.Micro, MicroResult{
+		out = append(out, MicroResult{
 			Name:       mb.name,
 			NsPerOpOpt: round2(opt),
 			NsPerOpRef: round2(ref),
@@ -152,36 +237,25 @@ func run(out string, microOnly bool, suiteCount int) error {
 		fmt.Fprintf(os.Stderr, "albertabench: %-12s opt %8.2f ns/op   ref %8.2f ns/op   %.2fx\n",
 			mb.name, opt, ref, ref/opt)
 	}
+	return out
+}
+
+func run(out string, microOnly bool, suiteCount int) error {
+	base := Baseline{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	base.Micro = measureMicros()
 
 	if !microOnly {
 		// Alternate opt/ref passes and keep the per-path minimum: wall-clock
 		// noise only ever inflates a measurement, so the minimum is the
 		// noise-robust estimator, and interleaving decorrelates slow drift
 		// (thermal, co-tenant load) from the opt/ref comparison.
-		opt, ref := math.Inf(1), math.Inf(1)
-		for i := 0; i < suiteCount; i++ {
-			fmt.Fprintf(os.Stderr, "albertabench: suite pass %d/%d (optimized)...\n", i+1, suiteCount)
-			o, err := runSuite(false)
-			if err != nil {
-				return err
-			}
-			opt = math.Min(opt, o)
-			fmt.Fprintf(os.Stderr, "albertabench: suite pass %d/%d (reference)...\n", i+1, suiteCount)
-			r, err := runSuite(true)
-			if err != nil {
-				return err
-			}
-			ref = math.Min(ref, r)
-			fmt.Fprintf(os.Stderr, "albertabench: pass %d: opt %.1fs ref %.1fs (best %.1fs / %.1fs)\n",
-				i+1, o, r, opt, ref)
+		var err error
+		if base.Suite, err = measureSuite(1, suiteCount); err != nil {
+			return err
 		}
-		base.Suite = &SuiteResult{
-			WallSecondsOpt: round2(opt),
-			WallSecondsRef: round2(ref),
-			ReductionPct:   round2((1 - opt/ref) * 100),
+		if base.SuiteParallel, err = measureSuite(runtime.GOMAXPROCS(0), suiteCount); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "albertabench: suite opt %.1fs   ref %.1fs   -%.1f%%\n",
-			opt, ref, base.Suite.ReductionPct)
 	}
 
 	doc, err := json.MarshalIndent(base, "", "  ")
@@ -194,6 +268,61 @@ func run(out string, microOnly bool, suiteCount int) error {
 		return err
 	}
 	return os.WriteFile(out, doc, 0o644)
+}
+
+// runCheck re-times the microbenchmarks and compares them against the
+// committed baseline within a relative tolerance band. It never fails the
+// build on a timing deviation — wall-clock on shared CI runners is too noisy
+// for a hard gate — it only warns, so regressions are visible in the log
+// while `make bench` remains the tool that re-records the baseline.
+// Structural drift (a micro added or removed without regenerating the
+// baseline) is a real error.
+func runCheck(path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	recorded := map[string]MicroResult{}
+	for _, m := range base.Micro {
+		recorded[m.Name] = m
+	}
+	fresh := measureMicros()
+	if len(fresh) != len(base.Micro) {
+		return fmt.Errorf("baseline %s has %d micros, binary has %d: regenerate with make bench", path, len(base.Micro), len(fresh))
+	}
+	warns := 0
+	for _, f := range fresh {
+		r, ok := recorded[f.Name]
+		if !ok {
+			return fmt.Errorf("micro %q missing from baseline %s: regenerate with make bench", f.Name, path)
+		}
+		for _, c := range []struct {
+			field    string
+			old, new float64
+		}{
+			{"opt", r.NsPerOpOpt, f.NsPerOpOpt},
+			{"ref", r.NsPerOpRef, f.NsPerOpRef},
+		} {
+			if c.old <= 0 {
+				continue
+			}
+			if dev := c.new/c.old - 1; dev > tol || dev < -tol {
+				warns++
+				fmt.Fprintf(os.Stderr, "albertabench: WARN %s/%s drifted %+.0f%% (baseline %.2f ns/op, now %.2f ns/op, band ±%.0f%%)\n",
+					f.Name, c.field, dev*100, c.old, c.new, tol*100)
+			}
+		}
+	}
+	if warns == 0 {
+		fmt.Fprintf(os.Stderr, "albertabench: all %d micros within ±%.0f%% of %s\n", len(fresh), tol*100, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "albertabench: %d timing(s) outside the band — warn-only; run `make bench` to re-record\n", warns)
+	}
+	return nil
 }
 
 // round2 keeps the committed baseline diffable: two decimals are plenty for

@@ -12,6 +12,7 @@
 //	albertarun -reference       # retained pre-optimization event path
 //	albertarun -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                            # pprof profiles of the run itself
+//	albertarun -memstats        # allocation totals of the run on stderr
 //
 // A SIGINT cancels the run: outstanding measurements are abandoned and the
 // command exits with the context error.
@@ -49,6 +50,7 @@ type config struct {
 	reference  bool
 	cpuProfile string
 	memProfile string
+	memStats   bool
 
 	// results caches the suite run so that several characterization modes
 	// requested together (e.g. -table1 -table2 -fig1) share one run, as
@@ -143,6 +145,7 @@ func main() {
 	flag.BoolVar(&cfg.reference, "reference", false, "run the retained pre-optimization profiler event path (bit-identical results, slower)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at exit to this file")
+	flag.BoolVar(&cfg.memStats, "memstats", false, "print the run's allocation totals (allocs, bytes, GC cycles) on stderr at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -160,10 +163,21 @@ func main() {
 		}
 	}
 
+	var before runtime.MemStats
+	if cfg.memStats {
+		runtime.ReadMemStats(&before)
+	}
+
 	err := run(ctx, cfg, selected)
 
 	if cfg.cpuProfile != "" {
 		pprof.StopCPUProfile()
+	}
+	if cfg.memStats {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(os.Stderr, "albertarun: allocs=%d bytes=%d gc_cycles=%d\n",
+			after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc, after.NumGC-before.NumGC)
 	}
 	if cfg.memProfile != "" {
 		if werr := writeMemProfile(cfg.memProfile); werr != nil && err == nil {

@@ -379,14 +379,38 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared holds the built, checked scene; the renderer animates per frame
+// by transforming into its own buffers, leaving the scene unchanged.
+type prepared struct {
+	b  *Benchmark
+	bw Workload
+	sc *Scene
+}
+
+// Prepare implements core.Preparer: build and validate the scene once,
+// uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	bw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
 	sc := BuildScene(bw.Kind, bw.Detail, bw.SceneSeed)
 	if err := CheckScene(sc); err != nil {
-		return core.Result{}, fmt.Errorf("blender: %s: %w", bw.Name, err)
+		return nil, fmt.Errorf("blender: %s: %w", bw.Name, err)
 	}
+	return &prepared{b: b, bw: bw, sc: sc}, nil
+}
+
+// Execute implements core.PreparedWorkload: render every frame.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, bw, sc := pw.b, pw.bw, pw.sc
 	rnd, err := NewRenderer(bw.W, bw.H, p)
 	if err != nil {
 		return core.Result{}, err

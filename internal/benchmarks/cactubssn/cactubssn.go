@@ -331,10 +331,33 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared wraps the workload: grid allocation and initial data are part of
+// the measured phase (NewSolver is instrumented), so Prepare only validates
+// the workload type.
+type prepared struct {
+	b  *Benchmark
+	cw Workload
+}
+
+// Prepare implements core.Preparer.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	cw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
+	return &prepared{b: b, cw: cw}, nil
+}
+
+// Execute implements core.PreparedWorkload: build the solver and evolve.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, cw := pw.b, pw.cw
 	solver, err := NewSolver(cw.Params, p)
 	if err != nil {
 		return core.Result{}, err

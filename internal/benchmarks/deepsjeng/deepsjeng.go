@@ -126,28 +126,68 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	return out, nil
 }
 
-// Run implements core.Benchmark: analyze every position to its depth.
+// Run implements core.Benchmark: analyze every position to its depth. It is
+// exactly Prepare followed by Execute, so prepared and cold runs share one
+// code path.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared is the workload's parsed positions (immutable after Prepare)
+// plus the reusable search scratch: one board copy target and one searcher
+// whose transposition table is cleared in place between positions and
+// between Execute calls.
+type prepared struct {
+	b      *Benchmark
+	w      Workload
+	boards []Board // parsed FENs; immutable
+	// scratch
+	board    Board
+	searcher *Searcher
+}
+
+// Prepare implements core.Preparer: parse every FEN once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	dw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
-	sum := core.NewChecksum()
+	pw := &prepared{b: b, w: dw, boards: make([]Board, 0, len(dw.Positions))}
 	for i, pos := range dw.Positions {
 		board, err := ParseFEN(pos.FEN)
 		if err != nil {
-			return core.Result{}, fmt.Errorf("deepsjeng: %s position %d: %w", dw.Name, i, err)
+			return nil, fmt.Errorf("deepsjeng: %s position %d: %w", dw.Name, i, err)
 		}
-		searcher := NewSearcher(board, 18, p)
-		res := searcher.Analyze(pos.Depth)
+		pw.boards = append(pw.boards, *board)
+	}
+	return pw, nil
+}
+
+// Execute implements core.PreparedWorkload: analyze every prepared position,
+// copying it into the scratch board (the search mutates its board in place)
+// and recycling one searcher across positions and repetitions.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	sum := core.NewChecksum()
+	for i, pos := range pw.w.Positions {
+		pw.board = pw.boards[i]
+		if pw.searcher == nil {
+			pw.searcher = NewSearcher(&pw.board, 18, p)
+		} else {
+			pw.searcher.Reset(&pw.board, p)
+		}
+		res := pw.searcher.Analyze(pos.Depth)
 		sum = sum.AddUint64(res.Nodes).
 			AddUint64(uint64(int64(res.Score))).
 			AddUint64(uint64(res.BestMove.From)<<8 | uint64(res.BestMove.To))
 	}
 	return core.Result{
-		Benchmark: b.Name(),
-		Workload:  dw.Name,
-		Kind:      dw.WorkloadKind(),
+		Benchmark: pw.b.Name(),
+		Workload:  pw.w.Name,
+		Kind:      pw.w.WorkloadKind(),
 		Checksum:  sum.Value(),
 	}, nil
 }

@@ -42,14 +42,28 @@ type Searcher struct {
 
 // NewSearcher builds a searcher with a table of 2^ttBits entries.
 func NewSearcher(b *Board, ttBits uint, p *perf.Profiler) *Searcher {
-	s := &Searcher{board: b, tt: make([]ttEntry, 1<<ttBits), p: p}
+	s := &Searcher{tt: make([]ttEntry, 1<<ttBits)}
+	s.Reset(b, p)
+	return s
+}
+
+// Reset re-aims the searcher at a new position and profiler, clearing the
+// transposition table and node count in place. A cleared table is all-zero,
+// exactly like a freshly allocated one, so a recycled searcher produces the
+// same analysis — and the same probe-hit/miss event stream — as a fresh
+// NewSearcher; one multi-megabyte table allocation serves a whole workload
+// instead of one per position.
+func (s *Searcher) Reset(b *Board, p *perf.Profiler) {
+	s.board = b
+	s.p = p
+	s.Nodes = 0
+	clear(s.tt)
 	if p != nil {
 		p.SetFootprint("search", 6<<10)
 		p.SetFootprint("qsearch", 3<<10)
 		p.SetFootprint("evaluate", 2<<10)
 		p.SetFootprint("movegen", 4<<10)
 	}
-	return s
 }
 
 // evaluate scores the position from the side to move's perspective:

@@ -90,10 +90,38 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared wraps the workload after validating its seed indices: puzzle
+// generation and solving are both measured, and the embedded seed boards are
+// package-level constants, so there is nothing else to prepare.
+type prepared struct {
+	b  *Benchmark
+	xw Workload
+}
+
+// Prepare implements core.Preparer.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	xw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
+	for _, si := range xw.SeedIndices {
+		if si < 0 || si >= len(seeds) {
+			return nil, fmt.Errorf("exchange2: %s: seed index %d out of range", xw.Name, si)
+		}
+	}
+	return &prepared{b: b, xw: xw}, nil
+}
+
+// Execute implements core.PreparedWorkload: generate and solve the puzzles.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, xw := pw.b, pw.xw
 	solver := NewSolver(p)
 	rng := rand.New(rand.NewSource(xw.RNGSeed))
 	sum := core.NewChecksum()

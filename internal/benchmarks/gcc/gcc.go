@@ -196,10 +196,34 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 // itself (as in SPEC's gcc); the compiled unit is then executed briefly,
 // unprofiled, to validate the generated code.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared wraps the workload, whose source text is already the benchmark's
+// input file: compilation itself is the measured phase, so Prepare only
+// validates the workload type and there is no scratch to reuse.
+type prepared struct {
+	b  *Benchmark
+	gw Workload
+}
+
+// Prepare implements core.Preparer.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	gw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
+	return &prepared{b: b, gw: gw}, nil
+}
+
+// Execute implements core.PreparedWorkload: compile the unit and validate
+// it on the VM.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, gw := pw.b, pw.gw
 	unit, err := cc.CompileSource(gw.Source, gw.Level, nil, p)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("gcc: %s: %w", gw.Name, err)

@@ -149,17 +149,28 @@ func NewSim(g *Geometry, prm Params, p *perf.Profiler) (*Sim, error) {
 		return nil, fmt.Errorf("%w: %+v", ErrBadParams, prm)
 	}
 	n := g.NX * g.NY * g.NZ
-	s := &Sim{g: g, f: make([]float64, n*q), fNew: make([]float64, n*q), prm: prm, p: p}
+	s := &Sim{g: g, f: make([]float64, n*q), fNew: make([]float64, n*q), prm: prm}
+	s.Reset(p)
+	return s, nil
+}
+
+// Reset returns the lattice to its initial at-rest state and re-aims the
+// sim at p, recycling the two distribution arrays: a reset sim is
+// bit-identical to a fresh NewSim (f holds the rest-state weights, fNew is
+// zeroed), so one pair of lattice allocations serves every repetition.
+func (s *Sim) Reset(p *perf.Profiler) {
+	s.p = p
+	n := s.g.NX * s.g.NY * s.g.NZ
 	for c := 0; c < n; c++ {
 		for i := 0; i < q; i++ {
 			s.f[c*q+i] = wt[i]
 		}
 	}
+	clear(s.fNew)
 	if p != nil {
 		p.SetFootprint("collide", 6<<10)
 		p.SetFootprint("stream", 4<<10)
 	}
-	return s, nil
 }
 
 // step advances one time step: collide then stream with bounce-back.
@@ -371,21 +382,48 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	return out, nil
 }
 
-// Run implements core.Benchmark.
+// Run implements core.Benchmark. It is exactly Prepare followed by Execute,
+// so prepared and cold runs share one code path.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared holds the generated geometry (immutable after Prepare) and the
+// sim whose lattice arrays are the reusable scratch, reset in place at the
+// start of every Execute.
+type prepared struct {
+	b   *Benchmark
+	lw  Workload
+	sim *Sim
+}
+
+// Prepare implements core.Preparer: generate the geometry and allocate the
+// lattice once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	lw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
 	g, err := GenerateGeometry(lw.NX, lw.NY, lw.NZ, lw.Kind, lw.Size, lw.Density, lw.Seed)
 	if err != nil {
-		return core.Result{}, err
+		return nil, err
 	}
-	sim, err := NewSim(g, lw.Params, p)
+	sim, err := NewSim(g, lw.Params, nil)
 	if err != nil {
-		return core.Result{}, err
+		return nil, err
 	}
-	st := sim.Run()
+	return &prepared{b: b, lw: lw, sim: sim}, nil
+}
+
+// Execute implements core.PreparedWorkload.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, lw := pw.b, pw.lw
+	pw.sim.Reset(p)
+	st := pw.sim.Run()
 	if st.FluidCells == 0 {
 		return core.Result{}, fmt.Errorf("lbm: %s: geometry has no fluid cells", lw.Name)
 	}

@@ -5,6 +5,101 @@ import (
 	"testing"
 )
 
+// TestLegalScannedMatchesLegal pins the scan-cached legality test to the
+// flood-fill reference: over random game positions, legalScanned under a
+// fresh scanGroups cache must agree with Legal at every vacant point for
+// both colors. The MCTS move scan feeds these verdicts straight into the
+// profiler's branch event stream, so any divergence would change Reports.
+func TestLegalScannedMatchesLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, size := range []int{5, 9, 13} {
+		for trial := 0; trial < 40; trial++ {
+			b, err := NewBoard(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := Black
+			// Play a random game, checking every position along the way.
+			for mv := 0; mv < 3*size*size; mv++ {
+				b.scanGroups()
+				for p := 0; p < size*size; p++ {
+					if b.At(p) != Vacant {
+						continue
+					}
+					for _, col := range []Color{Black, White} {
+						if got, want := b.legalScanned(p, col), b.Legal(p, col); got != want {
+							t.Fatalf("size %d trial %d move %d: legalScanned(%d, %s) = %v, Legal = %v",
+								size, trial, mv, p, col, got, want)
+						}
+					}
+				}
+				// Advance with a random legal move (or pass).
+				var legal []int
+				for p := 0; p < size*size; p++ {
+					if b.At(p) == Vacant && b.Legal(p, c) {
+						legal = append(legal, p)
+					}
+				}
+				if len(legal) == 0 {
+					break
+				}
+				if _, err := b.Play(legal[rng.Intn(len(legal))], c); err != nil {
+					t.Fatal(err)
+				}
+				c = c.Opponent()
+			}
+		}
+	}
+}
+
+// TestCopyFromMatchesClone pins the in-place board reset: after CopyFrom,
+// the destination must behave identically to a fresh Clone of the source.
+func TestCopyFromMatchesClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src, err := NewBoard(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := src.Clone()
+	c := Black
+	for mv := 0; mv < 200; mv++ {
+		// Mutate dst arbitrarily, then reset it from src and compare
+		// observable state against a fresh clone.
+		for k := 0; k < 5; k++ {
+			p := rng.Intn(81)
+			if dst.At(p) == Vacant && dst.Legal(p, c) {
+				_, _ = dst.Play(p, c)
+			}
+		}
+		dst.CopyFrom(src)
+		ref := src.Clone()
+		for p := 0; p < 81; p++ {
+			if dst.At(p) != ref.At(p) {
+				t.Fatalf("move %d: point %d differs after CopyFrom", mv, p)
+			}
+			for _, col := range []Color{Black, White} {
+				if dst.At(p) == Vacant && dst.Legal(p, col) != ref.Legal(p, col) {
+					t.Fatalf("move %d: Legal(%d, %s) differs after CopyFrom", mv, p, col)
+				}
+			}
+		}
+		// Advance the source game.
+		var legal []int
+		for p := 0; p < 81; p++ {
+			if src.At(p) == Vacant && src.Legal(p, c) {
+				legal = append(legal, p)
+			}
+		}
+		if len(legal) == 0 {
+			break
+		}
+		if _, err := src.Play(legal[rng.Intn(len(legal))], c); err != nil {
+			t.Fatal(err)
+		}
+		c = c.Opponent()
+	}
+}
+
 // TestParseSGFNeverPanics feeds random SGF-shaped noise to the parser.
 func TestParseSGFNeverPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))

@@ -9,6 +9,7 @@ package leela
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -66,6 +67,12 @@ type Board struct {
 	// capture scans depend on. Immutable after NewBoard; shared by clones.
 	nbr  []int16
 	nbrN []uint8
+	// Legal-scan cache, valid only between scanGroups and the next board
+	// mutation: gid maps each occupied point to a group index, libs holds
+	// each group's liberty count. legalMoves computes it once per scan so
+	// per-point legality tests need no flood fills.
+	gid  []int32
+	libs []int32
 }
 
 // NewBoard returns an empty board of the given size (9, 13 or 19 in the
@@ -127,13 +134,101 @@ func (b *Board) neighbors(p int, buf []int) []int {
 	return buf
 }
 
+// nextStamp advances the visited-marking stamp, clearing the visited array
+// on (unlikely) wraparound so long-lived boards stay correct.
+func (b *Board) nextStamp() {
+	if b.stamp == math.MaxInt32 {
+		for i := range b.visited {
+			b.visited[i] = 0
+		}
+		b.stamp = 0
+	}
+	b.stamp++
+}
+
+// scanGroups flood-fills every group on the board once, filling the gid and
+// libs caches. The cache is invalidated by any mutation (Play, removeGroup);
+// legalMoves recomputes it at the start of each scan.
+func (b *Board) scanGroups() {
+	if b.gid == nil {
+		b.gid = make([]int32, len(b.points))
+	}
+	for i := range b.gid {
+		b.gid[i] = -1
+	}
+	b.libs = b.libs[:0]
+	for p := range b.points {
+		if b.points[p] == Vacant || b.gid[p] >= 0 {
+			continue
+		}
+		col := b.points[p]
+		id := int32(len(b.libs))
+		// One stamp per group: visited dedupes this group's liberties.
+		b.nextStamp()
+		b.queue = b.queue[:0]
+		b.queue = append(b.queue, p)
+		b.gid[p] = id
+		nlibs := int32(0)
+		for i := 0; i < len(b.queue); i++ {
+			q := b.queue[i]
+			k := q * 4
+			// Self pads are col-colored with gid already set: no-ops.
+			for _, nb := range b.nbr[k : k+4 : k+4] {
+				switch b.points[nb] {
+				case Vacant:
+					if b.visited[nb] != b.stamp {
+						b.visited[nb] = b.stamp
+						nlibs++
+					}
+				case col:
+					if b.gid[nb] < 0 {
+						b.gid[nb] = id
+						b.queue = append(b.queue, int(nb))
+					}
+				}
+			}
+		}
+		b.libs = append(b.libs, nlibs)
+	}
+}
+
+// legalScanned is Legal for a vacant point under a fresh scanGroups cache.
+// It decides without flood fills, by the same rules Legal applies with them:
+// a vacant neighbor is a liberty of the new stone; an opponent neighbor
+// group with exactly one liberty must have p as that liberty (p is vacant
+// and adjacent), so the move captures; a friendly neighbor group with a
+// second liberty beyond p keeps the merged group alive. Otherwise the move
+// is suicide. The returned boolean is bit-identical to Legal(p, c).
+func (b *Board) legalScanned(p int, c Color) bool {
+	if p == b.koPoint {
+		return false
+	}
+	opp := c.Opponent()
+	k := p * 4
+	for _, nb := range b.nbr[k : k+int(b.nbrN[p])] {
+		switch b.points[nb] {
+		case Vacant:
+			return true
+		case opp:
+			if b.libs[b.gid[nb]] == 1 {
+				return true
+			}
+		default: // own color
+			if b.libs[b.gid[nb]] >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // groupHasLiberty reports whether the group containing p (of color col) has
 // at least one liberty. When it returns false the group's points are
 // recorded in b.queue (which removeGroup and the ko check consume); on true
 // it returns at the first liberty, so b.queue holds only a partial group —
 // no caller reads it in that case.
 func (b *Board) groupHasLiberty(p int, col Color) bool {
-	b.stamp++
+	b.nextStamp()
 	b.queue = b.queue[:0]
 	b.queue = append(b.queue, p)
 	b.visited[p] = b.stamp
@@ -265,11 +360,23 @@ func (b *Board) Clone() *Board {
 	return nb
 }
 
+// CopyFrom resets b to src's position without allocating. The boards must
+// share a size; scratch state (visited stamps, scan caches) is left as-is —
+// stamps only ever advance, so stale marks never alias fresh ones, and the
+// scan cache is recomputed per legalMoves call.
+func (b *Board) CopyFrom(src *Board) {
+	copy(b.points, src.points)
+	b.koPoint = src.koPoint
+	b.captures = src.captures
+}
+
 // Score computes area scores (stones + surrounded empty territory) for both
 // players. Empty regions touching both colors count for neither.
 func (b *Board) Score() (black, white int) {
 	n := len(b.points)
-	seen := make([]bool, n)
+	// One stamp marks every visited vacant point: regions are disjoint, so
+	// a single stamp suffices and no per-call allocation is needed.
+	b.nextStamp()
 	var nbuf [4]int
 	for p := 0; p < n; p++ {
 		switch b.points[p] {
@@ -278,32 +385,33 @@ func (b *Board) Score() (black, white int) {
 		case White:
 			white++
 		case Vacant:
-			if seen[p] {
+			if b.visited[p] == b.stamp {
 				continue
 			}
 			// Flood-fill the vacant region, noting bordering colors.
-			region := []int{p}
-			seen[p] = true
+			b.queue = b.queue[:0]
+			b.queue = append(b.queue, p)
+			b.visited[p] = b.stamp
 			touchBlack, touchWhite := false, false
-			for i := 0; i < len(region); i++ {
-				for _, nb := range b.neighbors(region[i], nbuf[:0]) {
+			for i := 0; i < len(b.queue); i++ {
+				for _, nb := range b.neighbors(b.queue[i], nbuf[:0]) {
 					switch b.points[nb] {
 					case Black:
 						touchBlack = true
 					case White:
 						touchWhite = true
 					case Vacant:
-						if !seen[nb] {
-							seen[nb] = true
-							region = append(region, nb)
+						if b.visited[nb] != b.stamp {
+							b.visited[nb] = b.stamp
+							b.queue = append(b.queue, nb)
 						}
 					}
 				}
 			}
 			if touchBlack && !touchWhite {
-				black += len(region)
+				black += len(b.queue)
 			} else if touchWhite && !touchBlack {
-				white += len(region)
+				white += len(b.queue)
 			}
 		}
 	}

@@ -246,31 +246,81 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	return out, nil
 }
 
-// Run implements core.Benchmark: play each incomplete game to the end.
+// Run implements core.Benchmark: play each incomplete game to the end. It
+// is exactly Prepare followed by Execute, so prepared and cold runs share
+// one code path.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared holds each game's replayed starting position (immutable after
+// Prepare) plus per-game scratch: a working board the engine plays on and
+// the engine itself, whose simulation buffers are recycled across
+// repetitions.
+type prepared struct {
+	b      *Benchmark
+	lw     Workload
+	boards []*Board // replayed positions; immutable
+	toMove []Color
+	// scratch
+	play    []*Board
+	engines []*Engine
+}
+
+// Prepare implements core.Preparer: parse and replay every SGF once,
+// uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	lw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
-	sum := core.NewChecksum()
+	pw := &prepared{b: b, lw: lw,
+		play: make([]*Board, len(lw.SGFs)), engines: make([]*Engine, len(lw.SGFs))}
 	for i, sgf := range lw.SGFs {
 		g, err := ParseSGF(sgf)
 		if err != nil {
-			return core.Result{}, fmt.Errorf("leela: %s game %d: %w", lw.Name, i, err)
+			return nil, fmt.Errorf("leela: %s game %d: %w", lw.Name, i, err)
 		}
 		board, toMove, err := g.Replay()
 		if err != nil {
-			return core.Result{}, fmt.Errorf("leela: %s game %d: %w", lw.Name, i, err)
+			return nil, fmt.Errorf("leela: %s game %d: %w", lw.Name, i, err)
 		}
-		engine := NewEngine(lw.Sims, lw.Seed*1009+int64(i), p)
-		black, white, moves := engine.PlayToEnd(board, toMove)
+		pw.boards = append(pw.boards, board)
+		pw.toMove = append(pw.toMove, toMove)
+	}
+	return pw, nil
+}
+
+// Execute implements core.PreparedWorkload: play every prepared game to the
+// end on a recycled working board with a recycled engine.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	lw := pw.lw
+	sum := core.NewChecksum()
+	for i, board := range pw.boards {
+		if pw.play[i] == nil {
+			pw.play[i] = board.Clone()
+		} else {
+			pw.play[i].CopyFrom(board)
+		}
+		seed := lw.Seed*1009 + int64(i)
+		if pw.engines[i] == nil {
+			pw.engines[i] = NewEngine(lw.Sims, seed, p)
+		} else {
+			pw.engines[i].Reset(seed, p)
+		}
+		engine := pw.engines[i]
+		black, white, moves := engine.PlayToEnd(pw.play[i], pw.toMove[i])
 		sum = sum.AddUint64(uint64(black)).
 			AddUint64(uint64(white)).
 			AddUint64(uint64(moves)).
 			AddUint64(engine.Playouts)
 	}
 	return core.Result{
-		Benchmark: b.Name(),
+		Benchmark: pw.b.Name(),
 		Workload:  lw.Name,
 		Kind:      lw.WorkloadKind(),
 		Checksum:  sum.Value(),

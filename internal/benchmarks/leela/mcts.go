@@ -30,28 +30,50 @@ type Engine struct {
 	p          *perf.Profiler
 	// Playouts counts completed playouts (work metric).
 	Playouts uint64
+	// working is the engine-owned simulation board, reset in place from the
+	// root position each simulate call instead of cloning per simulation.
+	working *Board
+	// moveBuf backs playout's legal-move lists across moves and playouts.
+	moveBuf []int
+	// pathBuf backs simulate's selection path.
+	pathBuf []*mctsNode
 }
 
 // NewEngine returns an engine with the given per-move simulation budget.
 func NewEngine(sims int, seed int64, p *perf.Profiler) *Engine {
-	e := &Engine{rng: rand.New(rand.NewSource(seed)), Sims: sims, p: p}
+	e := &Engine{Sims: sims}
+	e.Reset(seed, p)
+	return e
+}
+
+// Reset returns the engine to its just-constructed state — fresh rng from
+// seed, zero playout count — while keeping its simulation scratch (working
+// board, move and path buffers), whose contents never influence results. A
+// reset engine plays identically to a fresh NewEngine with the same seed.
+func (e *Engine) Reset(seed int64, p *perf.Profiler) {
+	e.rng = rand.New(rand.NewSource(seed))
+	e.p = p
+	e.Playouts = 0
 	if p != nil {
 		p.SetFootprint("uct_select", 3<<10)
 		p.SetFootprint("playout", 5<<10)
 		p.SetFootprint("score_game", 2<<10)
 		p.SetFootprint("play_move", 3<<10)
 	}
-	return e
 }
 
-// legalMoves lists non-eye-filling legal points (plus pass when none).
+// legalMoves lists non-eye-filling legal points (plus pass when none). One
+// scanGroups pass amortizes the group flood fills over the whole scan; the
+// per-point legalScanned verdicts — which feed the profiler's branch event
+// stream — are bit-identical to Legal's (see legalScanned).
 func (e *Engine) legalMoves(b *Board, c Color, buf []int) []int {
 	buf = buf[:0]
+	b.scanGroups()
 	for p := 0; p < b.Size*b.Size; p++ {
 		if b.points[p] != Vacant || b.isEyeLike(p, c) {
 			continue
 		}
-		legal := b.Legal(p, c)
+		legal := b.legalScanned(p, c)
 		if e.p != nil {
 			// Fused ops+branch, then the load: the three event channels are
 			// independent, so hoisting the branch past the load is
@@ -74,10 +96,9 @@ func (e *Engine) playout(b *Board, toMove Color) Color {
 	}
 	maxMoves := 3 * b.Size * b.Size
 	passes := 0
-	var buf []int
 	for mv := 0; mv < maxMoves && passes < 2; mv++ {
-		moves := e.legalMoves(b, toMove, buf)
-		buf = moves
+		moves := e.legalMoves(b, toMove, e.moveBuf)
+		e.moveBuf = moves
 		if len(moves) == 0 {
 			passes++
 			_, _ = b.Play(PassMove, toMove)
@@ -144,8 +165,15 @@ func (e *Engine) uctChild(n *mctsNode) *mctsNode {
 
 // simulate runs one MCTS iteration from the root position.
 func (e *Engine) simulate(root *mctsNode, b *Board, toMove Color) {
-	working := b.Clone()
-	path := []*mctsNode{root}
+	// Reuse the engine's working board: CopyFrom resets it to the root
+	// position in place, so simulations allocate no board state.
+	if e.working == nil || e.working.Size != b.Size {
+		e.working = b.Clone()
+	} else {
+		e.working.CopyFrom(b)
+	}
+	working := e.working
+	path := append(e.pathBuf[:0], root)
 	node := root
 	color := toMove
 	// Selection + expansion.
@@ -158,7 +186,8 @@ func (e *Engine) simulate(root *mctsNode, b *Board, toMove Color) {
 		color = color.Opponent()
 	}
 	if !node.expanded {
-		moves := e.legalMoves(working, color, nil)
+		moves := e.legalMoves(working, color, e.moveBuf)
+		e.moveBuf = moves
 		node.expanded = true
 		for _, m := range moves {
 			node.children = append(node.children, &mctsNode{move: m})
@@ -182,6 +211,7 @@ func (e *Engine) simulate(root *mctsNode, b *Board, toMove Color) {
 		}
 		moverColor = moverColor.Opponent()
 	}
+	e.pathBuf = path[:0]
 }
 
 // BestMove runs the fixed simulation budget and returns the most-visited

@@ -99,17 +99,43 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 }
 
 // Run implements core.Benchmark: generate the city, build the instance, and
-// solve it with the network simplex.
+// solve it with the network simplex. It is exactly Prepare followed by
+// Execute, so prepared and cold runs share one code path.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
-	mw, ok := w.(Workload)
-	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
-	}
-	city, err := GenerateCity(mw.Params)
+	pw, err := b.Prepare(w)
 	if err != nil {
 		return core.Result{}, err
 	}
-	in := BuildInstance(city, mw.Params)
+	return pw.Execute(p)
+}
+
+// prepared holds the generated city and flow instance, both immutable after
+// Prepare. The solver builds its basis from the instance on every Execute
+// (SolveSimplex never mutates the instance), so no scratch reset is needed.
+type prepared struct {
+	b    *Benchmark
+	mw   Workload
+	city *City
+	in   *Instance
+}
+
+// Prepare implements core.Preparer: generate the city and build the flow
+// instance once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
+	mw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	city, err := GenerateCity(mw.Params)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{b: b, mw: mw, city: city, in: BuildInstance(city, mw.Params)}, nil
+}
+
+// Execute implements core.PreparedWorkload.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, mw, city, in := pw.b, pw.mw, pw.city, pw.in
 	sol, err := SolveSimplex(in, p)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("mcf: workload %s: %w", mw.Name, err)

@@ -43,6 +43,7 @@ type simplex struct {
 	pi        []int64
 
 	children []([]int) // rebuilt per refresh
+	stack    []int     // refreshPotentials DFS scratch
 	scanPos  int
 
 	pivots int
@@ -121,7 +122,10 @@ func (s *simplex) refreshPotentials() {
 	}
 	s.pi[s.root] = 0
 	s.depth[s.root] = 0
-	stack := []int{s.root}
+	// The DFS stack is hoisted into the simplex: refreshPotentials runs
+	// once per pivot, and a per-call allocation here dominated the solver's
+	// heap churn.
+	stack := append(s.stack[:0], s.root)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -141,6 +145,7 @@ func (s *simplex) refreshPotentials() {
 			stack = append(stack, v)
 		}
 	}
+	s.stack = stack
 }
 
 // reducedCost returns cost[a] - pi[from] + pi[to].

@@ -93,19 +93,45 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
-	ow, ok := w.(Workload)
-	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
-	}
-	net, err := ParseNED(ow.NED)
-	if err != nil {
-		return core.Result{}, fmt.Errorf("omnetpp: %s: %w", ow.Name, err)
-	}
-	sim, err := NewSimulator(net, ow.Config, p)
+	pw, err := b.Prepare(w)
 	if err != nil {
 		return core.Result{}, err
 	}
-	st := sim.Run()
+	return pw.Execute(p)
+}
+
+// prepared holds the parsed network and the simulator whose routing tables
+// (the expensive per-destination BFS construction) are built once; the
+// simulator's run state is the scratch, reset in place per Execute.
+type prepared struct {
+	b   *Benchmark
+	ow  Workload
+	sim *Simulator
+}
+
+// Prepare implements core.Preparer: parse the NED file and build the
+// routing tables once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
+	ow, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	net, err := ParseNED(ow.NED)
+	if err != nil {
+		return nil, fmt.Errorf("omnetpp: %s: %w", ow.Name, err)
+	}
+	sim, err := NewSimulator(net, ow.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{b: b, ow: ow, sim: sim}, nil
+}
+
+// Execute implements core.PreparedWorkload.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, ow := pw.b, pw.ow
+	pw.sim.Reset(p)
+	st := pw.sim.Run()
 	if st.EventsProcessed == 0 {
 		return core.Result{}, fmt.Errorf("omnetpp: %s: simulation processed no events", ow.Name)
 	}

@@ -214,6 +214,26 @@ func NewSimulator(net *Network, cfg Config, p *perf.Profiler) (*Simulator, error
 	return s, nil
 }
 
+// Reset returns the simulator to its initial pre-run state and re-aims it
+// at p: rng reseeded from the config, heap emptied (its backing array is
+// recycled), counters and stats zeroed. The routing and delay tables are
+// untouched — they depend only on the immutable network, so one table
+// construction serves every repetition.
+func (s *Simulator) Reset(p *perf.Profiler) {
+	s.p = p
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.heap.p = p
+	s.heap.items = s.heap.items[:0]
+	s.seq = 0
+	s.msgID = 0
+	s.stats = Stats{}
+	if p != nil {
+		p.SetFootprint("schedule", 2<<10)
+		p.SetFootprint("process_event", 6<<10)
+		p.SetFootprint("route_packet", 3<<10)
+	}
+}
+
 // schedule pushes an event at the given simulated time.
 func (s *Simulator) schedule(t int64, kind eventKind, node int, msg *message) {
 	if s.p != nil {

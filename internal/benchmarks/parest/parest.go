@@ -365,10 +365,33 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared wraps the workload: problem assembly and estimation are both part
+// of the measured phase (NewProblem is instrumented), so Prepare only
+// validates the workload type.
+type prepared struct {
+	b  *Benchmark
+	pw Workload
+}
+
+// Prepare implements core.Preparer.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	pw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
+	return &prepared{b: b, pw: pw}, nil
+}
+
+// Execute implements core.PreparedWorkload: assemble and estimate.
+func (ps *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, pw := ps.b, ps.pw
 	pb, err := NewProblem(pw.Params, p)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("parest: %s: %w", pw.Name, err)

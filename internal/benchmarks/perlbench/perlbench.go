@@ -108,19 +108,44 @@ func (b *Benchmark) Workloads() ([]core.Workload, error) {
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared holds the parsed program; the interpreter treats statements as a
+// read-only AST, so the same prog serves every Execute. Each Execute builds a
+// fresh interpreter: its variable/array state is the run's mutable state.
+type prepared struct {
+	b    *Benchmark
+	pw   Workload
+	prog []stmt
+}
+
+// Prepare implements core.Preparer: parse the script once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	pw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
 	prog, err := Parse(pw.Script)
 	if err != nil {
-		return core.Result{}, fmt.Errorf("perlbench: %s: %w", pw.Name, err)
+		return nil, fmt.Errorf("perlbench: %s: %w", pw.Name, err)
 	}
+	return &prepared{b: b, pw: pw, prog: prog}, nil
+}
+
+// Execute implements core.PreparedWorkload: interpret the prepared program
+// over the corpus.
+func (ps *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, pw := ps.b, ps.pw
 	interp := NewInterp(p)
 	for _, line := range pw.Corpus {
 		interp.arrays["input"] = append(interp.arrays["input"], StrValue(line))
 	}
-	if err := interp.Run(prog); err != nil {
+	if err := interp.Run(ps.prog); err != nil {
 		return core.Result{}, fmt.Errorf("perlbench: %s: %w", pw.Name, err)
 	}
 	if interp.Output() == "" {

@@ -193,16 +193,38 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// preparedScene holds the built scene, immutable after Prepare: the tracer
+// only reads it while rendering.
+type preparedScene struct {
+	b  *Benchmark
+	pw Workload
+	sc *Scene
+}
+
+// Prepare implements core.Preparer: build the scene once, uninstrumented.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	pw, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
 	if pw.W <= 0 || pw.H <= 0 {
-		return core.Result{}, fmt.Errorf("povray: %s: bad image size %dx%d", pw.Name, pw.W, pw.H)
+		return nil, fmt.Errorf("povray: %s: bad image size %dx%d", pw.Name, pw.W, pw.H)
 	}
-	sc := BuildScene(pw.Scene, pw.Complexity, pw.Seed)
+	return &preparedScene{b: b, pw: pw, sc: BuildScene(pw.Scene, pw.Complexity, pw.Seed)}, nil
+}
+
+// Execute implements core.PreparedWorkload: trace the prepared scene.
+func (ps *preparedScene) Execute(p *perf.Profiler) (core.Result, error) {
+	b, pw := ps.b, ps.pw
 	tr := NewTracer(p)
-	img := tr.Render(sc, pw.W, pw.H)
+	img := tr.Render(ps.sc, pw.W, pw.H)
 	// A degenerate all-background image means the scene failed to build.
 	distinct := map[byte]bool{}
 	for _, v := range img {

@@ -380,10 +380,33 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 
 // Run implements core.Benchmark.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
+	pw, err := b.Prepare(w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return pw.Execute(p)
+}
+
+// prepared wraps the workload: model construction initializes the fields the
+// integration then evolves, so the whole model lifecycle belongs to the
+// measured phase and Prepare only validates the workload type.
+type prepared struct {
+	b  *Benchmark
+	ww Workload
+}
+
+// Prepare implements core.Preparer.
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	ww, ok := w.(Workload)
 	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
 	}
+	return &prepared{b: b, ww: ww}, nil
+}
+
+// Execute implements core.PreparedWorkload: build the model and integrate.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, ww := pw.b, pw.ww
 	model, err := NewModel(ww.Params, p)
 	if err != nil {
 		return core.Result{}, err

@@ -35,18 +35,32 @@ type matchFinder struct {
 	p        *perf.Profiler
 }
 
-func newMatchFinder(data []byte, dictSize int, p *perf.Profiler) *matchFinder {
-	head := make([]int32, 1<<hashBits)
-	for i := range head {
-		head[i] = -1
+// Scratch holds the reusable buffers of repeated compress/decompress calls:
+// the match finder's hash-chain arrays and the compressed-output buffer.
+// The zero value is ready. Buffer identity never influences results or
+// modeled events — reuse only removes allocation.
+type Scratch struct {
+	head    []int32
+	prev    []int32
+	payload []byte
+	comp    []byte
+}
+
+// init resizes the scratch arrays for data, re-establishing the state a
+// fresh matchFinder would see: head all -1; prev entries are only ever read
+// after insert writes them, so stale contents are unreachable.
+func (sc *Scratch) init(data []byte) {
+	if cap(sc.head) < 1<<hashBits {
+		sc.head = make([]int32, 1<<hashBits)
 	}
-	return &matchFinder{
-		data:     data,
-		dictSize: dictSize,
-		head:     head,
-		prev:     make([]int32, len(data)),
-		p:        p,
+	sc.head = sc.head[:1<<hashBits]
+	for i := range sc.head {
+		sc.head[i] = -1
 	}
+	if cap(sc.prev) < len(data) {
+		sc.prev = make([]int32, len(data))
+	}
+	sc.prev = sc.prev[:len(data)]
 }
 
 func hash3(a, b, c byte) uint32 {
@@ -151,16 +165,31 @@ func litContext(prev byte) int { return int(prev >> 5) }
 // Compress compresses data with the given dictionary (window) size and
 // reports modeled events to p (nil for unprofiled use).
 func Compress(data []byte, dictSize int, p *perf.Profiler) ([]byte, error) {
+	return compressWith(nil, data, dictSize, p)
+}
+
+// compressWith is Compress reusing sc's buffers (nil sc allocates fresh).
+// The returned slice aliases sc's output buffer and is valid until the next
+// compressWith on the same scratch.
+func compressWith(sc *Scratch, data []byte, dictSize int, p *perf.Profiler) ([]byte, error) {
 	if dictSize < 1<<10 {
 		return nil, fmt.Errorf("xz: dictionary size %d too small", dictSize)
 	}
-	header := make([]byte, 12)
+	var local Scratch
+	if sc == nil {
+		sc = &local
+	}
+	sc.init(data)
+	var header [12]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(dictSize))
 	binary.LittleEndian.PutUint64(header[4:12], uint64(len(data)))
 
+	// The payload gets its own buffer: the modeled Store addresses depend
+	// on len(enc.out), so the header must not be prepended until the end.
 	enc := newRangeEncoder()
+	enc.out = sc.payload[:0]
 	ms := newModels()
-	mf := newMatchFinder(data, dictSize, p)
+	mf := &matchFinder{data: data, dictSize: dictSize, head: sc.head, prev: sc.prev, p: p}
 
 	if p != nil {
 		p.SetFootprint("lz_find_matches", 4<<10)
@@ -222,7 +251,11 @@ func Compress(data []byte, dictSize int, p *perf.Profiler) ([]byte, error) {
 			p.Leave()
 		}
 	}
-	return append(header, enc.finish()...), nil
+	sc.payload = enc.finish()
+	res := append(sc.comp[:0], header[:]...)
+	res = append(res, sc.payload...)
+	sc.comp = res
+	return res, nil
 }
 
 // encodeDist writes dist (≥ 0) as a 5-bit significant-bit-count slot plus
@@ -268,6 +301,12 @@ func decodeDist(dec *rangeDecoder, ms *models) (uint32, error) {
 
 // Decompress reverses Compress.
 func Decompress(comp []byte, p *perf.Profiler) ([]byte, error) {
+	return decompressInto(nil, comp, p)
+}
+
+// decompressInto is Decompress appending into dst[:0] (growing it as
+// needed), so repeated calls can recycle one output buffer.
+func decompressInto(dst []byte, comp []byte, p *perf.Profiler) ([]byte, error) {
 	if len(comp) < 12 {
 		return nil, errCorrupt
 	}
@@ -281,7 +320,10 @@ func Decompress(comp []byte, p *perf.Profiler) ([]byte, error) {
 		return nil, err
 	}
 	ms := newModels()
-	out := make([]byte, 0, origLen)
+	out := dst[:0]
+	if cap(out) < origLen {
+		out = make([]byte, 0, origLen)
+	}
 	var prev byte
 	afterMatch := 0
 	if p != nil {

@@ -187,34 +187,69 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 }
 
 // Run implements core.Benchmark: decompress the stored input, recompress,
-// decompress again, validate (the SPEC xz execution structure).
+// decompress again, validate (the SPEC xz execution structure). It is
+// exactly Prepare followed by Execute, so prepared and cold runs share one
+// code path.
 func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) {
-	xw, ok := w.(Workload)
-	if !ok {
-		return core.Result{}, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
-	}
-	raw := GenerateData(xw)
-	// The stored input is prepared outside the measured run.
-	stored, err := Compress(raw, xw.DictSize, nil)
+	pw, err := b.Prepare(w)
 	if err != nil {
 		return core.Result{}, err
 	}
+	return pw.Execute(p)
+}
 
+// prepared holds the stored (pre-compressed) input, immutable after
+// Prepare, plus the reusable scratch: the compressor's hash-chain arrays
+// and the two decompression output buffers (one per measured decompress —
+// the round-trip output must not overwrite the phase-1 data it is checked
+// against).
+type prepared struct {
+	b  *Benchmark
+	xw Workload
+	// stored is the compressed input file; immutable.
+	stored []byte
+	// scratch
+	sc      Scratch
+	dataBuf []byte
+	rtBuf   []byte
+}
+
+// Prepare implements core.Preparer: generate the raw payload and compress
+// it into the stored input, both uninstrumented (the stored input is
+// prepared outside the measured run, as in SPEC's harness).
+func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
+	xw, ok := w.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", core.ErrUnknownWorkload, w)
+	}
+	raw := GenerateData(xw)
+	stored, err := Compress(raw, xw.DictSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{b: b, xw: xw, stored: stored}, nil
+}
+
+// Execute implements core.PreparedWorkload: the three measured phases.
+func (pw *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, xw := pw.b, pw.xw
 	// Measured phase 1: decompress the stored file to memory.
-	data, err := Decompress(stored, p)
+	data, err := decompressInto(pw.dataBuf, pw.stored, p)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("xz: %s: decompress stored: %w", xw.Name, err)
 	}
+	pw.dataBuf = data
 	// Phase 2: compress.
-	comp, err := Compress(data, xw.DictSize, p)
+	comp, err := compressWith(&pw.sc, data, xw.DictSize, p)
 	if err != nil {
 		return core.Result{}, err
 	}
 	// Phase 3: decompress again and validate.
-	rt, err := Decompress(comp, p)
+	rt, err := decompressInto(pw.rtBuf, comp, p)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("xz: %s: decompress round trip: %w", xw.Name, err)
 	}
+	pw.rtBuf = rt
 	var crcIn, crcOut core.Checksum
 	if p != nil {
 		p.Enter("check_crc")

@@ -101,6 +101,65 @@ type Generator interface {
 	GenerateWorkloads(seed int64, n int) ([]Workload, error)
 }
 
+// PreparedWorkload is a fully constructed benchmark input: the result of
+// the uninstrumented prepare phase, ready to be executed — and re-executed
+// — under measurement. Implementations hold two kinds of state:
+//
+//   - the prepared input proper (parsed documents, generated payloads,
+//     geometry, topologies), which is immutable after Prepare; and
+//   - mutable scratch (lattice arrays, solver state, buffers), which
+//     Execute resets in place at the start of every call instead of
+//     reallocating.
+//
+// Execute must be repeatable: every call on the same handle must produce a
+// Result and a profiler event stream identical to Benchmark.Run on the
+// same workload with a fresh profiler. The harness relies on this to
+// prepare once per (benchmark, workload) cell and reuse the handle across
+// all repetitions.
+//
+// A PreparedWorkload is not safe for concurrent Execute calls; the harness
+// runs at most one repetition of a cell at a time.
+type PreparedWorkload interface {
+	// Execute runs the measured phase, reporting events to p (which may be
+	// nil for an unprofiled run, like Benchmark.Run).
+	Execute(p *perf.Profiler) (Result, error)
+}
+
+// Preparer is implemented by benchmarks whose Run splits into an
+// uninstrumented prepare phase and a measured execute phase. Prepare does
+// every piece of input construction that does not belong under measurement
+// — parsing, payload generation, master encodes — and must not receive or
+// touch a *perf.Profiler (albertalint's no-profiler-in-prepare rule
+// enforces this statically); profiler interaction, including SetFootprint,
+// belongs in Execute.
+//
+// Benchmarks implementing Preparer must keep Run equivalent to
+// Prepare(w).Execute(p): the conventional implementation is exactly that
+// delegation, which makes the equivalence structural.
+type Preparer interface {
+	Prepare(w Workload) (PreparedWorkload, error)
+}
+
+// PrepareOrRun returns a PreparedWorkload for b and w: b's own Prepare
+// when it implements Preparer, otherwise a fallback handle whose Execute
+// calls b.Run (paying input construction on every call).
+func PrepareOrRun(b Benchmark, w Workload) (PreparedWorkload, error) {
+	if p, ok := b.(Preparer); ok {
+		return p.Prepare(w)
+	}
+	return runFallback{b: b, w: w}, nil
+}
+
+// runFallback adapts a non-Preparer benchmark to the PreparedWorkload
+// interface without splitting its Run.
+type runFallback struct {
+	b Benchmark
+	w Workload
+}
+
+// Execute implements PreparedWorkload by running the benchmark cold.
+func (f runFallback) Execute(p *perf.Profiler) (Result, error) { return f.b.Run(f.w, p) }
+
 // ErrUnknownWorkload is returned by Run when handed a workload the
 // benchmark does not recognize.
 var ErrUnknownWorkload = errors.New("core: unknown workload type for benchmark")

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/benchmarks"
 	"repro/internal/core"
+	"repro/internal/perf"
 )
 
 // TestSuiteDifferentialReference replays benchmark workloads through the
@@ -56,6 +57,76 @@ func TestSuiteDifferentialReference(t *testing.T) {
 				opt.WallSeconds, ref.WallSeconds = 0, 0
 				if !reflect.DeepEqual(opt, ref) {
 					t.Errorf("optimized measurement diverges from reference\noptimized: %+v\nreference: %+v", opt, ref)
+				}
+			})
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no workloads selected")
+	}
+}
+
+// TestPreparedMatchesColdRuns is the prepared-workload acceptance sweep: a
+// cell run through the harness — input prepared once, shared by several
+// repetitions, profiler recycled with Reset between them — must produce a
+// Measurement bit-identical (except WallSeconds) to a cold core.Benchmark.Run
+// on a fresh profiler. Together with runWorkload's own cross-repetition
+// determinism check this proves both prepared-vs-unprepared and
+// recycled-vs-fresh equivalence for every benchmark.
+//
+// By default every benchmark runs its test and train workloads; set
+// ALBERTA_DIFF_FULL=1 for the full matrix.
+func TestPreparedMatchesColdRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short mode")
+	}
+	full := os.Getenv("ALBERTA_DIFF_FULL") == "1"
+
+	suite, err := benchmarks.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pairs := 0
+	for _, b := range suite.Benchmarks() {
+		ws, err := b.Workloads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := b.(core.Preparer); !ok {
+			t.Errorf("%s does not implement core.Preparer", b.Name())
+		}
+		for _, w := range ws {
+			if !full {
+				if k := w.WorkloadKind(); k != core.KindTest && k != core.KindTrain {
+					continue
+				}
+			}
+			b, w := b, w
+			pairs++
+			t.Run(b.Name()+"/"+w.WorkloadName(), func(t *testing.T) {
+				p := perf.NewWithOptions(perf.Options{Stride: 1})
+				res, err := b.Run(w, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				report := p.Report()
+
+				m, err := RunWorkload(ctx, b, w, Options{Reps: 2, Stride: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Checksum != res.Checksum {
+					t.Errorf("checksum: prepared %x, cold %x", m.Checksum, res.Checksum)
+				}
+				if m.Cycles != report.Cycles {
+					t.Errorf("cycles: prepared %d, cold %d", m.Cycles, report.Cycles)
+				}
+				if m.TopDown != report.TopDown {
+					t.Errorf("topdown: prepared %+v, cold %+v", m.TopDown, report.TopDown)
+				}
+				if !reflect.DeepEqual(m.Coverage, report.Coverage) {
+					t.Errorf("coverage: prepared %+v, cold %+v", m.Coverage, report.Coverage)
 				}
 			})
 		}

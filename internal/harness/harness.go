@@ -73,20 +73,45 @@ type Measurement struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// RunWorkload executes one benchmark/workload pair opts.Reps times. The
-// context is checked between repetitions; a benchmark's Run itself is not
-// interruptible.
+// RunWorkload executes one benchmark/workload pair opts.Reps times.
+//
+// When the benchmark implements core.Preparer, the workload's input is
+// prepared exactly once — uninstrumented, before the first repetition —
+// and the prepared handle is reused by every repetition, which resets its
+// mutable scratch in place (core.PreparedWorkload's contract). Repetitions
+// 1..N-1 therefore do zero input rework, and WallSeconds times only the
+// measured execute phase. Every Measurement field except WallSeconds is
+// bit-identical to running the benchmark cold each repetition.
+//
+// The context is checked between repetitions; a benchmark's execute phase
+// itself is not interruptible.
 func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
 	if opts.Reps < 1 {
 		opts.Reps = 1
 	}
+	return runWorkload(ctx, b, w, opts,
+		perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference}))
+}
+
+// runWorkload is RunWorkload on a caller-supplied profiler, which must be
+// freshly constructed or Reset. The Runner's workers recycle one profiler
+// each across all their cells through it, so a whole suite run constructs
+// Workers profilers instead of one per cell.
+func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options, p *perf.Profiler) (Measurement, error) {
+	if opts.Reps < 1 {
+		opts.Reps = 1
+	}
 	var m Measurement
-	// One profiler serves all repetitions: Reset restores the
-	// just-constructed state without reallocating the multi-megabyte
-	// modeled hierarchy, and reuse does not weaken the determinism check
-	// below — a Reset profiler must reproduce the first rep's Report
-	// exactly, which perf's own tests assert.
-	p := perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference})
+	pw, err := core.PrepareOrRun(b, w)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %s/%s: prepare: %w", b.Name(), w.WorkloadName(), err)
+	}
+	// One profiler serves all repetitions: Reset recycles the
+	// just-constructed state — clearing method records and simulators in
+	// place — without reallocating the multi-megabyte modeled hierarchy,
+	// and reuse does not weaken the determinism check below: a Reset
+	// profiler must reproduce the first rep's Report exactly, which perf's
+	// own tests assert.
 	for rep := 0; rep < opts.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
 			return Measurement{}, err
@@ -95,7 +120,7 @@ func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 			p.Reset()
 		}
 		start := time.Now()
-		res, err := b.Run(w, p)
+		res, err := pw.Execute(p)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/perf"
 )
 
 // EventKind classifies a progress Event.
@@ -46,7 +47,12 @@ type Event struct {
 	Workload  string
 	// Err is set on EventWorkloadError.
 	Err error
-	// Completed counts measurements finished (done or failed) so far;
+	// Completed counts measurements finished (done or failed) at the
+	// moment the event fires. An EventWorkloadStart therefore does NOT
+	// count its own cell — the cell has only started — while the
+	// EventWorkloadDone/EventWorkloadError for the same cell does. Under a
+	// serial run (Workers = 1) the sequence is 0, 1, 1, 2, 2, …, N-1, N;
+	// the final terminal event of any run reports Completed == Total.
 	// Total is the size of the (benchmark, workload) matrix.
 	Completed int
 	Total     int
@@ -99,10 +105,11 @@ func (e *RunError) Unwrap() []error {
 }
 
 // Runner executes a suite's benchmark × workload matrix over a bounded
-// worker pool. Each measurement owns a private perf.Profiler, so results
-// are bit-identical across worker counts except for WallSeconds; the
-// returned SuiteResults always follow suite inventory order regardless of
-// scheduling.
+// worker pool. Each worker owns one perf.Profiler and recycles it across
+// its cells via Reset; no profiler state flows between measurements, so
+// results are bit-identical across worker counts except for WallSeconds.
+// The returned SuiteResults always follow suite inventory order regardless
+// of scheduling.
 type Runner struct {
 	suite *core.Suite
 	opts  Options
@@ -169,16 +176,29 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns one profiler for its whole share of the
+			// matrix: Reset recycles it between cells, so a run constructs
+			// `workers` profilers instead of one per cell. Recycling is
+			// Report-invariant — a Reset profiler reproduces a fresh
+			// profiler's Report exactly (perf's tests assert it), so
+			// results stay bit-identical across worker counts except for
+			// WallSeconds.
+			var prof *perf.Profiler
 			for idx := range jobs {
 				u := units[idx]
 				if runCtx.Err() != nil {
 					continue // drain after cancellation
 				}
+				if prof == nil {
+					prof = perf.NewWithOptions(perf.Options{Stride: r.opts.Stride, Reference: r.opts.Reference})
+				} else {
+					prof.Reset()
+				}
 				mu.Lock()
 				emit(Event{Kind: EventWorkloadStart, Benchmark: u.bench.Name(),
 					Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
 				mu.Unlock()
-				m, err := RunWorkload(runCtx, u.bench, u.w, r.opts)
+				m, err := runWorkload(runCtx, u.bench, u.w, r.opts, prof)
 				mu.Lock()
 				completed++
 				switch {

@@ -240,6 +240,43 @@ func TestRunnerProgressEvents(t *testing.T) {
 	}
 }
 
+// TestRunnerProgressCompletedSerial pins the documented Completed contract
+// (see Event): a start event does not count its own cell, the matching
+// terminal event does, so a serial run emits exactly 0, 1, 1, 2, 2, …, N-1,
+// N. The contract holds for failing cells too — errors count as completed.
+func TestRunnerProgressCompletedSerial(t *testing.T) {
+	s, err := core.NewSuite(&slowBench{name: "941.serial_r", n: 3,
+		failOn: map[string]bool{"alberta.01": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	var kinds []EventKind
+	opts := Options{Reps: 1, Workers: 1, Progress: func(e Event) {
+		got = append(got, e.Completed)
+		kinds = append(kinds, e.Kind)
+	}}
+	if _, err := NewRunner(s, opts).Run(context.Background()); err == nil {
+		t.Fatal("expected the seeded failure to surface")
+	}
+	const n = 4 // refrate + 3 alberta
+	want := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		want = append(want, i, i+1)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("serial Completed sequence = %v, want %v", got, want)
+	}
+	for i, k := range kinds {
+		if i%2 == 0 && k != EventWorkloadStart {
+			t.Errorf("event %d kind = %v, want start", i, k)
+		}
+		if i%2 == 1 && k == EventWorkloadStart {
+			t.Errorf("event %d kind = %v, want terminal", i, k)
+		}
+	}
+}
+
 // zeroChecksumBench returns checksum 0 on the first repetition and 1 on
 // later ones: a legitimate-zero first checksum followed by divergence. The
 // old first-rep sentinel (m.Checksum == 0) re-initialized the measurement

@@ -2,8 +2,9 @@
 // harness invariants: replayable RNG, no wall-clock reads outside the
 // timing packages, no map-iteration-order dependence in anything that
 // feeds a report or a checksum, no goroutines inside benchmark kernels,
-// pure-compute imports in benchmark packages, and no silently discarded
-// checksum folds.
+// pure-compute imports in benchmark packages, no silently discarded
+// checksum folds, and uninstrumented benchmark Prepare methods (the
+// prepared-workload contract of core.Preparer).
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types, go/token).
 // Each invariant is a Rule; rules receive a fully type-checked Pass and
@@ -80,6 +81,7 @@ func DefaultRules() []Rule {
 		NoGoroutinesInKernels{},
 		ForbiddenImports{},
 		ChecksumDiscipline{},
+		NoProfilerInPrepare{},
 	}
 }
 

@@ -164,6 +164,21 @@ func TestChecksumDiscipline(t *testing.T) {
 	runFixture(t, ChecksumDiscipline{}, benchPkg, "checksum.go")
 }
 
+func TestNoProfilerInPrepare(t *testing.T) {
+	runFixture(t, NoProfilerInPrepare{}, benchPkg, "prepare.go")
+}
+
+func TestProfilerInPrepareAllowedOutsideBenchmarks(t *testing.T) {
+	l := testLoader(t)
+	pass, err := l.LoadFiles(statsPkg, filepath.Join("testdata", "prepare.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Lint(pass, []Rule{NoProfilerInPrepare{}}); len(diags) != 0 {
+		t.Errorf("Prepare outside benchmark packages should pass, got %v", diags)
+	}
+}
+
 func TestAllowSuppression(t *testing.T) {
 	runFixture(t, NoWallClock{}, statsPkg, "allow.go")
 }
@@ -183,6 +198,7 @@ func TestDefaultRuleIDs(t *testing.T) {
 		"no-goroutines-in-kernels",
 		"forbidden-imports",
 		"checksum-discipline",
+		"no-profiler-in-prepare",
 	}
 	rules := DefaultRules()
 	if len(rules) != len(want) {

@@ -1,0 +1,63 @@
+// Fixture for the no-profiler-in-prepare rule. Loaded under a benchmark
+// package path the profiler touches inside Prepare methods are violations;
+// Execute and free functions may use the profiler freely, and passing a
+// literal nil profiler through a constructor is sanctioned.
+package fixture
+
+import "repro/internal/perf"
+
+type benchFixture struct {
+	prof *perf.Profiler
+}
+
+type preparedFixture struct {
+	data []byte
+}
+
+// Prepare with a profiler parameter: the signature itself is a violation,
+// and so is every use of the parameter.
+func (b *benchFixture) Prepare(n int, p *perf.Profiler) (*preparedFixture, error) { // want no-profiler-in-prepare "Prepare takes a"
+	p.Ops(4) // want no-profiler-in-prepare `value "p" used inside Prepare`
+	return &preparedFixture{data: make([]byte, n)}, nil
+}
+
+type benchFieldFixture struct {
+	prof *perf.Profiler
+}
+
+// Prepare reaching the profiler through a receiver field is a violation, as
+// is constructing one via the perf package.
+func (b *benchFieldFixture) Prepare(n int) (*preparedFixture, error) {
+	b.prof.Ops(1) // want no-profiler-in-prepare "value used inside Prepare"
+	perf.New()    // want no-profiler-in-prepare "perf package referenced"
+	return &preparedFixture{data: make([]byte, n)}, nil
+}
+
+type benchCleanFixture struct{}
+
+// Prepare passing a literal nil profiler to shared instrumented helpers is
+// the sanctioned pattern and must not be flagged.
+func (b *benchCleanFixture) Prepare(n int) (*preparedFixture, error) {
+	return &preparedFixture{data: instrumented(n, nil)}, nil
+}
+
+// Execute is the measured phase; profiler use here is fine.
+func (pw *preparedFixture) Execute(p *perf.Profiler) int {
+	p.Ops(uint64(len(pw.data)))
+	return len(pw.data)
+}
+
+// instrumented stands in for a constructor shared by Prepare (nil profiler)
+// and Execute (live profiler).
+func instrumented(n int, p *perf.Profiler) []byte {
+	if p != nil {
+		p.Ops(uint64(n))
+	}
+	return make([]byte, n)
+}
+
+// prepareFreeFunc is not a method named Prepare, so it is out of scope even
+// with a profiler in hand.
+func prepareFreeFunc(p *perf.Profiler) {
+	p.Ops(1)
+}

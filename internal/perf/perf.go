@@ -112,6 +112,11 @@ type Profiler struct {
 	stack   []*methodRecord
 	current *methodRecord
 
+	// methodBuf backs Report's Methods slice; Report clears and refills it
+	// instead of allocating, so each Report invalidates the Methods slice
+	// of the previous one (see Report's doc comment).
+	methodBuf []MethodProfile
+
 	started time.Time
 }
 
@@ -201,10 +206,19 @@ func (p *Profiler) itlbAccess(addr uint64) bool {
 	return p.itlb.Access(addr)
 }
 
-// Reset restores the profiler to its just-constructed state — empty method
-// table, cold simulators, fresh wall clock — without reallocating the
-// multi-megabyte modeled hierarchy. The harness reuses one profiler across
-// repetitions through it.
+// Reset restores the profiler to its just-constructed state — cleared
+// method table, cold simulators, fresh wall clock — without reallocating
+// anything: the modeled hierarchy is cleared in place and the method
+// records are kept and zeroed rather than rebuilt, so a profiler can be
+// recycled across repetitions and across (benchmark, workload) cells with
+// no allocation rework. The harness relies on this.
+//
+// Recycled records are restored exactly to their just-constructed state
+// (counters and fetch offset zeroed, footprint back to DefaultFootprint),
+// so a Reset profiler's Report is bit-identical to a fresh profiler's for
+// the same event stream; Report's output ordering is independent of the
+// retained insertion order because it sorts by (cycles, name) and skips
+// methods that observed no events.
 func (p *Profiler) Reset() {
 	p.pred.Reset()
 	if p.ref != nil {
@@ -220,10 +234,12 @@ func (p *Profiler) Reset() {
 	p.memTick = 0
 	p.lastData = ^uint64(0)
 	p.lastFetch = ^uint64(0)
-	// The method table must be rebuilt, not recycled: records carry run
-	// state (fetch offsets, counters) and Report iterates insertion order.
-	p.methods = make(map[string]*methodRecord)
-	p.order = p.order[:0]
+	// Keep and clear the records: name and codeBase are pure functions of
+	// the method name, so a recycled record is indistinguishable from a
+	// fresh one once its run state is zeroed.
+	for _, m := range p.methods {
+		*m = methodRecord{name: m.name, codeBase: m.codeBase, codeSize: DefaultFootprint}
+	}
 	p.stack = p.stack[:0]
 	p.current = p.method("(toplevel)")
 	p.started = time.Now()
@@ -448,7 +464,11 @@ type Report struct {
 }
 
 // Report finalizes and returns the observation. The profiler can keep
-// accumulating afterwards; Report is a snapshot.
+// accumulating afterwards; Report is a snapshot — except for the Methods
+// slice, which is backed by a buffer the profiler recycles: the next
+// Report or Reset call on the same profiler overwrites it. Callers that
+// retain Methods across Report calls must copy it; the scalar fields and
+// the Coverage map are always fresh.
 func (p *Profiler) Report() Report {
 	if len(p.stack) != 0 {
 		panic(fmt.Sprintf("perf: Report with %d unmatched Enter calls (current %q)", len(p.stack), p.current.name))
@@ -456,7 +476,7 @@ func (p *Profiler) Report() Report {
 	stride := uint64(p.stride)
 	var total uarch.Events
 	var totalSlots uarch.Slots
-	rep := Report{Coverage: stats.Coverage{}}
+	rep := Report{Coverage: stats.Coverage{}, Methods: p.methodBuf[:0]}
 
 	for _, name := range p.order {
 		m := p.methods[name]
@@ -492,6 +512,7 @@ func (p *Profiler) Report() Report {
 		}
 		return rep.Methods[i].Name < rep.Methods[j].Name
 	})
+	p.methodBuf = rep.Methods
 	rep.WallTime = time.Since(p.started)
 	rep.ModeledNS = float64(rep.Cycles) / ClockHz * 1e9
 	return rep
