@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-check bench-smoke diff-full check
+.PHONY: build vet lint test race bench bench-check bench-smoke diff-full serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -42,5 +42,11 @@ bench-smoke:
 # bit-identical.
 diff-full:
 	ALBERTA_DIFF_FULL=1 $(GO) test -run 'TestSuiteDifferentialReference|TestPreparedMatchesColdRuns' -v ./internal/harness/
+
+# End-to-end smoke of the albertad service: start the daemon, run a
+# one-benchmark job, diff its envelope against albertarun -json, verify
+# the cache hit and the SIGTERM drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 check: build vet lint race

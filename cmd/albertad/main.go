@@ -1,0 +1,96 @@
+// Command albertad is the characterization service: a long-running HTTP
+// daemon that runs the benchmark × workload matrix on demand and serves
+// the results through the versioned report.Suite envelope — the same
+// schema_version 1 document `albertarun -json` emits.
+//
+//	albertad -addr :8080 -parallel 4 -jobs 1 -queue 16
+//
+// API (all JSON unless noted):
+//
+//	POST   /v1/jobs               submit a characterization request
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/jobs/{id}/result   the report.Suite envelope (409 until done)
+//	GET    /v1/jobs/{id}/events   SSE progress stream
+//	GET    /v1/benchmarks         benchmark and workload inventory
+//	GET    /metrics               job/cache/allocation counters
+//	GET    /healthz               liveness (reports draining)
+//
+// Repeated requests are served from a content-keyed result cache
+// byte-identically without re-running any benchmark. SIGTERM/SIGINT
+// triggers a graceful drain: new submissions answer 503 while queued and
+// in-flight jobs run to completion, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/benchmarks"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		parallel = flag.Int("parallel", 1, "harness measurement workers per job")
+		jobs     = flag.Int("jobs", 1, "jobs run concurrently")
+		queue    = flag.Int("queue", 16, "queued-job bound (full queue answers 503)")
+	)
+	flag.Parse()
+	if err := run(*addr, *parallel, *jobs, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "albertad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, parallel, jobs, queue int) error {
+	suite, err := benchmarks.CharacterizedSuite()
+	if err != nil {
+		return err
+	}
+	srv, err := service.NewServer(service.Config{
+		Suite:      suite,
+		JobWorkers: jobs,
+		RunWorkers: parallel,
+		QueueDepth: queue,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "albertad: listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: finish queued and running jobs, then close the
+	// listener (SSE streams end when their jobs reach terminal states).
+	fmt.Fprintln(os.Stderr, "albertad: draining")
+	srv.Drain()
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "albertad: drained, exiting")
+	return nil
+}

@@ -8,11 +8,15 @@
 //	albertarun -fdo             # FDO cross-validation study
 //	albertarun -bench 557.xz_r  # restrict to one benchmark
 //	albertarun -parallel 8      # bound the measurement worker pool
-//	albertarun -table2 -json    # machine-readable rows instead of text
+//	albertarun -table2 -json    # versioned report.Suite envelope on stdout
 //	albertarun -reference       # retained pre-optimization event path
 //	albertarun -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                            # pprof profiles of the run itself
 //	albertarun -memstats        # allocation totals of the run on stderr
+//
+// With -json, the selected modes are emitted together as one
+// report.Suite envelope (schema_version 1) — the same document the
+// albertad service serves — with the raw measurements always included.
 //
 // A SIGINT cancels the run: outstanding measurements are abandoned and the
 // command exits with the context error.
@@ -20,7 +24,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fdo"
 	"repro/internal/harness"
+	"repro/internal/harness/report"
 	"repro/internal/optstudy"
 )
 
@@ -52,12 +56,19 @@ type config struct {
 	memProfile string
 	memStats   bool
 
-	// results caches the suite run so that several characterization modes
-	// requested together (e.g. -table1 -table2 -fig1) share one run, as
-	// the pre-redesign CLI did.
+	// opts is the normalized option set shared by every mode; run() fills
+	// it once via harness.Options.Normalize, the single place defaults
+	// and validation live.
+	opts harness.Options
+
+	// results and sorted cache the suite run and its benchmark name order
+	// so that several characterization modes requested together (e.g.
+	// -table1 -table2 -fig1) share one run and one sort.
 	results harness.SuiteResults
+	sorted  []string
 }
 
+// options assembles the raw (unnormalized) harness options from flags.
 func (c *config) options() harness.Options {
 	opts := harness.Options{
 		Reps:      c.reps,
@@ -82,27 +93,17 @@ func (c *config) options() harness.Options {
 }
 
 // suiteResults runs the characterization matrix once per invocation and
-// caches it for subsequent modes.
+// caches it (and its sorted benchmark order) for subsequent modes.
 func (c *config) suiteResults(ctx context.Context, suite *core.Suite) (harness.SuiteResults, error) {
 	if c.results == nil {
-		res, err := harness.NewRunner(suite, c.options()).Run(ctx)
+		res, err := harness.NewRunner(suite, c.opts).Run(ctx)
 		if err != nil {
 			return nil, err
 		}
 		c.results = res
+		c.sorted = res.SortedBenchmarks()
 	}
 	return c.results, nil
-}
-
-// emitJSON writes one machine-readable document for a mode's result. Field
-// names come from the row types' json tags and are stable.
-func emitJSON(key string, v any) error {
-	doc, err := json.MarshalIndent(map[string]any{key: v}, "", "  ")
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Println(string(doc))
-	return err
 }
 
 // mode is one experiment: a flag name and its implementation. Modes run in
@@ -111,21 +112,27 @@ type mode struct {
 	name string
 	help string
 	run  func(ctx context.Context, cfg *config, suite *core.Suite) error
-	// text is true for modes whose output is inherently textual; they
-	// reject -json rather than silently ignoring it.
-	textOnly bool
+	// section, when non-nil, marks the mode's section in the report.Suite
+	// envelope; -json runs select their sections instead of calling run.
+	// Modes without a section are inherently textual and reject -json.
+	section func(*report.Sections)
 }
 
 var modes = []mode{
-	{name: "list", help: "list benchmarks and workload inventories", run: runList, textOnly: true},
-	{name: "fdo", help: "run the FDO cross-validation study", run: runFDO, textOnly: true},
-	{name: "optstudy", help: "run the optimization-level variation study", run: runOptStudy, textOnly: true},
-	{name: "kernels", help: "rank benchmarks by how poorly a single-workload kernel represents them", run: runKernels},
-	{name: "report", help: "emit the per-benchmark report (execution time bars, top-down, hot methods)", run: runReport, textOnly: true},
-	{name: "table1", help: "reproduce Table I", run: runTable1},
-	{name: "table2", help: "reproduce Table II", run: runTable2},
-	{name: "fig1", help: "emit Figure 1 data (xalancbmk vs xz)", run: runFig1},
-	{name: "fig2", help: "emit Figure 2 data (deepsjeng vs xz)", run: runFig2},
+	{name: "list", help: "list benchmarks and workload inventories", run: runList},
+	{name: "fdo", help: "run the FDO cross-validation study", run: runFDO},
+	{name: "optstudy", help: "run the optimization-level variation study", run: runOptStudy},
+	{name: "kernels", help: "rank benchmarks by how poorly a single-workload kernel represents them",
+		run: runKernels, section: func(s *report.Sections) { s.Kernels = true }},
+	{name: "report", help: "emit the per-benchmark report (execution time bars, top-down, hot methods)", run: runReport},
+	{name: "table1", help: "reproduce Table I",
+		run: runTable1, section: func(s *report.Sections) { s.Table1 = true }},
+	{name: "table2", help: "reproduce Table II",
+		run: runTable2, section: func(s *report.Sections) { s.Table2 = true }},
+	{name: "fig1", help: "emit Figure 1 data (xalancbmk vs xz)",
+		run: runFig1, section: func(s *report.Sections) { s.Figure1 = true }},
+	{name: "fig2", help: "emit Figure 2 data (deepsjeng vs xz)",
+		run: runFig2, section: func(s *report.Sections) { s.Figure2 = true }},
 }
 
 func main() {
@@ -134,13 +141,14 @@ func main() {
 	for _, m := range modes {
 		selected[m.name] = flag.Bool(m.name, false, m.help)
 	}
+	def := harness.DefaultOptions()
 	flag.IntVar(&cfg.clusterK, "cluster", 0, "cluster each benchmark's workloads into k groups (Berube workload reduction)")
 	flag.StringVar(&cfg.bench, "bench", "", "restrict to one benchmark (e.g. 505.mcf_r)")
-	flag.IntVar(&cfg.reps, "reps", 3, "repetitions per workload (paper: 3)")
-	flag.IntVar(&cfg.stride, "stride", 1, "profiler event sampling stride (1 = exact)")
+	flag.IntVar(&cfg.reps, "reps", def.Reps, "repetitions per workload (paper: 3)")
+	flag.IntVar(&cfg.stride, "stride", def.Stride, "profiler event sampling stride (1 = exact)")
 	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "measurement worker pool size (1 = serial)")
 	flag.BoolVar(&cfg.failFast, "failfast", false, "abort the whole run on the first measurement error")
-	flag.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON instead of text tables")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one versioned report.Suite envelope (schema_version 1) instead of text")
 	flag.BoolVar(&cfg.verbose, "v", false, "report per-workload progress on stderr")
 	flag.BoolVar(&cfg.reference, "reference", false, "run the retained pre-optimization profiler event path (bit-identical results, slower)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
@@ -203,6 +211,11 @@ func writeMemProfile(path string) error {
 }
 
 func run(ctx context.Context, cfg *config, selected map[string]*bool) error {
+	var err error
+	if cfg.opts, err = cfg.options().Normalize(); err != nil {
+		return err
+	}
+
 	var active []mode
 	for _, m := range modes {
 		if *selected[m.name] {
@@ -210,17 +223,11 @@ func run(ctx context.Context, cfg *config, selected map[string]*bool) error {
 		}
 	}
 	if cfg.clusterK > 0 {
-		active = append(active, mode{name: "cluster", run: runCluster, textOnly: true})
+		active = append(active, mode{name: "cluster", run: runCluster})
 	}
 	if len(active) == 0 {
-		active = []mode{{name: "table2", run: runTable2}} // default action
-	}
-	if cfg.jsonOut {
-		for _, m := range active {
-			if m.textOnly {
-				return fmt.Errorf("mode -%s has no JSON form", m.name)
-			}
-		}
+		active = []mode{{name: "table2", run: runTable2,
+			section: func(s *report.Sections) { s.Table2 = true }}} // default action
 	}
 
 	suite, err := benchmarks.CharacterizedSuite()
@@ -237,12 +244,46 @@ func run(ctx context.Context, cfg *config, selected map[string]*bool) error {
 		}
 	}
 
+	if cfg.jsonOut {
+		return runEnvelope(ctx, cfg, suite, active)
+	}
 	for _, m := range active {
 		if err := m.run(ctx, cfg, suite); err != nil {
 			return fmt.Errorf("-%s: %w", m.name, err)
 		}
 	}
 	return nil
+}
+
+// runEnvelope is the -json path: the selected modes become sections of a
+// single report.Suite envelope — the same schema_version 1 document the
+// albertad service serves — with the raw measurements always included.
+func runEnvelope(ctx context.Context, cfg *config, suite *core.Suite, active []mode) error {
+	sections := report.Sections{Measurements: true}
+	for _, m := range active {
+		if m.section == nil {
+			return fmt.Errorf("mode -%s has no JSON form", m.name)
+		}
+		m.section(&sections)
+	}
+	results, err := cfg.suiteResults(ctx, suite)
+	if err != nil {
+		return err
+	}
+	env, err := report.Build(results, cfg.opts.ReportConfig(), report.BuildOptions{
+		Sections:          sections,
+		Figure1Benchmarks: pick(results, cfg.bench, "523.xalancbmk_r", "557.xz_r"),
+		Figure2Benchmarks: pick(results, cfg.bench, "531.deepsjeng_r", "557.xz_r"),
+	})
+	if err != nil {
+		return err
+	}
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 func runList(ctx context.Context, cfg *config, suite *core.Suite) error {
@@ -291,14 +332,11 @@ func runKernels(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	rows, err := harness.KernelRepresentativeness(results)
+	rows, err := report.Kernels(results, cfg.sorted)
 	if err != nil {
 		return err
 	}
-	if cfg.jsonOut {
-		return emitJSON("kernels", rows)
-	}
-	fmt.Print(harness.FormatKernelRows(rows))
+	fmt.Print(report.FormatKernelRows(rows))
 	return nil
 }
 
@@ -307,8 +345,8 @@ func runReport(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	for _, name := range results.SortedBenchmarks() {
-		fmt.Println(harness.BenchmarkReport(name, results[name]))
+	for _, name := range cfg.sorted {
+		fmt.Println(report.BenchmarkReport(name, results[name]))
 	}
 	return nil
 }
@@ -318,7 +356,7 @@ func runCluster(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	for _, name := range results.SortedBenchmarks() {
+	for _, name := range cfg.sorted {
 		ms := results[name]
 		k := cfg.clusterK
 		if k > len(ms) {
@@ -338,11 +376,7 @@ func runTable1(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	rows := harness.TableI(results)
-	if cfg.jsonOut {
-		return emitJSON("table1", rows)
-	}
-	fmt.Print(harness.FormatTableI(rows))
+	fmt.Print(report.FormatTableI(report.TableI(results)))
 	fmt.Println()
 	return nil
 }
@@ -352,14 +386,11 @@ func runTable2(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	rows, err := harness.TableII(results)
+	rows, err := report.TableII(results, cfg.sorted)
 	if err != nil {
 		return err
 	}
-	if cfg.jsonOut {
-		return emitJSON("table2", rows)
-	}
-	fmt.Print(harness.FormatTableII(rows))
+	fmt.Print(report.FormatTableII(rows))
 	return nil
 }
 
@@ -368,14 +399,11 @@ func runFig1(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	series, err := harness.Figure1(results, pick(results, cfg.bench, "523.xalancbmk_r", "557.xz_r")...)
+	series, err := report.Figure1(results, pick(results, cfg.bench, "523.xalancbmk_r", "557.xz_r")...)
 	if err != nil {
 		return err
 	}
-	if cfg.jsonOut {
-		return emitJSON("figure1", series)
-	}
-	fmt.Print(harness.FormatFigure1(series))
+	fmt.Print(report.FormatFigure1(series))
 	return nil
 }
 
@@ -384,14 +412,11 @@ func runFig2(ctx context.Context, cfg *config, suite *core.Suite) error {
 	if err != nil {
 		return err
 	}
-	series, err := harness.Figure2(results, 6, pick(results, cfg.bench, "531.deepsjeng_r", "557.xz_r")...)
+	series, err := report.Figure2(results, 6, pick(results, cfg.bench, "531.deepsjeng_r", "557.xz_r")...)
 	if err != nil {
 		return err
 	}
-	if cfg.jsonOut {
-		return emitJSON("figure2", series)
-	}
-	fmt.Print(harness.FormatFigure2(series))
+	fmt.Print(report.FormatFigure2(series))
 	return nil
 }
 

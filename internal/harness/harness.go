@@ -7,26 +7,38 @@
 // deterministic inventory order regardless of scheduling. RunSuite,
 // RunBenchmark and RunWorkload are thin convenience wrappers over the
 // Runner.
+//
+// Result data types live in the internal/harness/report package, which
+// defines the versioned JSON envelope (report.Suite, schema_version 1)
+// shared by every result frontend; this package re-exports them under
+// their historical names.
 package harness
 
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness/report"
 	"repro/internal/perf"
-	"repro/internal/stats"
 )
 
 // Options configure a characterization run.
+//
+// The zero value is not directly runnable: Normalize maps it to the
+// paper's defaults and validates the rest. RunWorkload and Runner.Run
+// normalize internally, so callers only call Normalize themselves when
+// they need the defaulted values (for cache keys, envelopes, or error
+// reporting before a run starts).
 type Options struct {
 	// Reps is the number of executions per workload; the paper used
-	// three. Modeled measurements are deterministic, so repetitions serve
-	// as a determinism check and wall-time averaging.
+	// three, and Normalize defaults zero to three. Modeled measurements
+	// are deterministic, so repetitions serve as a determinism check and
+	// wall-time averaging.
 	Reps int
-	// Stride sub-samples profiler event simulation (1 = exact).
+	// Stride sub-samples profiler event simulation (1 = exact; Normalize
+	// defaults zero to 1).
 	Stride int
 	// IncludeTest keeps the SPEC test inputs (excluded by default, as in
 	// the paper).
@@ -53,25 +65,55 @@ type Options struct {
 	Progress func(Event)
 }
 
-// DefaultOptions mirror the paper's methodology.
+// DefaultOptions mirror the paper's methodology. They are exactly the
+// normalized zero Options.
 func DefaultOptions() Options { return Options{Reps: 3, Stride: 1} }
 
-// Measurement is the summarized observation of one workload (over reps).
-type Measurement struct {
-	Benchmark string         `json:"benchmark"`
-	Workload  string         `json:"workload"`
-	Kind      core.Kind      `json:"kind"`
-	Checksum  uint64         `json:"checksum"`
-	TopDown   stats.TopDown  `json:"top_down"`
-	Coverage  stats.Coverage `json:"coverage"`
-	Cycles    uint64         `json:"cycles"`
-	// ModeledSeconds is cycles at the modeled 3.4 GHz clock.
-	ModeledSeconds float64 `json:"modeled_seconds"`
-	// WallSeconds is the mean wall-clock run time of the repetitions. It
-	// is the only field that may differ between runs (and between worker
-	// counts); everything else is deterministic.
-	WallSeconds float64 `json:"wall_seconds"`
+// Normalize is the single place run options are defaulted and validated:
+// zero Reps becomes the paper's three repetitions, zero Stride becomes
+// exact simulation, negative Workers becomes the GOMAXPROCS sentinel
+// zero, and negative Reps or Stride are rejected. Every run entry point
+// (RunWorkload, Runner.Run, albertarun, albertad) goes through it, so
+// there is no flag-side duplicate of these rules.
+func (o Options) Normalize() (Options, error) {
+	if o.Reps < 0 {
+		return o, fmt.Errorf("harness: reps must be >= 1 (got %d)", o.Reps)
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Stride < 0 {
+		return o, fmt.Errorf("harness: stride must be >= 1 (got %d)", o.Stride)
+	}
+	if o.Stride == 0 {
+		o.Stride = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	return o, nil
 }
+
+// ReportConfig extracts the result-affecting option subset recorded in
+// report.Suite envelopes and used for cache key derivation. Call it on
+// normalized Options.
+func (o Options) ReportConfig() report.RunConfig {
+	return report.RunConfig{
+		Reps:        o.Reps,
+		Stride:      o.Stride,
+		IncludeTest: o.IncludeTest,
+		Reference:   o.Reference,
+	}
+}
+
+// Measurement is the summarized observation of one workload (over reps).
+// It is an alias of report.Measurement, the schema-owning definition.
+type Measurement = report.Measurement
+
+// SuiteResults maps benchmark name to its per-workload measurements. It
+// is an alias of report.Results, the schema-owning definition; the
+// SortedBenchmarks method lives there.
+type SuiteResults = report.Results
 
 // RunWorkload executes one benchmark/workload pair opts.Reps times.
 //
@@ -86,21 +128,19 @@ type Measurement struct {
 // The context is checked between repetitions; a benchmark's execute phase
 // itself is not interruptible.
 func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
-	if opts.Reps < 1 {
-		opts.Reps = 1
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Measurement{}, err
 	}
 	return runWorkload(ctx, b, w, opts,
 		perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference}))
 }
 
 // runWorkload is RunWorkload on a caller-supplied profiler, which must be
-// freshly constructed or Reset. The Runner's workers recycle one profiler
-// each across all their cells through it, so a whole suite run constructs
-// Workers profilers instead of one per cell.
+// freshly constructed or Reset, and normalized Options. The Runner's
+// workers recycle one profiler each across all their cells through it, so
+// a whole suite run constructs Workers profilers instead of one per cell.
 func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options, p *perf.Profiler) (Measurement, error) {
-	if opts.Reps < 1 {
-		opts.Reps = 1
-	}
 	var m Measurement
 	pw, err := core.PrepareOrRun(b, w)
 	if err != nil {
@@ -125,22 +165,22 @@ func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 			return Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
 		}
 		wall := time.Since(start).Seconds()
-		report := p.Report()
+		rpt := p.Report()
 		if rep == 0 {
 			m = Measurement{
 				Benchmark: b.Name(),
 				Workload:  w.WorkloadName(),
 				Kind:      w.WorkloadKind(),
 				Checksum:  res.Checksum,
-				TopDown:   report.TopDown,
-				Coverage:  report.Coverage,
-				Cycles:    report.Cycles,
+				TopDown:   rpt.TopDown,
+				Coverage:  rpt.Coverage,
+				Cycles:    rpt.Cycles,
 			}
-			m.ModeledSeconds = perf.ModeledSeconds(report.Cycles)
+			m.ModeledSeconds = perf.ModeledSeconds(rpt.Cycles)
 		} else if m.Checksum != res.Checksum {
 			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
 				b.Name(), w.WorkloadName())
-		} else if m.Cycles != report.Cycles || m.TopDown != report.TopDown {
+		} else if m.Cycles != rpt.Cycles || m.TopDown != rpt.TopDown {
 			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic profile across repetitions",
 				b.Name(), w.WorkloadName())
 		}
@@ -180,31 +220,8 @@ func RunBenchmark(ctx context.Context, b core.Benchmark, opts Options) ([]Measur
 	return res[b.Name()], nil
 }
 
-// SuiteResults maps benchmark name to its per-workload measurements.
-type SuiteResults map[string][]Measurement
-
 // RunSuite measures every benchmark of the suite. It is a thin wrapper
 // over NewRunner(s, opts).Run(ctx).
 func RunSuite(ctx context.Context, s *core.Suite, opts Options) (SuiteResults, error) {
 	return NewRunner(s, opts).Run(ctx)
-}
-
-// refrateOf finds the refrate measurement in a benchmark's list.
-func refrateOf(ms []Measurement) (Measurement, bool) {
-	for _, m := range ms {
-		if m.Kind == core.KindRefrate {
-			return m, true
-		}
-	}
-	return Measurement{}, false
-}
-
-// SortedBenchmarks returns the result keys in name order.
-func (r SuiteResults) SortedBenchmarks() []string {
-	names := make([]string, 0, len(r))
-	for n := range r {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

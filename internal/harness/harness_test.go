@@ -259,17 +259,6 @@ func TestBenchmarkReport(t *testing.T) {
 	}
 }
 
-func TestTopMethods(t *testing.T) {
-	m := Measurement{Coverage: stats.Coverage{"a": 0.5, "b": 0.3, "c": 0.15, "d": 0.05}}
-	top := topMethods(m, 2)
-	if len(top) != 2 || top[0].name != "a" || top[1].name != "b" {
-		t.Errorf("topMethods = %+v", top)
-	}
-	if got := topMethods(m, 10); len(got) != 4 {
-		t.Errorf("over-request returns %d", len(got))
-	}
-}
-
 func TestKernelRepresentativeness(t *testing.T) {
 	mk := func(w string, kind core.Kind, f, b float64) Measurement {
 		return Measurement{

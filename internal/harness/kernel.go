@@ -1,95 +1,23 @@
 package harness
 
-import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-)
+import "repro/internal/harness/report"
 
-// KernelRow quantifies one of the paper's Section VII questions: "it would
-// be nice to know if kernels created from SPEC benchmark suites ...
-// actually represent the range of behaviours of the benchmarks when they
-// are executed with multiple workloads". The computer-architecture practice
-// the paper describes derives kernels from a single workload (usually the
-// reference input); this analysis measures how far the other workloads'
-// behaviour vectors sit from that single reference point.
-type KernelRow struct {
-	Benchmark string `json:"benchmark"`
-	// Reference is the workload the kernel would be derived from.
-	Reference string `json:"reference"`
-	// MeanDistance and MaxDistance are the Euclidean distances between
-	// the reference's top-down vector and every other workload's.
-	MeanDistance float64 `json:"mean_distance"`
-	MaxDistance  float64 `json:"max_distance"`
-	// WorstWorkload is the workload farthest from the reference.
-	WorstWorkload string `json:"worst_workload"`
-}
-
-// topDownVector embeds a measurement for distance computation.
-func topDownVector(m Measurement) [4]float64 {
-	return [4]float64{m.TopDown.FrontEnd, m.TopDown.BackEnd, m.TopDown.BadSpec, m.TopDown.Retiring}
-}
-
-func vecDistance(a, b [4]float64) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
+// KernelRow quantifies how well a single-workload kernel represents a
+// benchmark (Section VII).
+//
+// Deprecated: use report.KernelRow.
+type KernelRow = report.KernelRow
 
 // KernelRepresentativeness computes, per benchmark, how well the refrate
-// workload (the kernel source) represents the full workload set. Rows are
-// sorted by descending maximum distance: the top rows are the benchmarks
-// whose single-workload kernels would be least representative.
-func KernelRepresentativeness(results SuiteResults) ([]KernelRow, error) {
-	var rows []KernelRow
-	for _, name := range results.SortedBenchmarks() {
-		ms := results[name]
-		ref, ok := refrateOf(ms)
-		if !ok {
-			return nil, fmt.Errorf("harness: kernel analysis: %s has no refrate workload", name)
-		}
-		refVec := topDownVector(ref)
-		row := KernelRow{Benchmark: name, Reference: ref.Workload}
-		n := 0
-		for _, m := range ms {
-			if m.Workload == ref.Workload {
-				continue
-			}
-			d := vecDistance(refVec, topDownVector(m))
-			row.MeanDistance += d
-			if d > row.MaxDistance {
-				row.MaxDistance = d
-				row.WorstWorkload = m.Workload
-			}
-			n++
-		}
-		if n > 0 {
-			row.MeanDistance /= float64(n)
-		}
-		rows = append(rows, row)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].MaxDistance != rows[j].MaxDistance {
-			return rows[i].MaxDistance > rows[j].MaxDistance
-		}
-		return rows[i].Benchmark < rows[j].Benchmark
-	})
-	return rows, nil
+// workload (the kernel source) represents the full workload set.
+//
+// Deprecated: use report.Kernels, which takes the benchmark order
+// explicitly so several builders can share one sort.
+func KernelRepresentativeness(results SuiteResults) ([]report.KernelRow, error) {
+	return report.Kernels(results, results.SortedBenchmarks())
 }
 
 // FormatKernelRows renders the analysis.
-func FormatKernelRows(rows []KernelRow) string {
-	var sb strings.Builder
-	sb.WriteString("Kernel representativeness (distance of other workloads' top-down vectors\n")
-	sb.WriteString("from the refrate workload a kernel would be derived from; larger = a\n")
-	sb.WriteString("single-workload kernel misses more of the behaviour range):\n")
-	fmt.Fprintf(&sb, "%-18s %10s %10s  %s\n", "benchmark", "mean-dist", "max-dist", "farthest workload")
-	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-18s %10.4f %10.4f  %s\n", r.Benchmark, r.MeanDistance, r.MaxDistance, r.WorstWorkload)
-	}
-	return sb.String()
-}
+//
+// Deprecated: use report.FormatKernelRows.
+func FormatKernelRows(rows []report.KernelRow) string { return report.FormatKernelRows(rows) }

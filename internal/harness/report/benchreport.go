@@ -1,4 +1,4 @@
-package harness
+package report
 
 import (
 	"fmt"
@@ -66,12 +66,7 @@ func topMethods(m Measurement, n int) []methodFrac {
 	for name, frac := range m.Coverage {
 		out = append(out, methodFrac{name, frac})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].frac != out[j].frac {
-			return out[i].frac > out[j].frac
-		}
-		return out[i].name < out[j].name
-	})
+	sort.Slice(out, rankedLess(out))
 	if len(out) > n {
 		out = out[:n]
 	}

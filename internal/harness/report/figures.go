@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// FigureSeries is one benchmark's per-workload top-down breakdown: the data
+// behind Figure 1.
+type FigureSeries struct {
+	Benchmark string          `json:"benchmark"`
+	Workloads []string        `json:"workloads"`
+	Values    []stats.TopDown `json:"values"`
+}
+
+// Figure1 extracts the stacked top-down series for the requested
+// benchmarks (the paper plots 523.xalancbmk_r and 557.xz_r).
+func Figure1(results Results, benchmarks ...string) ([]FigureSeries, error) {
+	var out []FigureSeries
+	for _, name := range benchmarks {
+		ms, ok := results[name]
+		if !ok {
+			return nil, fmt.Errorf("report: figure 1: no results for %s", name)
+		}
+		fs := FigureSeries{Benchmark: name}
+		for _, m := range ms {
+			fs.Workloads = append(fs.Workloads, m.Workload)
+			fs.Values = append(fs.Values, m.TopDown)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// FormatFigure1 renders the per-workload stacked fractions as text bars.
+func FormatFigure1(series []FigureSeries) string {
+	var sb strings.Builder
+	for _, fs := range series {
+		fmt.Fprintf(&sb, "Figure 1 data: %s (per-workload top-down fractions)\n", fs.Benchmark)
+		fmt.Fprintf(&sb, "%-26s %9s %9s %9s %9s\n", "workload", "frontend", "backend", "badspec", "retiring")
+		for i, w := range fs.Workloads {
+			v := fs.Values[i]
+			fmt.Fprintf(&sb, "%-26s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+				w, v.FrontEnd*100, v.BackEnd*100, v.BadSpec*100, v.Retiring*100)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CoverageSeries is one benchmark's per-workload method coverage: the data
+// behind Figure 2.
+type CoverageSeries struct {
+	Benchmark string   `json:"benchmark"`
+	Workloads []string `json:"workloads"`
+	// Methods lists the reported methods (top methods by mean coverage,
+	// plus "others").
+	Methods []string `json:"methods"`
+	// Values[w][m] is workload w's fraction in Methods[m].
+	Values [][]float64 `json:"values"`
+}
+
+// Figure2 extracts per-workload method coverage for the requested
+// benchmarks (the paper plots 531.deepsjeng_r and 557.xz_r), keeping the
+// topN methods by mean coverage and folding the rest into "others".
+func Figure2(results Results, topN int, benchmarks ...string) ([]CoverageSeries, error) {
+	var out []CoverageSeries
+	for _, name := range benchmarks {
+		ms, ok := results[name]
+		if !ok {
+			return nil, fmt.Errorf("report: figure 2: no results for %s", name)
+		}
+		// Rank methods by mean coverage across workloads.
+		mean := map[string]float64{}
+		for _, m := range ms {
+			for meth, frac := range m.Coverage {
+				mean[meth] += frac
+			}
+		}
+		ranked := make([]methodFrac, 0, len(mean))
+		for meth, v := range mean {
+			ranked = append(ranked, methodFrac{meth, v})
+		}
+		sort.Slice(ranked, rankedLess(ranked))
+		keep := map[string]bool{}
+		cs := CoverageSeries{Benchmark: name}
+		for i, r := range ranked {
+			if i >= topN {
+				break
+			}
+			keep[r.name] = true
+			cs.Methods = append(cs.Methods, r.name)
+		}
+		cs.Methods = append(cs.Methods, "others")
+		for _, m := range ms {
+			cs.Workloads = append(cs.Workloads, m.Workload)
+			row := make([]float64, len(cs.Methods))
+			// Walk the coverage in sorted order so the "others" float sum
+			// is identical run to run.
+			others := 0.0
+			for _, meth := range m.Coverage.SortedMethods() {
+				frac := m.Coverage[meth]
+				if keep[meth] {
+					for k, kept := range cs.Methods {
+						if kept == meth {
+							row[k] = frac
+						}
+					}
+				} else {
+					others += frac
+				}
+			}
+			row[len(row)-1] = others
+			cs.Values = append(cs.Values, row)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// FormatFigure2 renders the coverage series as a table.
+func FormatFigure2(series []CoverageSeries) string {
+	var sb strings.Builder
+	for _, cs := range series {
+		fmt.Fprintf(&sb, "Figure 2 data: %s (per-workload method coverage)\n", cs.Benchmark)
+		fmt.Fprintf(&sb, "%-26s", "workload")
+		for _, m := range cs.Methods {
+			fmt.Fprintf(&sb, " %14s", truncName(m, 14))
+		}
+		sb.WriteString("\n")
+		for i, w := range cs.Workloads {
+			fmt.Fprintf(&sb, "%-26s", w)
+			for _, v := range cs.Values[i] {
+				fmt.Fprintf(&sb, " %13.1f%%", v*100)
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func truncName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// TableIIRow is one benchmark's line of Table II: workload count, geometric
+// mean and standard deviation of the four top-down categories, the
+// variation scores μg(V) and μg(M), and the refrate time.
+type TableIIRow struct {
+	Benchmark     string                `json:"benchmark"`
+	Workloads     int                   `json:"workloads"`
+	TopDown       stats.TopDownSummary  `json:"top_down"`
+	Coverage      stats.CoverageSummary `json:"coverage"`
+	RefrateTimeS  float64               `json:"refrate_modeled_seconds"`
+	RefrateCycles uint64                `json:"refrate_cycles"`
+}
+
+// TableII summarizes suite results into the paper's Table II rows.
+// benchmarks is the row order — normally results.SortedBenchmarks(),
+// computed once by the caller and shared with the other builders.
+func TableII(results Results, benchmarks []string) ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, name := range benchmarks {
+		ms := results[name]
+		if len(ms) == 0 {
+			continue
+		}
+		var obs []stats.TopDown
+		var covs []stats.Coverage
+		for _, m := range ms {
+			obs = append(obs, m.TopDown)
+			covs = append(covs, m.Coverage)
+		}
+		td, err := stats.SummarizeTopDown(obs)
+		if err != nil {
+			return nil, fmt.Errorf("report: table II %s: %w", name, err)
+		}
+		cov, err := stats.SummarizeCoverage(covs, stats.DefaultCoverageOptions())
+		if err != nil {
+			return nil, fmt.Errorf("report: table II %s coverage: %w", name, err)
+		}
+		row := TableIIRow{
+			Benchmark: name,
+			Workloads: len(ms),
+			TopDown:   td,
+			Coverage:  cov,
+		}
+		if ref, ok := refrateOf(ms); ok {
+			row.RefrateTimeS = ref.ModeledSeconds
+			row.RefrateCycles = ref.Cycles
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTableII renders rows in the paper's column layout (percentages for
+// the category means; σg dimensionless).
+func FormatTableII(rows []TableIIRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: workload sensitivity summary (modeled hardware)\n")
+	fmt.Fprintf(&sb, "%-17s %3s | %6s %5s | %6s %5s | %6s %5s | %6s %5s | %6s %6s | %10s\n",
+		"Benchmark", "#w",
+		"f%", "σg", "b%", "σg", "s%", "σg", "r%", "σg",
+		"μg(V)", "μg(M)", "refrate(s)")
+	sb.WriteString(strings.Repeat("-", 118) + "\n")
+	for _, r := range rows {
+		td := r.TopDown
+		fmt.Fprintf(&sb, "%-17s %3d | %6.1f %5.2f | %6.1f %5.2f | %6.1f %5.2f | %6.1f %5.2f | %6.2f %6.1f | %10.4f\n",
+			r.Benchmark, r.Workloads,
+			td.FrontEnd.GeoMean*100, td.FrontEnd.GeoStd,
+			td.BackEnd.GeoMean*100, td.BackEnd.GeoStd,
+			td.BadSpec.GeoMean*100, td.BadSpec.GeoStd,
+			td.Retiring.GeoMean*100, td.Retiring.GeoStd,
+			td.Score, r.Coverage.Score, r.RefrateTimeS)
+	}
+	return sb.String()
+}
+
+// PaperTableI holds the published Table I values (seconds on the i7-6700K
+// SPEC submissions) for the INT suite; used to render the historical
+// comparison next to this reproduction's modeled refrate times.
+var PaperTableI = []struct {
+	Area     string
+	Name2017 string
+	Name2006 string
+	Time2017 float64
+	Time2006 float64
+}{
+	{"Perl interpreter", "500.perlbench_r", "400.perlbench", 542, 425},
+	{"Compiler", "502.gcc_r", "403.gcc", 518, 346},
+	{"Route planning", "505.mcf_r", "429.mcf", 633, 333},
+	{"Discrete event simulation", "520.omnetpp_r", "471.omnetpp", 787, 483},
+	{"SML to HTML conversion", "523.xalancbmk_r", "483.xalancbmk", 323, 221},
+	{"Video compression", "525.x264_r", "464.h264ref", 379, 575},
+	{"AI: alpha-beta tree search", "531.deepsjeng_r", "458.sjeng", 373, 562},
+	{"AI: Sudoku recursive solution", "548.exchange2_r", "", 498, 0},
+	{"Data compression", "557.xz_r", "401.bzip2", 532, 681},
+	{"AI: Go game playing", "541.leela_r", "445.gobmk", 586, 506},
+}
+
+// TableIRow is one line of the reproduced Table I.
+type TableIRow struct {
+	Area      string  `json:"area"`
+	Name      string  `json:"name"`
+	Paper2017 float64 `json:"paper_2017_seconds"`
+	Paper2006 float64 `json:"paper_2006_seconds"`
+	// MeasuredS is this reproduction's modeled refrate time.
+	MeasuredS float64 `json:"modeled_seconds"`
+}
+
+// TableI builds the historical comparison with this run's measured column.
+// Rows follow the paper's fixed order, so no benchmark ordering is needed.
+func TableI(results Results) []TableIRow {
+	var rows []TableIRow
+	for _, e := range PaperTableI {
+		row := TableIRow{Area: e.Area, Name: e.Name2017, Paper2017: e.Time2017, Paper2006: e.Time2006}
+		if ms, ok := results[e.Name2017]; ok {
+			if ref, ok := refrateOf(ms); ok {
+				row.MeasuredS = ref.ModeledSeconds
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTableI renders the Table I reproduction, including the arithmetic
+// averages reported in the paper's last line.
+func FormatTableI(rows []TableIRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: SPEC CPU 2006 → 2017 INT evolution (paper times) + modeled reproduction\n")
+	fmt.Fprintf(&sb, "%-30s %-17s %10s %10s %12s\n",
+		"Application Area", "SPEC 2017", "2017 (s)", "2006 (s)", "modeled (s)")
+	sb.WriteString(strings.Repeat("-", 84) + "\n")
+	var sum17, sum06, sumM float64
+	var n17, n06, nM int
+	for _, r := range rows {
+		p06 := "-"
+		if r.Paper2006 > 0 {
+			p06 = fmt.Sprintf("%10.0f", r.Paper2006)
+			sum06 += r.Paper2006
+			n06++
+		}
+		meas := "-"
+		if r.MeasuredS > 0 {
+			meas = fmt.Sprintf("%12.4f", r.MeasuredS)
+			sumM += r.MeasuredS
+			nM++
+		}
+		sum17 += r.Paper2017
+		n17++
+		fmt.Fprintf(&sb, "%-30s %-17s %10.0f %10s %12s\n", r.Area, r.Name, r.Paper2017, p06, meas)
+	}
+	sb.WriteString(strings.Repeat("-", 84) + "\n")
+	avg := func(s float64, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	fmt.Fprintf(&sb, "%-30s %-17s %10.0f %10.0f %12.4f\n",
+		"Arithmetic Average of Times", "", avg(sum17, n17), avg(sum06, n06), avg(sumM, nM))
+	return sb.String()
+}
+
+// rankedLess orders method/value pairs by descending value, name-breaking
+// ties; use as sort.Slice(ranked, rankedLess(ranked)). Shared by Figure 2
+// and the per-benchmark report.
+func rankedLess(ranked []methodFrac) func(i, j int) bool {
+	return func(i, j int) bool {
+		if ranked[i].frac != ranked[j].frac {
+			return ranked[i].frac > ranked[j].frac
+		}
+		return ranked[i].name < ranked[j].name
+	}
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Measurement is the summarized observation of one workload (over the
+// run's repetitions). Every field except WallSeconds is deterministic:
+// bit-identical across runs, worker counts and event paths.
+type Measurement struct {
+	Benchmark string         `json:"benchmark"`
+	Workload  string         `json:"workload"`
+	Kind      core.Kind      `json:"kind"`
+	Checksum  uint64         `json:"checksum"`
+	TopDown   stats.TopDown  `json:"top_down"`
+	Coverage  stats.Coverage `json:"coverage"`
+	Cycles    uint64         `json:"cycles"`
+	// ModeledSeconds is cycles at the modeled 3.4 GHz clock.
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	// WallSeconds is the mean wall-clock run time of the repetitions. It
+	// is the only field that may differ between runs (and between worker
+	// counts); everything else is deterministic.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Results maps benchmark name to its per-workload measurements, in
+// workload inventory order. It is the raw data every derived section is
+// computed from (harness.SuiteResults is an alias of this type).
+type Results map[string][]Measurement
+
+// SortedBenchmarks returns the result keys in name order. The sort is
+// recomputed on every call; code that needs the order more than once — a
+// Build over several sections, a CLI invocation with several modes —
+// should call it once and pass the slice down.
+func (r Results) SortedBenchmarks() []string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// refrateOf finds the refrate measurement in a benchmark's list.
+func refrateOf(ms []Measurement) (Measurement, bool) {
+	for _, m := range ms {
+		if m.Kind == core.KindRefrate {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}

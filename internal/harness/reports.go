@@ -1,321 +1,94 @@
 package harness
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/internal/harness/report"
 )
 
-// TableIIRow is one benchmark's line of Table II: workload count, geometric
-// mean and standard deviation of the four top-down categories, the
-// variation scores μg(V) and μg(M), and the refrate time.
-type TableIIRow struct {
-	Benchmark     string                `json:"benchmark"`
-	Workloads     int                   `json:"workloads"`
-	TopDown       stats.TopDownSummary  `json:"top_down"`
-	Coverage      stats.CoverageSummary `json:"coverage"`
-	RefrateTimeS  float64               `json:"refrate_modeled_seconds"`
-	RefrateCycles uint64                `json:"refrate_cycles"`
-}
-
-// TableII summarizes suite results into the paper's Table II rows.
-func TableII(results SuiteResults) ([]TableIIRow, error) {
-	var rows []TableIIRow
-	for _, name := range results.SortedBenchmarks() {
-		ms := results[name]
-		if len(ms) == 0 {
-			continue
-		}
-		var obs []stats.TopDown
-		var covs []stats.Coverage
-		for _, m := range ms {
-			obs = append(obs, m.TopDown)
-			covs = append(covs, m.Coverage)
-		}
-		td, err := stats.SummarizeTopDown(obs)
-		if err != nil {
-			return nil, fmt.Errorf("harness: table II %s: %w", name, err)
-		}
-		cov, err := stats.SummarizeCoverage(covs, stats.DefaultCoverageOptions())
-		if err != nil {
-			return nil, fmt.Errorf("harness: table II %s coverage: %w", name, err)
-		}
-		row := TableIIRow{
-			Benchmark: name,
-			Workloads: len(ms),
-			TopDown:   td,
-			Coverage:  cov,
-		}
-		if ref, ok := refrateOf(ms); ok {
-			row.RefrateTimeS = ref.ModeledSeconds
-			row.RefrateCycles = ref.Cycles
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-// FormatTableII renders rows in the paper's column layout (percentages for
-// the category means; σg dimensionless).
-func FormatTableII(rows []TableIIRow) string {
-	var sb strings.Builder
-	sb.WriteString("Table II: workload sensitivity summary (modeled hardware)\n")
-	fmt.Fprintf(&sb, "%-17s %3s | %6s %5s | %6s %5s | %6s %5s | %6s %5s | %6s %6s | %10s\n",
-		"Benchmark", "#w",
-		"f%", "σg", "b%", "σg", "s%", "σg", "r%", "σg",
-		"μg(V)", "μg(M)", "refrate(s)")
-	sb.WriteString(strings.Repeat("-", 118) + "\n")
-	for _, r := range rows {
-		td := r.TopDown
-		fmt.Fprintf(&sb, "%-17s %3d | %6.1f %5.2f | %6.1f %5.2f | %6.1f %5.2f | %6.1f %5.2f | %6.2f %6.1f | %10.4f\n",
-			r.Benchmark, r.Workloads,
-			td.FrontEnd.GeoMean*100, td.FrontEnd.GeoStd,
-			td.BackEnd.GeoMean*100, td.BackEnd.GeoStd,
-			td.BadSpec.GeoMean*100, td.BadSpec.GeoStd,
-			td.Retiring.GeoMean*100, td.Retiring.GeoStd,
-			td.Score, r.Coverage.Score, r.RefrateTimeS)
-	}
-	return sb.String()
-}
-
-// PaperTableI holds the published Table I values (seconds on the i7-6700K
-// SPEC submissions) for the INT suite; used to render the historical
-// comparison next to this reproduction's modeled refrate times.
-var PaperTableI = []struct {
-	Area     string
-	Name2017 string
-	Name2006 string
-	Time2017 float64
-	Time2006 float64
-}{
-	{"Perl interpreter", "500.perlbench_r", "400.perlbench", 542, 425},
-	{"Compiler", "502.gcc_r", "403.gcc", 518, 346},
-	{"Route planning", "505.mcf_r", "429.mcf", 633, 333},
-	{"Discrete event simulation", "520.omnetpp_r", "471.omnetpp", 787, 483},
-	{"SML to HTML conversion", "523.xalancbmk_r", "483.xalancbmk", 323, 221},
-	{"Video compression", "525.x264_r", "464.h264ref", 379, 575},
-	{"AI: alpha-beta tree search", "531.deepsjeng_r", "458.sjeng", 373, 562},
-	{"AI: Sudoku recursive solution", "548.exchange2_r", "", 498, 0},
-	{"Data compression", "557.xz_r", "401.bzip2", 532, 681},
-	{"AI: Go game playing", "541.leela_r", "445.gobmk", 586, 506},
-}
+// This file is the compatibility layer over internal/harness/report: the
+// row types and builders historically lived in this package, and existing
+// callers keep working through the aliases and thin wrappers below. New
+// code should import repro/internal/harness/report directly; the wrappers
+// are kept for one release and will then be removed (see CHANGES.md).
 
 // TableIRow is one line of the reproduced Table I.
-type TableIRow struct {
-	Area      string  `json:"area"`
-	Name      string  `json:"name"`
-	Paper2017 float64 `json:"paper_2017_seconds"`
-	Paper2006 float64 `json:"paper_2006_seconds"`
-	// MeasuredS is this reproduction's modeled refrate time.
-	MeasuredS float64 `json:"modeled_seconds"`
-}
+//
+// Deprecated: use report.TableIRow.
+type TableIRow = report.TableIRow
+
+// TableIIRow is one benchmark's line of Table II.
+//
+// Deprecated: use report.TableIIRow.
+type TableIIRow = report.TableIIRow
+
+// FigureSeries is the data behind Figure 1.
+//
+// Deprecated: use report.FigureSeries.
+type FigureSeries = report.FigureSeries
+
+// CoverageSeries is the data behind Figure 2.
+//
+// Deprecated: use report.CoverageSeries.
+type CoverageSeries = report.CoverageSeries
+
+// PaperTableI holds the published Table I values.
+//
+// Deprecated: use report.PaperTableI.
+var PaperTableI = report.PaperTableI
 
 // TableI builds the historical comparison with this run's measured column.
-func TableI(results SuiteResults) []TableIRow {
-	var rows []TableIRow
-	for _, e := range PaperTableI {
-		row := TableIRow{Area: e.Area, Name: e.Name2017, Paper2017: e.Time2017, Paper2006: e.Time2006}
-		if ms, ok := results[e.Name2017]; ok {
-			if ref, ok := refrateOf(ms); ok {
-				row.MeasuredS = ref.ModeledSeconds
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows
+//
+// Deprecated: use report.TableI.
+func TableI(results SuiteResults) []report.TableIRow { return report.TableI(results) }
+
+// TableII summarizes suite results into the paper's Table II rows.
+//
+// Deprecated: use report.TableII, which takes the benchmark order
+// explicitly so several builders can share one sort.
+func TableII(results SuiteResults) ([]report.TableIIRow, error) {
+	return report.TableII(results, results.SortedBenchmarks())
 }
 
-// FormatTableI renders the Table I reproduction, including the arithmetic
-// averages reported in the paper's last line.
-func FormatTableI(rows []TableIRow) string {
-	var sb strings.Builder
-	sb.WriteString("Table I: SPEC CPU 2006 → 2017 INT evolution (paper times) + modeled reproduction\n")
-	fmt.Fprintf(&sb, "%-30s %-17s %10s %10s %12s\n",
-		"Application Area", "SPEC 2017", "2017 (s)", "2006 (s)", "modeled (s)")
-	sb.WriteString(strings.Repeat("-", 84) + "\n")
-	var sum17, sum06, sumM float64
-	var n17, n06, nM int
-	for _, r := range rows {
-		p06 := "-"
-		if r.Paper2006 > 0 {
-			p06 = fmt.Sprintf("%10.0f", r.Paper2006)
-			sum06 += r.Paper2006
-			n06++
-		}
-		meas := "-"
-		if r.MeasuredS > 0 {
-			meas = fmt.Sprintf("%12.4f", r.MeasuredS)
-			sumM += r.MeasuredS
-			nM++
-		}
-		sum17 += r.Paper2017
-		n17++
-		fmt.Fprintf(&sb, "%-30s %-17s %10.0f %10s %12s\n", r.Area, r.Name, r.Paper2017, p06, meas)
-	}
-	sb.WriteString(strings.Repeat("-", 84) + "\n")
-	avg := func(s float64, n int) float64 {
-		if n == 0 {
-			return 0
-		}
-		return s / float64(n)
-	}
-	fmt.Fprintf(&sb, "%-30s %-17s %10.0f %10.0f %12.4f\n",
-		"Arithmetic Average of Times", "", avg(sum17, n17), avg(sum06, n06), avg(sumM, nM))
-	return sb.String()
+// Figure1 extracts the stacked top-down series for the requested benchmarks.
+//
+// Deprecated: use report.Figure1.
+func Figure1(results SuiteResults, benchmarks ...string) ([]report.FigureSeries, error) {
+	return report.Figure1(results, benchmarks...)
 }
 
-// FigureSeries is one benchmark's per-workload top-down breakdown: the data
-// behind Figure 1.
-type FigureSeries struct {
-	Benchmark string          `json:"benchmark"`
-	Workloads []string        `json:"workloads"`
-	Values    []stats.TopDown `json:"values"`
+// Figure2 extracts per-workload method coverage for the requested benchmarks.
+//
+// Deprecated: use report.Figure2.
+func Figure2(results SuiteResults, topN int, benchmarks ...string) ([]report.CoverageSeries, error) {
+	return report.Figure2(results, topN, benchmarks...)
 }
 
-// Figure1 extracts the stacked top-down series for the requested
-// benchmarks (the paper plots 523.xalancbmk_r and 557.xz_r).
-func Figure1(results SuiteResults, benchmarks ...string) ([]FigureSeries, error) {
-	var out []FigureSeries
-	for _, name := range benchmarks {
-		ms, ok := results[name]
-		if !ok {
-			return nil, fmt.Errorf("harness: figure 1: no results for %s", name)
-		}
-		fs := FigureSeries{Benchmark: name}
-		for _, m := range ms {
-			fs.Workloads = append(fs.Workloads, m.Workload)
-			fs.Values = append(fs.Values, m.TopDown)
-		}
-		out = append(out, fs)
-	}
-	return out, nil
-}
+// FormatTableI renders the Table I reproduction.
+//
+// Deprecated: use report.FormatTableI.
+func FormatTableI(rows []report.TableIRow) string { return report.FormatTableI(rows) }
+
+// FormatTableII renders rows in the paper's column layout.
+//
+// Deprecated: use report.FormatTableII.
+func FormatTableII(rows []report.TableIIRow) string { return report.FormatTableII(rows) }
 
 // FormatFigure1 renders the per-workload stacked fractions as text bars.
-func FormatFigure1(series []FigureSeries) string {
-	var sb strings.Builder
-	for _, fs := range series {
-		fmt.Fprintf(&sb, "Figure 1 data: %s (per-workload top-down fractions)\n", fs.Benchmark)
-		fmt.Fprintf(&sb, "%-26s %9s %9s %9s %9s\n", "workload", "frontend", "backend", "badspec", "retiring")
-		for i, w := range fs.Workloads {
-			v := fs.Values[i]
-			fmt.Fprintf(&sb, "%-26s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
-				w, v.FrontEnd*100, v.BackEnd*100, v.BadSpec*100, v.Retiring*100)
-		}
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
-
-// CoverageSeries is one benchmark's per-workload method coverage: the data
-// behind Figure 2.
-type CoverageSeries struct {
-	Benchmark string   `json:"benchmark"`
-	Workloads []string `json:"workloads"`
-	// Methods lists the reported methods (top methods by mean coverage,
-	// plus "others").
-	Methods []string `json:"methods"`
-	// Values[w][m] is workload w's fraction in Methods[m].
-	Values [][]float64 `json:"values"`
-}
-
-// Figure2 extracts per-workload method coverage for the requested
-// benchmarks (the paper plots 531.deepsjeng_r and 557.xz_r), keeping the
-// topN methods by mean coverage and folding the rest into "others".
-func Figure2(results SuiteResults, topN int, benchmarks ...string) ([]CoverageSeries, error) {
-	var out []CoverageSeries
-	for _, name := range benchmarks {
-		ms, ok := results[name]
-		if !ok {
-			return nil, fmt.Errorf("harness: figure 2: no results for %s", name)
-		}
-		// Rank methods by mean coverage across workloads.
-		mean := map[string]float64{}
-		for _, m := range ms {
-			for meth, frac := range m.Coverage {
-				mean[meth] += frac
-			}
-		}
-		type mv struct {
-			name string
-			v    float64
-		}
-		var ranked []mv
-		for meth, v := range mean {
-			ranked = append(ranked, mv{meth, v})
-		}
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].v != ranked[j].v {
-				return ranked[i].v > ranked[j].v
-			}
-			return ranked[i].name < ranked[j].name
-		})
-		keep := map[string]bool{}
-		cs := CoverageSeries{Benchmark: name}
-		for i, r := range ranked {
-			if i >= topN {
-				break
-			}
-			keep[r.name] = true
-			cs.Methods = append(cs.Methods, r.name)
-		}
-		cs.Methods = append(cs.Methods, "others")
-		for _, m := range ms {
-			cs.Workloads = append(cs.Workloads, m.Workload)
-			row := make([]float64, len(cs.Methods))
-			// Walk the coverage in sorted order so the "others" float sum
-			// is identical run to run.
-			others := 0.0
-			for _, meth := range m.Coverage.SortedMethods() {
-				frac := m.Coverage[meth]
-				if keep[meth] {
-					for k, kept := range cs.Methods {
-						if kept == meth {
-							row[k] = frac
-						}
-					}
-				} else {
-					others += frac
-				}
-			}
-			row[len(row)-1] = others
-			cs.Values = append(cs.Values, row)
-		}
-		out = append(out, cs)
-	}
-	return out, nil
-}
+//
+// Deprecated: use report.FormatFigure1.
+func FormatFigure1(series []report.FigureSeries) string { return report.FormatFigure1(series) }
 
 // FormatFigure2 renders the coverage series as a table.
-func FormatFigure2(series []CoverageSeries) string {
-	var sb strings.Builder
-	for _, cs := range series {
-		fmt.Fprintf(&sb, "Figure 2 data: %s (per-workload method coverage)\n", cs.Benchmark)
-		fmt.Fprintf(&sb, "%-26s", "workload")
-		for _, m := range cs.Methods {
-			fmt.Fprintf(&sb, " %14s", truncName(m, 14))
-		}
-		sb.WriteString("\n")
-		for i, w := range cs.Workloads {
-			fmt.Fprintf(&sb, "%-26s", w)
-			for _, v := range cs.Values[i] {
-				fmt.Fprintf(&sb, " %13.1f%%", v*100)
-			}
-			sb.WriteString("\n")
-		}
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
+//
+// Deprecated: use report.FormatFigure2.
+func FormatFigure2(series []report.CoverageSeries) string { return report.FormatFigure2(series) }
 
-func truncName(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n-1] + "…"
+// BenchmarkReport renders the per-benchmark report the Alberta Workloads
+// distribution ships for every benchmark.
+//
+// Deprecated: use report.BenchmarkReport.
+func BenchmarkReport(name string, ms []Measurement) string {
+	return report.BenchmarkReport(name, ms)
 }
 
 // KindBreakdown counts workloads by kind for a benchmark's measurements

@@ -133,7 +133,12 @@ type unit struct {
 // collected into a *RunError and returned together with the successful
 // partial results.
 func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
-	workers := r.opts.Workers
+	// Normalize once; workers below read the normalized copy only.
+	opts, err := r.opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -142,7 +147,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 	// run regardless of FailFast: they mean the suite itself is broken.
 	var units []unit
 	for _, b := range r.suite.Benchmarks() {
-		ws, err := measurementInventory(b, r.opts)
+		ws, err := measurementInventory(b, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -166,8 +171,8 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 		firstErr  error // first failure by completion time (FailFast)
 	)
 	emit := func(e Event) {
-		if r.opts.Progress != nil {
-			r.opts.Progress(e)
+		if opts.Progress != nil {
+			opts.Progress(e)
 		}
 	}
 
@@ -190,7 +195,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 					continue // drain after cancellation
 				}
 				if prof == nil {
-					prof = perf.NewWithOptions(perf.Options{Stride: r.opts.Stride, Reference: r.opts.Reference})
+					prof = perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference})
 				} else {
 					prof.Reset()
 				}
@@ -198,7 +203,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 				emit(Event{Kind: EventWorkloadStart, Benchmark: u.bench.Name(),
 					Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
 				mu.Unlock()
-				m, err := runWorkload(runCtx, u.bench, u.w, r.opts, prof)
+				m, err := runWorkload(runCtx, u.bench, u.w, opts, prof)
 				mu.Lock()
 				completed++
 				switch {
@@ -217,7 +222,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 					}
 					emit(Event{Kind: EventWorkloadError, Benchmark: u.bench.Name(),
 						Workload: u.w.WorkloadName(), Err: err, Completed: completed, Total: len(units)})
-					if r.opts.FailFast {
+					if opts.FailFast {
 						cancel()
 					}
 				}
@@ -255,7 +260,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 		}
 	}
 	if len(failures) > 0 {
-		if r.opts.FailFast {
+		if opts.FailFast {
 			return nil, firstErr
 		}
 		return res, &RunError{Failures: failures}

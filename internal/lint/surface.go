@@ -8,15 +8,17 @@ import (
 )
 
 // SurfaceRoots are the module-relative trees the analyzer covers: every
-// package whose behavior feeds measurements, statistics, or reports.
-// internal/perf is deliberately absent — it owns the wall clock — and the
-// CLIs and examples are I/O by nature.
+// package whose behavior feeds measurements, statistics, or reports —
+// including internal/service, whose cache keys and envelopes depend on the
+// same determinism guarantees. internal/perf is deliberately absent — it
+// owns the wall clock — and the CLIs and examples are I/O by nature.
 var SurfaceRoots = []string{
 	"internal/benchmarks",
 	"internal/harness",
 	"internal/stats",
 	"internal/uarch",
 	"internal/fdo",
+	"internal/service",
 }
 
 // SurfaceDirs walks the analyzed trees under root, returning every

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/harness"
+	"repro/internal/harness/report"
+)
+
+// Job lifecycle states. queued → running → done|failed|canceled; a queued
+// job may also go straight to canceled (DELETE before a worker picks it
+// up) or be born done (cache hit at submit time).
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// JobRequest is the body of POST /v1/jobs. Zero values take the harness
+// defaults: empty benchmarks = the whole suite, empty sections = all,
+// zero reps/stride from harness.Options.Normalize, figure2_top_n 0 = 6.
+type JobRequest struct {
+	Benchmarks  []string         `json:"benchmarks,omitempty"`
+	Config      report.RunConfig `json:"config"`
+	Sections    []string         `json:"sections,omitempty"`
+	Figure2TopN int              `json:"figure2_top_n,omitempty"`
+}
+
+// JobStatus is the job resource returned by the /v1/jobs handlers.
+type JobStatus struct {
+	SchemaVersion int              `json:"schema_version"`
+	ID            string           `json:"id"`
+	State         string           `json:"state"`
+	Benchmarks    []string         `json:"benchmarks"`
+	Sections      []string         `json:"sections"`
+	Config        report.RunConfig `json:"config"`
+	Figure2TopN   int              `json:"figure2_top_n"`
+	// Cached reports whether the result came from the cache without
+	// executing any benchmark.
+	Cached    bool   `json:"cached"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Event is one SSE progress frame. Terminal frames (the `done` SSE event)
+// carry the final state; progress frames mirror the harness Event fields,
+// so Completed is monotone non-decreasing and the last frame of a full
+// run reports Completed == Total.
+type Event struct {
+	Kind      string `json:"kind"` // start | done | error | terminal
+	Benchmark string `json:"benchmark,omitempty"`
+	Workload  string `json:"workload,omitempty"`
+	State     string `json:"state,omitempty"` // terminal frames only
+	Error     string `json:"error,omitempty"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+}
+
+// job is the server-side state of one characterization request.
+type job struct {
+	id  string
+	req normalized
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	completed int
+	errMsg    string
+	result    []byte
+	events    []Event      // replay log for late SSE subscribers
+	subs      []chan Event // live subscribers
+	closed    bool         // terminal event published
+}
+
+func newJob(id string, nr normalized) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{id: id, req: nr, ctx: ctx, cancel: cancel, state: stateQueued}
+}
+
+// status snapshots the job resource.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		SchemaVersion: report.SchemaVersion,
+		ID:            j.id,
+		State:         j.state,
+		Benchmarks:    j.req.benchmarks,
+		Sections:      j.req.sections.Names(),
+		Config:        j.req.cfg,
+		Figure2TopN:   j.req.topN,
+		Cached:        j.cached,
+		Completed:     j.completed,
+		Total:         j.req.total,
+		Error:         j.errMsg,
+	}
+}
+
+func (j *job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// begin moves queued → running; false means the job was canceled while
+// queued and must not run.
+func (j *job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != stateQueued {
+		return false
+	}
+	j.state = stateRunning
+	return true
+}
+
+// requestCancel cancels a queued or running job; false means the job was
+// already terminal. A queued job is canceled immediately; a running one
+// keeps state "running" until the harness observes the context (between
+// measurements) and the worker marks it canceled.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	switch j.state {
+	case stateQueued:
+		j.state = stateCanceled
+		j.cancel()
+		j.publishTerminalLocked()
+		j.mu.Unlock()
+		return true
+	case stateRunning:
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// progress is the harness Progress callback: it mirrors the harness event
+// into the replay log and live subscribers. The harness serializes
+// Progress calls, so events append in contract order (Completed monotone).
+func (j *job) progress(e harness.Event) {
+	ev := Event{
+		Kind:      e.Kind.String(),
+		Benchmark: e.Benchmark,
+		Workload:  e.Workload,
+		Completed: e.Completed,
+		Total:     e.Total,
+	}
+	if e.Err != nil {
+		ev.Error = e.Err.Error()
+	}
+	j.mu.Lock()
+	j.completed = e.Completed
+	j.publishLocked(ev)
+	j.mu.Unlock()
+}
+
+func (j *job) finish(result []byte) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.result = result
+	j.completed = j.req.total
+	j.publishTerminalLocked()
+	j.mu.Unlock()
+}
+
+// finishFromCache completes a job at birth from cached envelope bytes:
+// state done, zero measurements executed, terminal event published so SSE
+// subscribers see an immediate end of stream.
+func (j *job) finishFromCache(result []byte) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.cached = true
+	j.result = result
+	j.completed = j.req.total
+	j.publishTerminalLocked()
+	j.mu.Unlock()
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.errMsg = err.Error()
+	j.publishTerminalLocked()
+	j.mu.Unlock()
+}
+
+func (j *job) finishCanceled() {
+	j.mu.Lock()
+	j.state = stateCanceled
+	j.publishTerminalLocked()
+	j.mu.Unlock()
+}
+
+// publishLocked appends to the replay log and fans out to subscribers.
+// Subscriber channels are sized for the whole event budget (see
+// subscribe), so sends never block even if a client stalls.
+func (j *job) publishLocked(e Event) {
+	j.events = append(j.events, e)
+	for _, ch := range j.subs {
+		ch <- e
+	}
+}
+
+func (j *job) publishTerminalLocked() {
+	j.publishLocked(Event{Kind: "terminal", State: j.state, Error: j.errMsg,
+		Completed: j.completed, Total: j.req.total})
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	j.closed = true
+}
+
+// subscribe returns a channel replaying every past event and delivering
+// every future one; the channel closes after the terminal event. The
+// capacity covers the maximum event budget of a run — a start and a
+// terminal-per-cell event for each matrix cell plus the job terminal —
+// so the publisher never blocks on a slow consumer.
+func (j *job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, 2*j.req.total+4)
+	for _, e := range j.events {
+		ch <- e
+	}
+	if j.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	unsub := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, unsub
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+
+	"repro/internal/harness/report"
+)
+
+// Metrics is the GET /metrics document: job counts by state, cache
+// effectiveness, per-benchmark measured wall seconds, and the process's
+// allocation deltas since the server was constructed. All timing facts
+// come from the measurements themselves (WallSeconds) — the service never
+// reads the wall clock.
+type Metrics struct {
+	SchemaVersion int                `json:"schema_version"`
+	Jobs          JobCounts          `json:"jobs"`
+	Cache         CacheStats         `json:"cache"`
+	PerBenchmark  []BenchmarkMetrics `json:"per_benchmark"`
+	Mem           MemStats           `json:"mem"`
+}
+
+// JobCounts tallies jobs by lifecycle state.
+type JobCounts struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// BenchmarkMetrics accumulates one benchmark's measured cost across every
+// completed (non-cached) job.
+type BenchmarkMetrics struct {
+	Benchmark    string  `json:"benchmark"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Measurements int     `json:"measurements"`
+}
+
+// MemStats is the allocation delta since server construction.
+type MemStats struct {
+	Allocs   uint64 `json:"allocs"`
+	Bytes    uint64 `json:"bytes"`
+	GCCycles uint32 `json:"gc_cycles"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{SchemaVersion: report.SchemaVersion}
+
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		switch j.status().State {
+		case stateQueued:
+			m.Jobs.Queued++
+		case stateRunning:
+			m.Jobs.Running++
+		case stateDone:
+			m.Jobs.Done++
+		case stateFailed:
+			m.Jobs.Failed++
+		case stateCanceled:
+			m.Jobs.Canceled++
+		}
+	}
+
+	m.Cache.Hits, m.Cache.Misses, m.Cache.Entries = s.cache.stats()
+
+	s.statsMu.Lock()
+	names := make([]string, 0, len(s.benchWall))
+	for name := range s.benchWall {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m.PerBenchmark = make([]BenchmarkMetrics, 0, len(names))
+	for _, name := range names {
+		m.PerBenchmark = append(m.PerBenchmark, BenchmarkMetrics{
+			Benchmark:    name,
+			WallSeconds:  s.benchWall[name],
+			Measurements: s.benchCells[name],
+		})
+	}
+	s.statsMu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Mem = MemStats{
+		Allocs:   ms.Mallocs - s.memBase.Mallocs,
+		Bytes:    ms.TotalAlloc - s.memBase.TotalAlloc,
+		GCCycles: ms.NumGC - s.memBase.NumGC,
+	}
+
+	writeJSON(w, http.StatusOK, m)
+}

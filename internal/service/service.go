@@ -1,0 +1,467 @@
+// Package service implements albertad, the characterization daemon: a
+// long-running HTTP server that runs the harness's benchmark × workload
+// matrix on demand and serves the results through the versioned
+// report.Suite envelope (schema_version 1) — the same document
+// `albertarun -json` emits, so service results and one-shot CLI results
+// are interchangeable.
+//
+// Architecture: POST /v1/jobs enqueues a characterization request onto a
+// bounded queue drained by a fixed pool of job workers; each job runs a
+// harness.Runner (with its own measurement worker pool) under a
+// per-job context so it can be canceled. Results are stored in a
+// content-keyed cache — see cache.go for the key derivation — and a
+// repeated request is answered from the cache byte-identically without
+// executing a single benchmark. Per-job progress streams over SSE built
+// on the harness Event contract (Completed is monotone, the final
+// terminal event reports Completed == Total).
+//
+// The package deliberately never reads the wall clock: timing facts come
+// from the measurements' WallSeconds fields and allocation counters from
+// runtime.ReadMemStats, keeping the whole tree inside albertalint's
+// determinism surface.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/harness/report"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Suite is the benchmark inventory served. Required.
+	Suite *core.Suite
+	// JobWorkers bounds how many jobs run concurrently (default 1).
+	JobWorkers int
+	// RunWorkers is the harness measurement worker pool size per job
+	// (default 1; 0 is normalized to 1, not GOMAXPROCS, so a daemon's
+	// default footprint stays small and predictable).
+	RunWorkers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 16). A full queue answers 503.
+	QueueDepth int
+}
+
+// Server is the albertad HTTP service. Create with NewServer, serve its
+// Handler, and call Drain before exit to finish in-flight jobs.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job ids in creation order
+	nextID   int
+	queue    chan *job
+	draining bool
+
+	wg sync.WaitGroup // job workers
+
+	// memBase is the allocation baseline captured at construction;
+	// /metrics reports deltas against it.
+	memBase runtime.MemStats
+
+	// benchWall / benchCells accumulate per-benchmark measured wall
+	// seconds and measurement counts across completed jobs.
+	statsMu    sync.Mutex
+	benchWall  map[string]float64
+	benchCells map[string]int
+}
+
+// NewServer builds the service and starts its job workers.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Suite == nil {
+		return nil, errors.New("service: Config.Suite is required")
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	if cfg.RunWorkers <= 0 {
+		cfg.RunWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	s := &Server{
+		cfg:        cfg,
+		cache:      newResultCache(),
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, cfg.QueueDepth),
+		benchWall:  map[string]float64{},
+		benchCells: map[string]int{},
+	}
+	runtime.ReadMemStats(&s.memBase)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.wg.Add(cfg.JobWorkers)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting new jobs (POST answers 503) and blocks until
+// every queued and running job reaches a terminal state. Safe to call
+// once; used for graceful SIGTERM shutdown.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if !already {
+		s.wg.Wait()
+	}
+}
+
+// errorEnvelope is the uniform JSON error body.
+type errorEnvelope struct {
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.MarshalIndent(errorEnvelope{SchemaVersion: report.SchemaVersion, Error: fmt.Sprintf(format, args...)}, "", "  ")
+	w.Write(append(data, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": report.SchemaVersion,
+		"status":         "ok",
+		"draining":       draining,
+	})
+}
+
+// benchmarkInfo is one row of GET /v1/benchmarks.
+type benchmarkInfo struct {
+	Name      string         `json:"name"`
+	Area      string         `json:"area"`
+	Workloads []workloadInfo `json:"workloads"`
+}
+
+type workloadInfo struct {
+	Name string    `json:"name"`
+	Kind core.Kind `json:"kind"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var out []benchmarkInfo
+	for _, b := range s.cfg.Suite.Benchmarks() {
+		ws, err := b.Workloads()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%s: %v", b.Name(), err)
+			return
+		}
+		info := benchmarkInfo{Name: b.Name(), Area: b.Area()}
+		for _, wl := range ws {
+			info.Workloads = append(info.Workloads, workloadInfo{Name: wl.WorkloadName(), Kind: wl.WorkloadKind()})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": report.SchemaVersion,
+		"benchmarks":     out,
+	})
+}
+
+// handleSubmit is POST /v1/jobs: validate, answer cache hits immediately
+// (200, state done), otherwise enqueue (202) unless draining or full (503).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	nr, err := s.normalizeRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), nr)
+
+	if data, ok := s.cache.get(nr.key); ok {
+		// Cache hit: the job is born done, no benchmark executes.
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		j.finishFromCache(data)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		s.nextID-- // job was never admitted
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue is full (depth %d)", s.cfg.QueueDepth)
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": report.SchemaVersion,
+		"jobs":           statuses,
+	})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict, "job %s already %s", j.id, j.status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	st := j.status()
+	if st.State != stateDone {
+		writeError(w, http.StatusConflict, "job %s is %s, result not available", j.id, st.State)
+		return
+	}
+	// The cached envelope bytes are served verbatim — bit-identical across
+	// cache hits by construction.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(j.resultBytes())
+}
+
+// worker drains the job queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job end to end: run the matrix, build and
+// encode the envelope, populate the cache, account metrics.
+func (s *Server) runJob(j *job) {
+	if !j.begin() {
+		return // canceled while queued; terminal event already published
+	}
+
+	sub, err := s.subSuite(j.req.benchmarks)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	opts := harness.Options{
+		Reps:        j.req.cfg.Reps,
+		Stride:      j.req.cfg.Stride,
+		IncludeTest: j.req.cfg.IncludeTest,
+		Reference:   j.req.cfg.Reference,
+		Workers:     s.cfg.RunWorkers,
+		Progress:    j.progress,
+	}
+	results, err := harness.NewRunner(sub, opts).Run(j.ctx)
+	if err != nil {
+		if j.ctx.Err() != nil {
+			j.finishCanceled()
+		} else {
+			j.fail(err)
+		}
+		return
+	}
+	env, err := report.Build(results, j.req.cfg, report.BuildOptions{
+		Sections:    j.req.sections,
+		Figure2TopN: j.req.topN,
+	})
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	data, err := env.Encode()
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	s.cache.put(j.req.key, data)
+	s.accountRun(results)
+	j.finish(data)
+}
+
+// subSuite builds the requested sub-inventory. Names were validated at
+// submit time, so Lookup cannot miss unless the suite changed underneath.
+func (s *Server) subSuite(names []string) (*core.Suite, error) {
+	bs := make([]core.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, ok := s.cfg.Suite.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("benchmark %q vanished from the suite", n)
+		}
+		bs = append(bs, b)
+	}
+	return core.NewSuite(bs...)
+}
+
+// accountRun folds one run's measured wall seconds into the per-benchmark
+// metrics. Updates are commutative, so job completion order is irrelevant.
+func (s *Server) accountRun(results report.Results) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	for name, ms := range results {
+		for _, m := range ms {
+			s.benchWall[name] += m.WallSeconds
+		}
+		s.benchCells[name] += len(ms)
+	}
+}
+
+// normalized is a validated, canonicalized job request plus its cache key.
+type normalized struct {
+	benchmarks []string // sorted, validated
+	cfg        report.RunConfig
+	sections   report.Sections
+	topN       int
+	key        string
+	total      int // size of the benchmark × workload matrix
+}
+
+// normalizeRequest validates a JobRequest against the suite and collapses
+// it to canonical form, the single place request-side defaults live: the
+// harness's own Options.Normalize supplies reps/stride defaults, empty
+// benchmark lists mean the whole suite, empty section lists mean all.
+func (s *Server) normalizeRequest(req JobRequest) (normalized, error) {
+	opts, err := harness.Options{
+		Reps:        req.Config.Reps,
+		Stride:      req.Config.Stride,
+		IncludeTest: req.Config.IncludeTest,
+		Reference:   req.Config.Reference,
+	}.Normalize()
+	if err != nil {
+		return normalized{}, err
+	}
+	var n normalized
+	n.cfg = opts.ReportConfig()
+
+	if len(req.Benchmarks) == 0 {
+		for _, b := range s.cfg.Suite.Benchmarks() {
+			n.benchmarks = append(n.benchmarks, b.Name())
+		}
+	} else {
+		seen := map[string]bool{}
+		for _, name := range req.Benchmarks {
+			if _, ok := s.cfg.Suite.Lookup(name); !ok {
+				return normalized{}, fmt.Errorf("unknown benchmark %q", name)
+			}
+			if seen[name] {
+				return normalized{}, fmt.Errorf("duplicate benchmark %q", name)
+			}
+			seen[name] = true
+			n.benchmarks = append(n.benchmarks, name)
+		}
+	}
+	sort.Strings(n.benchmarks)
+
+	if n.sections, err = report.ParseSections(req.Sections); err != nil {
+		return normalized{}, err
+	}
+	if req.Figure2TopN < 0 {
+		return normalized{}, fmt.Errorf("figure2_top_n must be >= 0 (got %d)", req.Figure2TopN)
+	}
+	n.topN = req.Figure2TopN
+	if n.topN == 0 {
+		n.topN = 6
+	}
+
+	for _, name := range n.benchmarks {
+		b, _ := s.cfg.Suite.Lookup(name)
+		ws, err := b.Workloads()
+		if err != nil {
+			return normalized{}, fmt.Errorf("%s: %w", name, err)
+		}
+		for _, wl := range ws {
+			if n.cfg.IncludeTest || wl.WorkloadKind() != core.KindTest {
+				n.total++
+			}
+		}
+	}
+
+	n.key = cacheKey(n.benchmarks, n.cfg, n.sections, n.topN)
+	return n, nil
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of the job's progress. Past events replay first (late
+// subscribers see the full history), then live events follow; the stream
+// ends after the terminal frame. Frames:
+//
+//	event: progress
+//	data: {"kind":"done","benchmark":"557.xz_r","workload":"train","completed":3,"total":12}
+//
+//	event: done
+//	data: {"kind":"terminal","state":"done","completed":12,"total":12}
+//
+// The progress frames preserve the harness Event contract: Completed is
+// monotone non-decreasing and the final frame of a completed run reports
+// Completed == Total.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ch, unsub := j.subscribe()
+	defer unsub()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event frame. Terminal frames use the SSE event name
+// "done" so EventSource clients can close on addEventListener("done").
+func writeSSE(w http.ResponseWriter, e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	name := "progress"
+	if e.Kind == "terminal" {
+		name = "done"
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	return err
+}

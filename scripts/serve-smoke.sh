@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the albertad service.
+#
+# Starts the daemon, submits a one-benchmark characterization job, polls it
+# to completion, fetches the report.Suite envelope, and diffs it against
+# the envelope `albertarun -json` emits for the same matrix (wall_seconds
+# normalized away — it is the one nondeterministic field). Then SIGTERMs
+# the daemon and verifies it drains and exits cleanly.
+set -euo pipefail
+
+BENCH=${BENCH:-557.xz_r}
+REPS=${REPS:-1}
+ADDR=${ADDR:-127.0.0.1:18431}
+BASE="http://$ADDR"
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -9 "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/albertad" ./cmd/albertad
+go build -o "$workdir/albertarun" ./cmd/albertarun
+
+echo "== start albertad on $ADDR"
+"$workdir/albertad" -addr "$ADDR" -parallel 1 >"$workdir/albertad.log" 2>&1 &
+daemon_pid=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "albertad died during startup:" >&2
+        cat "$workdir/albertad.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== submit job ($BENCH, reps $REPS, all sections)"
+request=$(printf '{"benchmarks": ["%s"], "config": {"reps": %d}}' "$BENCH" "$REPS")
+job=$(curl -fsS -X POST -d "$request" "$BASE/v1/jobs")
+id=$(echo "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[[ -n "$id" ]] || { echo "no job id in: $job" >&2; exit 1; }
+
+echo "== poll $id"
+state=""
+for i in $(seq 1 300); do
+    state=$(curl -fsS "$BASE/v1/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    case "$state" in
+        done) break ;;
+        failed|canceled) echo "job reached state $state" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+done
+[[ "$state" == done ]] || { echo "job stuck (state=$state)" >&2; exit 1; }
+
+echo "== fetch result and diff against albertarun -json"
+curl -fsS "$BASE/v1/jobs/$id/result" >"$workdir/service.json"
+"$workdir/albertarun" -json -bench "$BENCH" -reps "$REPS" \
+    -table1 -table2 -fig1 -fig2 -kernels >"$workdir/cli.json"
+
+# wall_seconds is measured wall time, different on every run; everything
+# else in the envelope must match byte for byte.
+normalize() { sed 's/"wall_seconds": [0-9.e+-]*/"wall_seconds": 0/' "$1"; }
+if ! diff <(normalize "$workdir/service.json") <(normalize "$workdir/cli.json"); then
+    echo "service and CLI envelopes differ" >&2
+    exit 1
+fi
+
+echo "== cache hit must answer 200 with state done"
+hit=$(curl -fsS -o "$workdir/hit.json" -w '%{http_code}' -X POST -d "$request" "$BASE/v1/jobs")
+[[ "$hit" == 200 ]] || { echo "cache hit answered $hit" >&2; cat "$workdir/hit.json" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/hit.json" || { echo "second submit not served from cache" >&2; exit 1; }
+
+echo "== SIGTERM drains and exits"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "albertad did not exit after SIGTERM" >&2
+    exit 1
+fi
+wait "$daemon_pid" || { echo "albertad exited non-zero" >&2; cat "$workdir/albertad.log" >&2; exit 1; }
+grep -q drained "$workdir/albertad.log" || { echo "no drain message in log" >&2; cat "$workdir/albertad.log" >&2; exit 1; }
+daemon_pid=""
+
+echo "serve-smoke: OK"
