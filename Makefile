@@ -43,9 +43,10 @@ bench-smoke:
 diff-full:
 	ALBERTA_DIFF_FULL=1 $(GO) test -run 'TestSuiteDifferentialReference|TestPreparedMatchesColdRuns' -v ./internal/harness/
 
-# End-to-end smoke of the albertad service: start the daemon, run a
-# one-benchmark job, diff its envelope against albertarun -json, verify
-# the cache hit and the SIGTERM drain.
+# End-to-end smoke of the albertad service: a single daemon run (envelope
+# diffed against albertarun -json, cell-cache hit and dedup assertions,
+# SIGTERM drain), then a coordinator + 2 workers run whose merged envelope
+# must be byte-identical to the same baseline (wall_seconds normalized).
 serve-smoke:
 	./scripts/serve-smoke.sh
 

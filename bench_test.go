@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fdo"
 	"repro/internal/harness"
+	"repro/internal/harness/report"
 	"repro/internal/optstudy"
 	"repro/internal/stats"
 )
@@ -39,7 +40,7 @@ func benchOpts() harness.Options {
 }
 
 // runSubSuite measures the named benchmarks only.
-func runSubSuite(b *testing.B, names ...string) harness.SuiteResults {
+func runSubSuite(b *testing.B, names ...string) report.Results {
 	b.Helper()
 	full, err := benchmarks.Suite()
 	if err != nil {
@@ -69,13 +70,13 @@ func runSubSuite(b *testing.B, names ...string) harness.SuiteResults {
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var names []string
-		for _, e := range harness.PaperTableI {
+		for _, e := range report.PaperTableI {
 			names = append(names, e.Name2017)
 		}
 		results := runSubSuite(b, names...)
-		rows := harness.TableI(results)
+		rows := report.TableI(results)
 		if i == 0 {
-			fmt.Println(harness.FormatTableI(rows))
+			fmt.Println(report.FormatTableI(rows))
 			var sum float64
 			for _, r := range rows {
 				sum += r.MeasuredS
@@ -97,12 +98,12 @@ func BenchmarkTableII(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows, err := harness.TableII(results)
+		rows, err := report.TableII(results, results.SortedBenchmarks())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			fmt.Println(harness.FormatTableII(rows))
+			fmt.Println(report.FormatTableII(rows))
 			for _, r := range rows {
 				if r.Benchmark == "523.xalancbmk_r" {
 					b.ReportMetric(r.TopDown.Score, "xalan-ugV")
@@ -120,12 +121,12 @@ func BenchmarkTableII(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results := runSubSuite(b, "523.xalancbmk_r", "557.xz_r")
-		series, err := harness.Figure1(results, "523.xalancbmk_r", "557.xz_r")
+		series, err := report.Figure1(results, "523.xalancbmk_r", "557.xz_r")
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			fmt.Println(harness.FormatFigure1(series))
+			fmt.Println(report.FormatFigure1(series))
 		}
 	}
 }
@@ -135,12 +136,12 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results := runSubSuite(b, "531.deepsjeng_r", "557.xz_r")
-		series, err := harness.Figure2(results, 6, "531.deepsjeng_r", "557.xz_r")
+		series, err := report.Figure2(results, 6, "531.deepsjeng_r", "557.xz_r")
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			fmt.Println(harness.FormatFigure2(series))
+			fmt.Println(report.FormatFigure2(series))
 		}
 	}
 }

@@ -64,7 +64,7 @@ type config struct {
 	// results and sorted cache the suite run and its benchmark name order
 	// so that several characterization modes requested together (e.g.
 	// -table1 -table2 -fig1) share one run and one sort.
-	results harness.SuiteResults
+	results report.Results
 	sorted  []string
 }
 
@@ -94,7 +94,7 @@ func (c *config) options() harness.Options {
 
 // suiteResults runs the characterization matrix once per invocation and
 // caches it (and its sorted benchmark order) for subsequent modes.
-func (c *config) suiteResults(ctx context.Context, suite *core.Suite) (harness.SuiteResults, error) {
+func (c *config) suiteResults(ctx context.Context, suite *core.Suite) (report.Results, error) {
 	if c.results == nil {
 		res, err := harness.NewRunner(suite, c.opts).Run(ctx)
 		if err != nil {
@@ -421,7 +421,7 @@ func runFig2(ctx context.Context, cfg *config, suite *core.Suite) error {
 }
 
 // pick returns the figure benchmarks, honoring a -bench restriction.
-func pick(results harness.SuiteResults, bench string, defaults ...string) []string {
+func pick(results report.Results, bench string, defaults ...string) []string {
 	if bench != "" {
 		return []string{bench}
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/harness/report"
 )
 
 func main() {
@@ -49,21 +50,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rows, err := harness.TableII(results)
+	rows, err := report.TableII(results, results.SortedBenchmarks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(harness.FormatTableII(rows))
+	fmt.Println(report.FormatTableII(rows))
 
-	fig1, err := harness.Figure1(results, names...)
+	fig1, err := report.Figure1(results, names...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(harness.FormatFigure1(fig1))
+	fmt.Println(report.FormatFigure1(fig1))
 
-	fig2, err := harness.Figure2(results, 5, names...)
+	fig2, err := report.Figure2(results, 5, names...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(harness.FormatFigure2(fig2))
+	fmt.Println(report.FormatFigure2(fig2))
 }

@@ -17,7 +17,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/harness"
+	"repro/internal/harness/report"
 )
 
 // ErrCluster reports an invalid clustering request.
@@ -31,7 +31,7 @@ type FeatureSpace struct {
 }
 
 // NewFeatureSpace builds the embedding from the union of methods.
-func NewFeatureSpace(ms []harness.Measurement) *FeatureSpace {
+func NewFeatureSpace(ms []report.Measurement) *FeatureSpace {
 	seen := map[string]bool{}
 	for _, m := range ms {
 		for meth := range m.Coverage {
@@ -47,7 +47,7 @@ func NewFeatureSpace(ms []harness.Measurement) *FeatureSpace {
 }
 
 // Vector embeds one measurement.
-func (fs *FeatureSpace) Vector(m harness.Measurement) []float64 {
+func (fs *FeatureSpace) Vector(m report.Measurement) []float64 {
 	v := make([]float64, 0, 5+len(fs.methods))
 	v = append(v,
 		m.TopDown.FrontEnd, m.TopDown.BackEnd, m.TopDown.BadSpec, m.TopDown.Retiring,
@@ -201,7 +201,7 @@ func totalCost(dist [][]float64, medoids []int) float64 {
 
 // Representatives clusters a benchmark's measurements and returns the
 // medoid workload names — the reduced workload set.
-func Representatives(ms []harness.Measurement, k int) ([]string, *Clustering, error) {
+func Representatives(ms []report.Measurement, k int) ([]string, *Clustering, error) {
 	if len(ms) == 0 {
 		return nil, nil, fmt.Errorf("%w: no measurements", ErrCluster)
 	}
@@ -222,7 +222,7 @@ func Representatives(ms []harness.Measurement, k int) ([]string, *Clustering, er
 }
 
 // FormatClustering renders a benchmark's cluster assignment.
-func FormatClustering(benchmark string, ms []harness.Measurement, cl *Clustering, reps []string) string {
+func FormatClustering(benchmark string, ms []report.Measurement, cl *Clustering, reps []string) string {
 	out := fmt.Sprintf("workload clusters: %s (k=%d, cost=%.4f)\n", benchmark, len(cl.Medoids), cl.Cost)
 	for slot, medoid := range cl.Medoids {
 		out += fmt.Sprintf("  cluster %d (representative %s):", slot+1, ms[medoid].Workload)

@@ -6,13 +6,13 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/harness"
+	"repro/internal/harness/report"
 	"repro/internal/stats"
 )
 
 // blob builds a synthetic measurement around a top-down center.
-func blob(name string, f, b, s, r float64, cycles uint64, hot string) harness.Measurement {
-	return harness.Measurement{
+func blob(name string, f, b, s, r float64, cycles uint64, hot string) report.Measurement {
+	return report.Measurement{
 		Workload: name,
 		TopDown:  stats.TopDown{FrontEnd: f, BackEnd: b, BadSpec: s, Retiring: r},
 		Cycles:   cycles,
@@ -127,7 +127,7 @@ func TestKMedoidsCostDecreasesWithK(t *testing.T) {
 }
 
 func TestRepresentativesGroupsByBehaviour(t *testing.T) {
-	ms := []harness.Measurement{
+	ms := []report.Measurement{
 		blob("mem1", 0.05, 0.70, 0.05, 0.20, 1e6, "copy"),
 		blob("mem2", 0.06, 0.68, 0.05, 0.21, 1.1e6, "copy"),
 		blob("cpu1", 0.05, 0.10, 0.05, 0.80, 1e6, "math"),
@@ -165,7 +165,7 @@ func TestRepresentativesEmpty(t *testing.T) {
 }
 
 func TestFeatureSpaceStableDimensions(t *testing.T) {
-	ms := []harness.Measurement{
+	ms := []report.Measurement{
 		blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"),
 		blob("b", 0.1, 0.4, 0.1, 0.4, 100, "y"),
 	}

@@ -10,8 +10,10 @@
 //
 // Result data types live in the internal/harness/report package, which
 // defines the versioned JSON envelope (report.Suite, schema_version 1)
-// shared by every result frontend; this package re-exports them under
-// their historical names.
+// shared by every result frontend. This package exports only the run
+// surface — Options, Runner, RunSuite/RunBenchmark/RunWorkload and the
+// progress Event contract; the historical aliases over report types were
+// removed after their one-release deprecation window.
 package harness
 
 import (
@@ -106,15 +108,6 @@ func (o Options) ReportConfig() report.RunConfig {
 	}
 }
 
-// Measurement is the summarized observation of one workload (over reps).
-// It is an alias of report.Measurement, the schema-owning definition.
-type Measurement = report.Measurement
-
-// SuiteResults maps benchmark name to its per-workload measurements. It
-// is an alias of report.Results, the schema-owning definition; the
-// SortedBenchmarks method lives there.
-type SuiteResults = report.Results
-
 // RunWorkload executes one benchmark/workload pair opts.Reps times.
 //
 // When the benchmark implements core.Preparer, the workload's input is
@@ -127,10 +120,10 @@ type SuiteResults = report.Results
 //
 // The context is checked between repetitions; a benchmark's execute phase
 // itself is not interruptible.
-func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options) (Measurement, error) {
+func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options) (report.Measurement, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
-		return Measurement{}, err
+		return report.Measurement{}, err
 	}
 	return runWorkload(ctx, b, w, opts,
 		perf.NewWithOptions(perf.Options{Stride: opts.Stride, Reference: opts.Reference}))
@@ -140,11 +133,11 @@ func RunWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 // freshly constructed or Reset, and normalized Options. The Runner's
 // workers recycle one profiler each across all their cells through it, so
 // a whole suite run constructs Workers profilers instead of one per cell.
-func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options, p *perf.Profiler) (Measurement, error) {
-	var m Measurement
+func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Options, p *perf.Profiler) (report.Measurement, error) {
+	var m report.Measurement
 	pw, err := core.PrepareOrRun(b, w)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("harness: %s/%s: prepare: %w", b.Name(), w.WorkloadName(), err)
+		return report.Measurement{}, fmt.Errorf("harness: %s/%s: prepare: %w", b.Name(), w.WorkloadName(), err)
 	}
 	// One profiler serves all repetitions: Reset recycles the
 	// just-constructed state — clearing method records and simulators in
@@ -154,7 +147,7 @@ func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 	// own tests assert.
 	for rep := 0; rep < opts.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
-			return Measurement{}, err
+			return report.Measurement{}, err
 		}
 		if rep > 0 {
 			p.Reset()
@@ -162,12 +155,12 @@ func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 		start := time.Now()
 		res, err := pw.Execute(p)
 		if err != nil {
-			return Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
+			return report.Measurement{}, fmt.Errorf("harness: %s/%s rep %d: %w", b.Name(), w.WorkloadName(), rep, err)
 		}
 		wall := time.Since(start).Seconds()
 		rpt := p.Report()
 		if rep == 0 {
-			m = Measurement{
+			m = report.Measurement{
 				Benchmark: b.Name(),
 				Workload:  w.WorkloadName(),
 				Kind:      w.WorkloadKind(),
@@ -178,10 +171,10 @@ func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 			}
 			m.ModeledSeconds = perf.ModeledSeconds(rpt.Cycles)
 		} else if m.Checksum != res.Checksum {
-			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
+			return report.Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic checksum across repetitions",
 				b.Name(), w.WorkloadName())
 		} else if m.Cycles != rpt.Cycles || m.TopDown != rpt.TopDown {
-			return Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic profile across repetitions",
+			return report.Measurement{}, fmt.Errorf("harness: %s/%s: nondeterministic profile across repetitions",
 				b.Name(), w.WorkloadName())
 		}
 		m.WallSeconds += wall
@@ -208,7 +201,7 @@ func measurementInventory(b core.Benchmark, opts Options) ([]core.Workload, erro
 
 // RunBenchmark measures every (measurement) workload of b. It is a thin
 // wrapper over a single-benchmark Runner.
-func RunBenchmark(ctx context.Context, b core.Benchmark, opts Options) ([]Measurement, error) {
+func RunBenchmark(ctx context.Context, b core.Benchmark, opts Options) ([]report.Measurement, error) {
 	s, err := core.NewSuite(b)
 	if err != nil {
 		return nil, err
@@ -222,6 +215,6 @@ func RunBenchmark(ctx context.Context, b core.Benchmark, opts Options) ([]Measur
 
 // RunSuite measures every benchmark of the suite. It is a thin wrapper
 // over NewRunner(s, opts).Run(ctx).
-func RunSuite(ctx context.Context, s *core.Suite, opts Options) (SuiteResults, error) {
+func RunSuite(ctx context.Context, s *core.Suite, opts Options) (report.Results, error) {
 	return NewRunner(s, opts).Run(ctx)
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/benchmarks/xz"
 	"repro/internal/core"
+	"repro/internal/harness/report"
 	"repro/internal/perf"
 	"repro/internal/stats"
 )
@@ -98,7 +99,7 @@ func TestRunSuiteAndTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := TableII(res)
+	rows, err := report.TableII(res, res.SortedBenchmarks())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,25 +117,25 @@ func TestRunSuiteAndTableII(t *testing.T) {
 			t.Errorf("%s refrate time missing", r.Benchmark)
 		}
 	}
-	text := FormatTableII(rows)
+	text := report.FormatTableII(rows)
 	if !strings.Contains(text, "900.quick_r") || !strings.Contains(text, "μg(V)") {
 		t.Errorf("formatted table missing content:\n%s", text)
 	}
 }
 
 func TestTableIIncludesPaperAndMeasured(t *testing.T) {
-	res := SuiteResults{
+	res := report.Results{
 		"505.mcf_r": {{
 			Benchmark: "505.mcf_r", Workload: "refrate", Kind: core.KindRefrate,
 			ModeledSeconds: 0.5,
 			TopDown:        stats.TopDown{FrontEnd: 0.1, BackEnd: 0.4, BadSpec: 0.1, Retiring: 0.4},
 		}},
 	}
-	rows := TableI(res)
-	if len(rows) != len(PaperTableI) {
+	rows := report.TableI(res)
+	if len(rows) != len(report.PaperTableI) {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	var mcf TableIRow
+	var mcf report.TableIRow
 	for _, r := range rows {
 		if r.Name == "505.mcf_r" {
 			mcf = r
@@ -143,7 +144,7 @@ func TestTableIIncludesPaperAndMeasured(t *testing.T) {
 	if mcf.Paper2017 != 633 || mcf.Paper2006 != 333 || mcf.MeasuredS != 0.5 {
 		t.Errorf("mcf row = %+v", mcf)
 	}
-	text := FormatTableI(rows)
+	text := report.FormatTableI(rows)
 	if !strings.Contains(text, "Route planning") || !strings.Contains(text, "Arithmetic Average") {
 		t.Errorf("table I formatting:\n%s", text)
 	}
@@ -158,17 +159,17 @@ func TestFigure1Extraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := Figure1(res, "900.quick_r")
+	series, err := report.Figure1(res, "900.quick_r")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(series) != 1 || len(series[0].Workloads) != 4 {
 		t.Fatalf("series = %+v", series)
 	}
-	if _, err := Figure1(res, "no.such_r"); err == nil {
+	if _, err := report.Figure1(res, "no.such_r"); err == nil {
 		t.Error("missing benchmark should error")
 	}
-	text := FormatFigure1(series)
+	text := report.FormatFigure1(series)
 	if !strings.Contains(text, "backend") {
 		t.Errorf("figure 1 formatting:\n%s", text)
 	}
@@ -183,7 +184,7 @@ func TestFigure2Extraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	series, err := Figure2(res, 3, "900.quick_r")
+	series, err := report.Figure2(res, 3, "900.quick_r")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,18 +202,18 @@ func TestFigure2Extraction(t *testing.T) {
 			t.Errorf("workload %s coverage sums to %v", cs.Workloads[i], sum)
 		}
 	}
-	text := FormatFigure2(series)
+	text := report.FormatFigure2(series)
 	if !strings.Contains(text, "alpha") {
 		t.Errorf("figure 2 formatting:\n%s", text)
 	}
 }
 
 func TestKindBreakdown(t *testing.T) {
-	ms := []Measurement{
+	ms := []report.Measurement{
 		{Kind: core.KindTrain}, {Kind: core.KindRefrate},
 		{Kind: core.KindAlberta}, {Kind: core.KindAlberta},
 	}
-	bd := KindBreakdown(ms)
+	bd := report.KindBreakdown(ms)
 	if bd[core.KindAlberta] != 2 || bd[core.KindTrain] != 1 {
 		t.Errorf("breakdown = %v", bd)
 	}
@@ -241,7 +242,7 @@ func TestBenchmarkReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := BenchmarkReport(b.Name(), ms)
+	text := report.BenchmarkReport(b.Name(), ms)
 	for _, want := range []string{
 		"Benchmark report: 900.quick_r",
 		"Execution time per workload",
@@ -260,13 +261,13 @@ func TestBenchmarkReport(t *testing.T) {
 }
 
 func TestKernelRepresentativeness(t *testing.T) {
-	mk := func(w string, kind core.Kind, f, b float64) Measurement {
-		return Measurement{
+	mk := func(w string, kind core.Kind, f, b float64) report.Measurement {
+		return report.Measurement{
 			Workload: w, Kind: kind,
 			TopDown: stats.TopDown{FrontEnd: f, BackEnd: b, BadSpec: 0.1, Retiring: 0.9 - f - b - 0.1 + 0.1},
 		}
 	}
-	res := SuiteResults{
+	res := report.Results{
 		// homogeneous: every workload close to refrate.
 		"901.same_r": {
 			mk("refrate", core.KindRefrate, 0.10, 0.40),
@@ -280,7 +281,7 @@ func TestKernelRepresentativeness(t *testing.T) {
 			mk("alberta.far", core.KindAlberta, 0.40, 0.10),
 		},
 	}
-	rows, err := KernelRepresentativeness(res)
+	rows, err := report.Kernels(res, res.SortedBenchmarks())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,15 +296,15 @@ func TestKernelRepresentativeness(t *testing.T) {
 	if rows[0].MaxDistance <= rows[1].MaxDistance {
 		t.Error("heterogeneous benchmark should have larger max distance")
 	}
-	text := FormatKernelRows(rows)
+	text := report.FormatKernelRows(rows)
 	if !strings.Contains(text, "902.vary_r") || !strings.Contains(text, "max-dist") {
 		t.Errorf("format:\n%s", text)
 	}
 }
 
 func TestKernelRepresentativenessRequiresRefrate(t *testing.T) {
-	res := SuiteResults{"903.noref_r": {{Workload: "train", Kind: core.KindTrain}}}
-	if _, err := KernelRepresentativeness(res); err == nil {
+	res := report.Results{"903.noref_r": {{Workload: "train", Kind: core.KindTrain}}}
+	if _, err := report.Kernels(res, res.SortedBenchmarks()); err == nil {
 		t.Error("missing refrate should error")
 	}
 }

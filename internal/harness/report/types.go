@@ -44,6 +44,31 @@ func (r Results) SortedBenchmarks() []string {
 	return names
 }
 
+// Assemble groups per-cell measurements into Results. It is the
+// cell-addressable build path: a coordinator that resolves the cells of a
+// job independently — from a cache, a local run, or a remote worker —
+// passes them here in plan (inventory) order and gets back exactly the
+// Results a monolithic Runner.Run would have produced, because each
+// benchmark's slice preserves the input order and Results' map form
+// carries no order of its own (consumers sort by name).
+func Assemble(ms []Measurement) Results {
+	r := Results{}
+	for _, m := range ms {
+		r[m.Benchmark] = append(r[m.Benchmark], m)
+	}
+	return r
+}
+
+// KindBreakdown counts workloads by kind for a benchmark's measurements
+// (used by inventory reporting).
+func KindBreakdown(ms []Measurement) map[core.Kind]int {
+	out := map[core.Kind]int{}
+	for _, m := range ms {
+		out[m.Kind]++
+	}
+	return out
+}
+
 // refrateOf finds the refrate measurement in a benchmark's list.
 func refrateOf(ms []Measurement) (Measurement, bool) {
 	for _, m := range ms {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/harness/report"
 	"repro/internal/perf"
 )
 
@@ -108,7 +109,7 @@ func (e *RunError) Unwrap() []error {
 // worker pool. Each worker owns one perf.Profiler and recycles it across
 // its cells via Reset; no profiler state flows between measurements, so
 // results are bit-identical across worker counts except for WallSeconds.
-// The returned SuiteResults always follow suite inventory order regardless
+// The returned report.Results always follow suite inventory order regardless
 // of scheduling.
 type Runner struct {
 	suite *core.Suite
@@ -132,7 +133,7 @@ type unit struct {
 // cancels the rest and is returned alone; otherwise all failures are
 // collected into a *RunError and returned together with the successful
 // partial results.
-func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
+func (r *Runner) Run(ctx context.Context) (report.Results, error) {
 	// Normalize once; workers below read the normalized copy only.
 	opts, err := r.opts.Normalize()
 	if err != nil {
@@ -161,7 +162,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 
 	// Each unit writes only its own slot, so the slices need no lock; mu
 	// guards the shared progress counter and serializes Progress calls.
-	ms := make([]Measurement, len(units))
+	ms := make([]report.Measurement, len(units))
 	oks := make([]bool, len(units))
 	errs := make([]*WorkloadError, len(units))
 	var (
@@ -249,7 +250,7 @@ func (r *Runner) Run(ctx context.Context) (SuiteResults, error) {
 	// Assemble in inventory order, skipping failed slots. Units that were
 	// never run (drained after a FailFast cancellation) carry neither a
 	// measurement nor an error and are simply absent.
-	res := SuiteResults{}
+	res := report.Results{}
 	var failures []*WorkloadError
 	for idx, u := range units {
 		switch {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness/report"
 	"repro/internal/perf"
 )
 
@@ -52,10 +53,10 @@ func (s *slowBench) Run(w core.Workload, p *perf.Profiler) (core.Result, error) 
 }
 
 // stripWall zeroes the one field allowed to differ across worker counts.
-func stripWall(res SuiteResults) SuiteResults {
-	out := SuiteResults{}
+func stripWall(res report.Results) report.Results {
+	out := report.Results{}
 	for name, ms := range res {
-		cp := make([]Measurement, len(ms))
+		cp := make([]report.Measurement, len(ms))
 		copy(cp, ms)
 		for i := range cp {
 			cp[i].WallSeconds = 0

@@ -292,11 +292,11 @@ func TestRepoIsClean(t *testing.T) {
 // Example output shape kept in sync with the README's sample run.
 func ExampleDiagnostic_String() {
 	d := Diagnostic{
-		File:    "internal/harness/reports.go",
-		Line:    278,
+		File:    "internal/harness/report/figures.go",
+		Line:    78,
 		RuleID:  "no-map-order-dependence",
 		Message: "float others accumulated in map iteration order; the rounded sum differs run to run",
 	}
 	fmt.Println(d)
-	// Output: internal/harness/reports.go:278: no-map-order-dependence: float others accumulated in map iteration order; the rounded sum differs run to run
+	// Output: internal/harness/report/figures.go:78: no-map-order-dependence: float others accumulated in map iteration order; the rounded sum differs run to run
 }

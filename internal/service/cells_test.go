@@ -1,0 +1,444 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness/report"
+)
+
+// waitTerminal polls a job to a terminal state.
+func waitTerminal(t *testing.T, s *Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, st := doJSON(t, s.Handler(), "GET", "/v1/jobs/"+id, "")
+		switch st["state"] {
+		case stateDone, stateFailed, stateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func cellCounts(t *testing.T, st map[string]any) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for k, v := range st["cells"].(map[string]any) {
+		out[k] = v.(float64)
+	}
+	return out
+}
+
+// TestSingleFlight submits N identical jobs that all block on the same
+// gated benchmark: every cell must execute exactly once, with the other
+// jobs deduplicating onto the in-flight executions, and all N results
+// must be byte-identical. Run under -race this also exercises the
+// store's leader/waiter handoff.
+func TestSingleFlight(t *testing.T) {
+	bench := &countBench{name: "990.count_r", gate: make(chan struct{})}
+	suite, err := core.NewSuite(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{Suite: suite, JobWorkers: 4, RunWorkers: 4, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+
+	body := `{"benchmarks": ["990.count_r"], "config": {"reps": 1}, "sections": ["table2"]}`
+	const jobs = 4
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		rec, doc := doJSON(t, s.Handler(), "POST", "/v1/jobs", body)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d\n%s", i, rec.Code, rec.Body.String())
+		}
+		ids = append(ids, doc["id"].(string))
+	}
+	// Hold the gate until every flight is in position: 3 leaders (one per
+	// cell, blocked inside the benchmark) and 9 waiters (the other three
+	// jobs' cells, blocked on the in-flight entries). Nothing can resolve
+	// while the gate is closed, so the counters must get there.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s.cells.stats()
+		if st.Misses == 3 && st.InflightWaits == 9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flights never lined up: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(bench.gate)
+
+	var local, deduped, cached float64
+	var results []string
+	for _, id := range ids {
+		st := waitTerminal(t, s, id)
+		if st["state"] != stateDone {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+		cc := cellCounts(t, st)
+		local += cc["local"]
+		deduped += cc["deduped"]
+		cached += cc["cached"]
+		rec, _ := doJSON(t, s.Handler(), "GET", "/v1/jobs/"+id+"/result", "")
+		results = append(results, rec.Body.String())
+	}
+
+	// The heart of single-flight: 4 jobs × 3 cells, exactly 3 executions.
+	if got := bench.runs.Load(); got != 3 {
+		t.Errorf("benchmark ran %d times, want 3 (one per cell)", got)
+	}
+	if local != 3 {
+		t.Errorf("local executions across jobs = %v, want 3", local)
+	}
+	if local+deduped+cached != float64(jobs*3) {
+		t.Errorf("cell accounting: local %v + deduped %v + cached %v != %d", local, deduped, cached, jobs*3)
+	}
+	for i, r := range results[1:] {
+		if r != results[0] {
+			t.Errorf("result %d differs from result 0", i+1)
+		}
+	}
+
+	var m Metrics
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cells.LocalRuns != 3 || m.Cells.Misses != 3 {
+		t.Errorf("cells = %+v", m.Cells)
+	}
+	if m.Cells.InflightWaits == 0 {
+		t.Errorf("no inflight waits recorded across %d overlapping jobs: %+v", jobs, m.Cells)
+	}
+}
+
+// TestCellDedupAcrossJobs is the acceptance scenario: job {A,B} then job
+// {B,C} runs B's cells exactly once — the second job reads them from the
+// cell cache and executes only C.
+func TestCellDedupAcrossJobs(t *testing.T) {
+	a := &countBench{name: "901.a_r"}
+	b := &countBench{name: "902.b_r"}
+	c := &countBench{name: "903.c_r"}
+	s := newTestServer(t, a, b, c)
+
+	_, st1 := submitAndWait(t, s, `{"benchmarks": ["901.a_r", "902.b_r"], "config": {"reps": 1}}`)
+	if st1["state"] != stateDone {
+		t.Fatalf("job 1: %+v", st1)
+	}
+	if a.runs.Load() != 3 || b.runs.Load() != 3 {
+		t.Fatalf("job 1 runs: a=%d b=%d, want 3 each", a.runs.Load(), b.runs.Load())
+	}
+
+	_, st2 := submitAndWait(t, s, `{"benchmarks": ["902.b_r", "903.c_r"], "config": {"reps": 1}}`)
+	if st2["state"] != stateDone {
+		t.Fatalf("job 2: %+v", st2)
+	}
+	if got := b.runs.Load(); got != 3 {
+		t.Errorf("B re-executed: %d runs, want 3", got)
+	}
+	if got := c.runs.Load(); got != 3 {
+		t.Errorf("C ran %d times, want 3", got)
+	}
+	cc := cellCounts(t, st2)
+	if cc["cached"] != 3 || cc["local"] != 3 {
+		t.Errorf("job 2 cells = %v, want 3 cached (B) + 3 local (C)", cc)
+	}
+}
+
+// TestPresentationOnlyChangeIsCacheHit pins the measurement/presentation
+// split: a repeat request differing only in sections and figure2_top_n —
+// and even one widening the matrix with include_test — reuses every
+// already-measured cell.
+func TestPresentationOnlyChangeIsCacheHit(t *testing.T) {
+	bench := &countBench{name: "990.count_r"}
+	s := newTestServer(t, bench)
+
+	_, st := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1}, "sections": ["table2"]}`)
+	if st["state"] != stateDone {
+		t.Fatalf("first job: %+v", st)
+	}
+	runs := bench.runs.Load()
+
+	// Same measurements, different presentation: born done, zero runs.
+	rec, st2 := doJSON(t, s.Handler(), "POST", "/v1/jobs",
+		`{"benchmarks": ["990.count_r"], "config": {"reps": 1}, "sections": ["kernels", "figure1"], "figure2_top_n": 3}`)
+	if rec.Code != http.StatusOK || st2["state"] != stateDone || st2["cached"] != true {
+		t.Fatalf("section-only change missed the cache: %d %+v", rec.Code, st2)
+	}
+	if got := bench.runs.Load(); got != runs {
+		t.Errorf("section-only change executed benchmarks: runs %d → %d", runs, got)
+	}
+	recR, _ := doJSON(t, s.Handler(), "GET", "/v1/jobs/"+st2["id"].(string)+"/result", "")
+	env, err := report.Decode(recR.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Table2 != nil || env.Kernels == nil || env.Figure1 == nil {
+		t.Errorf("presentation not applied: table2=%v kernels=%v figure1=%v",
+			env.Table2 != nil, env.Kernels != nil, env.Figure1 != nil)
+	}
+
+	// include_test widens the plan by one cell; the three measured cells
+	// are reused and only the test workload executes.
+	_, st3 := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1, "include_test": true}}`)
+	if st3["state"] != stateDone {
+		t.Fatalf("include_test job: %+v", st3)
+	}
+	if got := bench.runs.Load(); got != runs+1 {
+		t.Errorf("include_test ran %d new cells, want 1", got-runs)
+	}
+	cc := cellCounts(t, st3)
+	if cc["cached"] != 3 || cc["local"] != 1 {
+		t.Errorf("include_test cells = %v, want 3 cached + 1 local", cc)
+	}
+}
+
+// normalizeWall blanks the one nondeterministic envelope field so byte
+// comparisons test everything else, exactly as scripts/serve-smoke.sh does.
+var wallRe = regexp.MustCompile(`"wall_seconds": [0-9.eE+-]+`)
+
+func normalizeWall(s string) string {
+	return wallRe.ReplaceAllString(s, `"wall_seconds": 0`)
+}
+
+// twoWorkerCoordinator builds a coordinator backed by two worker daemons,
+// each with its own suite of fresh benchmark instances.
+func twoWorkerCoordinator(t *testing.T) (*Server, []*countBench) {
+	t.Helper()
+	var workerURLs []string
+	var workerBenches []*countBench
+	for i := 0; i < 2; i++ {
+		wb := &countBench{name: "990.count_r"}
+		suite, err := core.NewSuite(wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := NewServer(Config{Suite: suite, WorkerOnly: true, RunWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(ws.Handler())
+		t.Cleanup(ts.Close)
+		workerURLs = append(workerURLs, ts.URL)
+		workerBenches = append(workerBenches, wb)
+	}
+	coordBench := &countBench{name: "990.count_r"}
+	suite, err := core.NewSuite(coordBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewServer(Config{Suite: suite, JobWorkers: 1, RunWorkers: 1, Workers: workerURLs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Drain)
+	return coord, append(workerBenches, coordBench)
+}
+
+// TestCoordinatorWorkerBitIdentity proves the merge-determinism claim:
+// a coordinator sharding cells across two workers produces a report.Suite
+// envelope byte-identical to a single-node run (wall_seconds normalized),
+// and executes nothing locally while the fleet is healthy.
+func TestCoordinatorWorkerBitIdentity(t *testing.T) {
+	body := `{"benchmarks": ["990.count_r"], "config": {"reps": 2}, "sections": ["measurements", "table2", "kernels"]}`
+
+	single := newTestServer(t, &countBench{name: "990.count_r"})
+	idS, stS := submitAndWait(t, single, body)
+	if stS["state"] != stateDone {
+		t.Fatalf("single-node job: %+v", stS)
+	}
+	recS, _ := doJSON(t, single.Handler(), "GET", "/v1/jobs/"+idS+"/result", "")
+
+	coord, benches := twoWorkerCoordinator(t)
+	idC, stC := submitAndWait(t, coord, body)
+	if stC["state"] != stateDone {
+		t.Fatalf("coordinator job: %+v", stC)
+	}
+	cc := cellCounts(t, stC)
+	if cc["remote"] != 3 || cc["local"] != 0 {
+		t.Errorf("coordinator cells = %v, want 3 remote + 0 local", cc)
+	}
+	coordBench := benches[len(benches)-1]
+	if coordBench.runs.Load() != 0 {
+		t.Errorf("coordinator executed %d cells locally with a healthy fleet", coordBench.runs.Load())
+	}
+	if ran := benches[0].runs.Load() + benches[1].runs.Load(); ran != 6 {
+		t.Errorf("workers ran %d times, want 6 (3 cells × 2 reps)", ran)
+	}
+
+	recC, _ := doJSON(t, coord.Handler(), "GET", "/v1/jobs/"+idC+"/result", "")
+	if normalizeWall(recC.Body.String()) != normalizeWall(recS.Body.String()) {
+		t.Error("coordinator envelope differs from single-node envelope (wall_seconds normalized)")
+	}
+}
+
+// TestWorkerFailover: with every worker dead the coordinator falls back
+// to local execution per cell; with one dead and one live worker the
+// retry finds the live one and no cell runs locally.
+func TestWorkerFailover(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from now on
+
+	t.Run("all dead → local", func(t *testing.T) {
+		bench := &countBench{name: "990.count_r"}
+		suite, err := core.NewSuite(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServer(Config{Suite: suite, Workers: []string{dead.URL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Drain)
+		_, st := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`)
+		if st["state"] != stateDone {
+			t.Fatalf("job: %+v", st)
+		}
+		if cc := cellCounts(t, st); cc["local"] != 3 || cc["remote"] != 0 {
+			t.Errorf("cells = %v, want 3 local", cc)
+		}
+		if bench.runs.Load() != 3 {
+			t.Errorf("local fallback ran %d times, want 3", bench.runs.Load())
+		}
+		if stats := s.cells.stats(); stats.RemoteFailovers != 3 || stats.RemoteErrors == 0 {
+			t.Errorf("cells = %+v, want 3 failovers", stats)
+		}
+	})
+
+	t.Run("one dead → retry next", func(t *testing.T) {
+		wb := &countBench{name: "990.count_r"}
+		wsuite, err := core.NewSuite(wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worker, err := NewServer(Config{Suite: wsuite, WorkerOnly: true, RunWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := httptest.NewServer(worker.Handler())
+		t.Cleanup(live.Close)
+
+		bench := &countBench{name: "990.count_r"}
+		suite, err := core.NewSuite(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServer(Config{Suite: suite, Workers: []string{dead.URL, live.URL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Drain)
+		_, st := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`)
+		if st["state"] != stateDone {
+			t.Fatalf("job: %+v", st)
+		}
+		if cc := cellCounts(t, st); cc["remote"] != 3 || cc["local"] != 0 {
+			t.Errorf("cells = %v, want 3 remote via the live worker", cc)
+		}
+		if bench.runs.Load() != 0 {
+			t.Errorf("coordinator ran %d cells locally despite a live worker", bench.runs.Load())
+		}
+		if wb.runs.Load() != 3 {
+			t.Errorf("live worker ran %d times, want 3", wb.runs.Load())
+		}
+	})
+}
+
+// TestCellExecuteEndpoint exercises the worker wire protocol directly.
+func TestCellExecuteEndpoint(t *testing.T) {
+	s := newTestServer(t)
+
+	rec, doc := doJSON(t, s.Handler(), "POST", "/v1/cells:execute",
+		`{"benchmark": "990.count_r", "workload": "train", "config": {"reps": 1}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cells:execute = %d\n%s", rec.Code, rec.Body.String())
+	}
+	if doc["schema_version"] != float64(report.SchemaVersion) {
+		t.Errorf("schema_version = %v", doc["schema_version"])
+	}
+	m := doc["measurement"].(map[string]any)
+	if m["benchmark"] != "990.count_r" || m["workload"] != "train" || m["checksum"] == float64(0) {
+		t.Errorf("measurement = %+v", m)
+	}
+
+	// Repeat: single-flight store serves the cached cell.
+	doJSON(t, s.Handler(), "POST", "/v1/cells:execute",
+		`{"benchmark": "990.count_r", "workload": "train", "config": {"reps": 1}}`)
+	if st := s.cells.stats(); st.Hits != 1 || st.LocalRuns != 1 {
+		t.Errorf("cells = %+v, want 1 hit and 1 local run", st)
+	}
+
+	for name, body := range map[string]string{
+		"unknown benchmark": `{"benchmark": "999.ghost_r", "workload": "train", "config": {}}`,
+		"unknown workload":  `{"benchmark": "990.count_r", "workload": "ghost", "config": {}}`,
+		"negative reps":     `{"benchmark": "990.count_r", "workload": "train", "config": {"reps": -1}}`,
+		"bad json":          `{`,
+	} {
+		if rec, _ := doJSON(t, s.Handler(), "POST", "/v1/cells:execute", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// TestCacheEndpoints covers GET /v1/cache introspection and DELETE
+// /v1/cache flush-then-re-execute.
+func TestCacheEndpoints(t *testing.T) {
+	bench := &countBench{name: "990.count_r"}
+	s := newTestServer(t, bench)
+	body := `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`
+	if _, st := submitAndWait(t, s, body); st["state"] != stateDone {
+		t.Fatalf("job: %+v", st)
+	}
+
+	rec, doc := doJSON(t, s.Handler(), "GET", "/v1/cache", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/cache = %d", rec.Code)
+	}
+	cache := doc["cache"].(map[string]any)
+	if cache["cells"] != float64(3) || cache["bytes"] == float64(0) {
+		t.Errorf("cache = %+v", cache)
+	}
+	per := doc["per_benchmark"].([]any)
+	if len(per) != 1 {
+		t.Fatalf("per_benchmark = %+v", per)
+	}
+	if row := per[0].(map[string]any); row["benchmark"] != "990.count_r" || row["cells"] != float64(3) {
+		t.Errorf("per_benchmark row = %+v", row)
+	}
+
+	rec, doc = doJSON(t, s.Handler(), "DELETE", "/v1/cache", "")
+	if rec.Code != http.StatusOK || doc["flushed"] != float64(3) {
+		t.Fatalf("DELETE /v1/cache = %d %+v", rec.Code, doc)
+	}
+	_, doc = doJSON(t, s.Handler(), "GET", "/v1/cache", "")
+	if cache := doc["cache"].(map[string]any); cache["cells"] != float64(0) || cache["bytes"] != float64(0) {
+		t.Errorf("cache after flush = %+v", cache)
+	}
+
+	// A repeat job after the flush re-executes every cell.
+	if rec, _ := doJSON(t, s.Handler(), "POST", "/v1/jobs", body); rec.Code != http.StatusAccepted {
+		t.Fatalf("post-flush submit = %d, want 202", rec.Code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for bench.runs.Load() != 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("post-flush job ran %d cells, want 3 more", bench.runs.Load()-3)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -4,13 +4,12 @@ import (
 	"context"
 	"sync"
 
-	"repro/internal/harness"
 	"repro/internal/harness/report"
 )
 
 // Job lifecycle states. queued → running → done|failed|canceled; a queued
 // job may also go straight to canceled (DELETE before a worker picks it
-// up) or be born done (cache hit at submit time).
+// up) or be born done (every cell cached at submit time).
 const (
 	stateQueued   = "queued"
 	stateRunning  = "running"
@@ -29,6 +28,16 @@ type JobRequest struct {
 	Figure2TopN int              `json:"figure2_top_n,omitempty"`
 }
 
+// CellBreakdown reports how a job's matrix cells were satisfied: read
+// from the cache, deduplicated onto another job's in-flight execution,
+// executed locally, or executed on a remote worker.
+type CellBreakdown struct {
+	Cached  int `json:"cached"`
+	Deduped int `json:"deduped"`
+	Local   int `json:"local"`
+	Remote  int `json:"remote"`
+}
+
 // JobStatus is the job resource returned by the /v1/jobs handlers.
 type JobStatus struct {
 	SchemaVersion int              `json:"schema_version"`
@@ -38,22 +47,27 @@ type JobStatus struct {
 	Sections      []string         `json:"sections"`
 	Config        report.RunConfig `json:"config"`
 	Figure2TopN   int              `json:"figure2_top_n"`
-	// Cached reports whether the result came from the cache without
-	// executing any benchmark.
-	Cached    bool   `json:"cached"`
-	Completed int    `json:"completed"`
-	Total     int    `json:"total"`
-	Error     string `json:"error,omitempty"`
+	// Cached reports whether every cell came from the cache without
+	// executing or waiting on any benchmark.
+	Cached bool `json:"cached"`
+	// Cells breaks down completed cells by how they were satisfied.
+	Cells     CellBreakdown `json:"cells"`
+	Completed int           `json:"completed"`
+	Total     int           `json:"total"`
+	Error     string        `json:"error,omitempty"`
 }
 
 // Event is one SSE progress frame. Terminal frames (the `done` SSE event)
-// carry the final state; progress frames mirror the harness Event fields,
-// so Completed is monotone non-decreasing and the last frame of a full
-// run reports Completed == Total.
+// carry the final state; progress frames are per cell — a start when this
+// job's flight begins executing a cold cell, a done when the cell
+// resolves (with cached=true when it was read from the cache) — so
+// Completed is monotone non-decreasing and the last frame of a full run
+// reports Completed == Total.
 type Event struct {
 	Kind      string `json:"kind"` // start | done | error | terminal
 	Benchmark string `json:"benchmark,omitempty"`
 	Workload  string `json:"workload,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
 	State     string `json:"state,omitempty"` // terminal frames only
 	Error     string `json:"error,omitempty"`
 	Completed int    `json:"completed"`
@@ -71,6 +85,7 @@ type job struct {
 	mu        sync.Mutex
 	state     string
 	cached    bool
+	counts    [4]int // indexed by cellOutcome
 	completed int
 	errMsg    string
 	result    []byte
@@ -97,9 +112,15 @@ func (j *job) status() JobStatus {
 		Config:        j.req.cfg,
 		Figure2TopN:   j.req.topN,
 		Cached:        j.cached,
-		Completed:     j.completed,
-		Total:         j.req.total,
-		Error:         j.errMsg,
+		Cells: CellBreakdown{
+			Cached:  j.counts[cellCached],
+			Deduped: j.counts[cellDeduped],
+			Local:   j.counts[cellLocal],
+			Remote:  j.counts[cellRemote],
+		},
+		Completed: j.completed,
+		Total:     j.req.total,
+		Error:     j.errMsg,
 	}
 }
 
@@ -123,8 +144,8 @@ func (j *job) begin() bool {
 
 // requestCancel cancels a queued or running job; false means the job was
 // already terminal. A queued job is canceled immediately; a running one
-// keeps state "running" until the harness observes the context (between
-// measurements) and the worker marks it canceled.
+// keeps state "running" until its cell resolutions observe the context
+// and the worker marks it canceled.
 func (j *job) requestCancel() bool {
 	j.mu.Lock()
 	switch j.state {
@@ -144,42 +165,77 @@ func (j *job) requestCancel() bool {
 	}
 }
 
-// progress is the harness Progress callback: it mirrors the harness event
-// into the replay log and live subscribers. The harness serializes
-// Progress calls, so events append in contract order (Completed monotone).
-func (j *job) progress(e harness.Event) {
-	ev := Event{
-		Kind:      e.Kind.String(),
-		Benchmark: e.Benchmark,
-		Workload:  e.Workload,
-		Completed: e.Completed,
-		Total:     e.Total,
-	}
-	if e.Err != nil {
-		ev.Error = e.Err.Error()
-	}
+// cellStarted publishes a start event: this job's flight is about to
+// execute a cold cell. Cells read from the cache or deduplicated onto
+// another flight publish no start — only a done.
+func (j *job) cellStarted(c plannedCell) {
 	j.mu.Lock()
-	j.completed = e.Completed
-	j.publishLocked(ev)
+	j.publishLocked(Event{
+		Kind:      "start",
+		Benchmark: c.bench.Name(),
+		Workload:  c.w.WorkloadName(),
+		Completed: j.completed,
+		Total:     j.req.total,
+	})
 	j.mu.Unlock()
+}
+
+// cellDone records one resolved cell and publishes its done event.
+// Completed increments under the job lock, so it is monotone across
+// concurrent cell resolutions.
+func (j *job) cellDone(c plannedCell, out cellOutcome) {
+	j.mu.Lock()
+	j.completed++
+	j.counts[out]++
+	j.publishLocked(Event{
+		Kind:      "done",
+		Benchmark: c.bench.Name(),
+		Workload:  c.w.WorkloadName(),
+		Cached:    out == cellCached,
+		Completed: j.completed,
+		Total:     j.req.total,
+	})
+	j.mu.Unlock()
+}
+
+// cellFailed publishes an error event for the cell that failed the job.
+// Cells aborted by the job's own cancellation stay silent — the terminal
+// frame carries the canceled state.
+func (j *job) cellFailed(c plannedCell, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ctx.Err() != nil {
+		return
+	}
+	j.publishLocked(Event{
+		Kind:      "error",
+		Benchmark: c.bench.Name(),
+		Workload:  c.w.WorkloadName(),
+		Error:     err.Error(),
+		Completed: j.completed,
+		Total:     j.req.total,
+	})
 }
 
 func (j *job) finish(result []byte) {
 	j.mu.Lock()
 	j.state = stateDone
 	j.result = result
+	j.cached = j.counts[cellCached] == j.req.total
 	j.completed = j.req.total
 	j.publishTerminalLocked()
 	j.mu.Unlock()
 }
 
-// finishFromCache completes a job at birth from cached envelope bytes:
-// state done, zero measurements executed, terminal event published so SSE
-// subscribers see an immediate end of stream.
+// finishFromCache completes a job at birth: every cell was already
+// resolved at submit time, the envelope was assembled synchronously, zero
+// measurements executed. The terminal event is published immediately so
+// SSE subscribers see an instant end of stream.
 func (j *job) finishFromCache(result []byte) {
 	j.mu.Lock()
 	j.state = stateDone
 	j.cached = true
+	j.counts[cellCached] = j.req.total
 	j.result = result
 	j.completed = j.req.total
 	j.publishTerminalLocked()
@@ -223,9 +279,9 @@ func (j *job) publishTerminalLocked() {
 
 // subscribe returns a channel replaying every past event and delivering
 // every future one; the channel closes after the terminal event. The
-// capacity covers the maximum event budget of a run — a start and a
-// terminal-per-cell event for each matrix cell plus the job terminal —
-// so the publisher never blocks on a slow consumer.
+// capacity covers the maximum event budget of a run — a start and a done
+// event for each cell plus the job terminal — so the publisher never
+// blocks on a slow consumer.
 func (j *job) subscribe() (<-chan Event, func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

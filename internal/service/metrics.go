@@ -8,15 +8,16 @@ import (
 	"repro/internal/harness/report"
 )
 
-// Metrics is the GET /metrics document: job counts by state, cache
-// effectiveness, per-benchmark measured wall seconds, and the process's
-// allocation deltas since the server was constructed. All timing facts
-// come from the measurements themselves (WallSeconds) — the service never
-// reads the wall clock.
+// Metrics is the GET /metrics document: job counts by state, cell-cache
+// effectiveness (hit/miss/inflight/remote counters — see CellCacheStats),
+// per-benchmark measured wall seconds, and the process's allocation
+// deltas since the server was constructed. All timing facts come from the
+// measurements themselves (WallSeconds) — the service never reads the
+// wall clock.
 type Metrics struct {
 	SchemaVersion int                `json:"schema_version"`
 	Jobs          JobCounts          `json:"jobs"`
-	Cache         CacheStats         `json:"cache"`
+	Cells         CellCacheStats     `json:"cells"`
 	PerBenchmark  []BenchmarkMetrics `json:"per_benchmark"`
 	Mem           MemStats           `json:"mem"`
 }
@@ -30,15 +31,8 @@ type JobCounts struct {
 	Canceled int `json:"canceled"`
 }
 
-// CacheStats reports result-cache effectiveness.
-type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
-}
-
 // BenchmarkMetrics accumulates one benchmark's measured cost across every
-// completed (non-cached) job.
+// executed cell (cache hits and dedup waits are not re-counted).
 type BenchmarkMetrics struct {
 	Benchmark    string  `json:"benchmark"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -76,7 +70,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	m.Cache.Hits, m.Cache.Misses, m.Cache.Entries = s.cache.stats()
+	m.Cells = s.cells.stats()
 
 	s.statsMu.Lock()
 	names := make([]string, 0, len(s.benchWall))

@@ -6,14 +6,22 @@
 // are interchangeable.
 //
 // Architecture: POST /v1/jobs enqueues a characterization request onto a
-// bounded queue drained by a fixed pool of job workers; each job runs a
-// harness.Runner (with its own measurement worker pool) under a
-// per-job context so it can be canceled. Results are stored in a
-// content-keyed cache — see cache.go for the key derivation — and a
-// repeated request is answered from the cache byte-identically without
-// executing a single benchmark. Per-job progress streams over SSE built
-// on the harness Event contract (Completed is monotone, the final
-// terminal event reports Completed == Total).
+// bounded queue drained by a fixed pool of job workers. A job is planned
+// into cells — one (benchmark × workload × normalized config) point of
+// the matrix — and each cell resolves independently through the
+// cell-granular result cache (cache.go): cached cells are read back,
+// cold cells execute under single-flight so concurrent jobs needing the
+// same cell share one execution, and when a worker fleet is configured
+// (Config.Workers) cold cells are sharded across it over HTTP with
+// failover to local execution (exec.go). The envelope is then assembled
+// from the job's cells via report.Assemble — byte-identical to a
+// monolithic run, however the cells were obtained. Per-job progress
+// streams over SSE (Completed is monotone, the final terminal event
+// reports Completed == Total).
+//
+// The same server is also the worker side of the protocol: POST
+// /v1/cells:execute runs one cell through the same store, so a worker
+// deduplicates and caches exactly like a coordinator.
 //
 // The package deliberately never reads the wall clock: timing facts come
 // from the measurements' WallSeconds fields and allocation counters from
@@ -22,6 +30,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,21 +50,41 @@ type Config struct {
 	Suite *core.Suite
 	// JobWorkers bounds how many jobs run concurrently (default 1).
 	JobWorkers int
-	// RunWorkers is the harness measurement worker pool size per job
-	// (default 1; 0 is normalized to 1, not GOMAXPROCS, so a daemon's
-	// default footprint stays small and predictable).
+	// RunWorkers bounds concurrent local cell executions across the whole
+	// server — jobs and /v1/cells:execute requests together (default 1,
+	// not GOMAXPROCS, so a daemon's default footprint stays small and
+	// predictable).
 	RunWorkers int
 	// QueueDepth bounds the number of queued-but-not-running jobs
 	// (default 16). A full queue answers 503.
 	QueueDepth int
+	// Workers are base URLs of worker daemons (e.g. "http://host:8081").
+	// When non-empty the server runs as a coordinator: cold cells are
+	// sharded across the fleet by a stable hash of the cell key, with one
+	// retry on the next worker and failover to local execution.
+	Workers []string
+	// RemoteFanout bounds concurrent in-flight remote cell executions
+	// (default 2 × len(Workers)).
+	RemoteFanout int
+	// WorkerOnly serves only the worker surface — /v1/cells:execute, the
+	// cache resources, /metrics, /healthz — and starts no job workers.
+	WorkerOnly bool
+	// Client performs worker HTTP calls (default a plain http.Client).
+	Client *http.Client
 }
 
 // Server is the albertad HTTP service. Create with NewServer, serve its
 // Handler, and call Drain before exit to finish in-flight jobs.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *resultCache
+	cfg    Config
+	mux    *http.ServeMux
+	cells  *cellStore
+	client *http.Client
+
+	// localSem bounds concurrent local cell executions server-wide;
+	// remoteSem bounds in-flight remote executions when coordinating.
+	localSem  chan struct{}
+	remoteSem chan struct{}
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -71,7 +100,7 @@ type Server struct {
 	memBase runtime.MemStats
 
 	// benchWall / benchCells accumulate per-benchmark measured wall
-	// seconds and measurement counts across completed jobs.
+	// seconds and executed-cell counts (cache hits are not re-counted).
 	statsMu    sync.Mutex
 	benchWall  map[string]float64
 	benchCells map[string]int
@@ -91,28 +120,45 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.RemoteFanout <= 0 {
+		cfg.RemoteFanout = 2 * len(cfg.Workers)
+	}
+	if cfg.RemoteFanout <= 0 {
+		cfg.RemoteFanout = 1 // no fleet: the semaphore is never used
+	}
 	s := &Server{
 		cfg:        cfg,
-		cache:      newResultCache(),
+		cells:      newCellStore(),
+		client:     cfg.Client,
+		localSem:   make(chan struct{}, cfg.RunWorkers),
+		remoteSem:  make(chan struct{}, cfg.RemoteFanout),
 		jobs:       map[string]*job{},
 		queue:      make(chan *job, cfg.QueueDepth),
 		benchWall:  map[string]float64{},
 		benchCells: map[string]int{},
 	}
+	if s.client == nil {
+		s.client = &http.Client{}
+	}
 	runtime.ReadMemStats(&s.memBase)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.wg.Add(cfg.JobWorkers)
-	for i := 0; i < cfg.JobWorkers; i++ {
-		go s.worker()
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheGet)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheFlush)
+	s.mux.HandleFunc("POST /v1/cells:execute", s.handleCellExecute)
+	if !cfg.WorkerOnly {
+		s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+		s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		s.wg.Add(cfg.JobWorkers)
+		for i := 0; i < cfg.JobWorkers; i++ {
+			go s.worker()
+		}
 	}
 	return s, nil
 }
@@ -122,7 +168,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops accepting new jobs (POST answers 503) and blocks until
 // every queued and running job reaches a terminal state. Safe to call
-// once; used for graceful SIGTERM shutdown.
+// once; used for graceful SIGTERM shutdown. Worker-only servers drain
+// trivially — /v1/cells:execute rides request contexts, not the queue.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	already := s.draining
@@ -171,6 +218,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCacheGet is GET /v1/cache: operator introspection of the cell
+// store — counts, bytes, hit ratio, and the per-benchmark breakdown.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": report.SchemaVersion,
+		"cache":          s.cells.stats(),
+		"per_benchmark":  s.cells.breakdown(),
+	})
+}
+
+// handleCacheFlush is DELETE /v1/cache: drop every resolved cell (cells
+// currently executing are untouched) and report how many were flushed.
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": report.SchemaVersion,
+		"flushed":        s.cells.flush(),
+	})
+}
+
 // benchmarkInfo is one row of GET /v1/benchmarks.
 type benchmarkInfo struct {
 	Name      string         `json:"name"`
@@ -203,8 +269,11 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSubmit is POST /v1/jobs: validate, answer cache hits immediately
-// (200, state done), otherwise enqueue (202) unless draining or full (503).
+// handleSubmit is POST /v1/jobs: validate and plan into cells. A job
+// whose every cell is already resolved is born done — the envelope is
+// assembled synchronously from the cache and answered 200 without
+// touching the queue. Otherwise enqueue (202) unless draining or full
+// (503).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -228,12 +297,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	j := newJob(fmt.Sprintf("job-%d", s.nextID), nr)
 
-	if data, ok := s.cache.get(nr.key); ok {
-		// Cache hit: the job is born done, no benchmark executes.
+	if ms, ok := s.cells.allResolved(nr.cellKeys(), true); ok {
+		// Every cell is cached: the job is born done, nothing executes.
+		// A request differing only in presentation (sections, top-N)
+		// from a completed one lands here by construction — presentation
+		// is not part of cell identity.
+		env, err := buildEnvelope(nr, ms)
+		if err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.mu.Unlock()
-		j.finishFromCache(data)
+		j.finishFromCache(env)
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
@@ -303,8 +382,8 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s, result not available", j.id, st.State)
 		return
 	}
-	// The cached envelope bytes are served verbatim — bit-identical across
-	// cache hits by construction.
+	// Envelope bytes are assembled from cached cells deterministically —
+	// bit-identical across repeats by construction.
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(j.resultBytes())
@@ -318,27 +397,31 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one queued job end to end: run the matrix, build and
-// encode the envelope, populate the cache, account metrics.
+// buildEnvelope assembles a job's envelope bytes from its resolved cells,
+// in plan order. Plan order is sorted-benchmark × workload-inventory
+// order — the same order a monolithic harness.Runner walks — so Assemble
+// reconstructs identical Results and Build/Encode (both deterministic)
+// produce identical bytes whether the cells came from one process, the
+// cache, or a worker fleet.
+func buildEnvelope(nr normalized, ms []report.Measurement) ([]byte, error) {
+	env, err := report.Build(report.Assemble(ms), nr.cfg, report.BuildOptions{
+		Sections:    nr.sections,
+		Figure2TopN: nr.topN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return env.Encode()
+}
+
+// runJob executes one queued job end to end: resolve every cell of the
+// plan (cache / single-flight dedup / remote worker / local execution),
+// assemble and encode the envelope, publish the terminal state.
 func (s *Server) runJob(j *job) {
 	if !j.begin() {
 		return // canceled while queued; terminal event already published
 	}
-
-	sub, err := s.subSuite(j.req.benchmarks)
-	if err != nil {
-		j.fail(err)
-		return
-	}
-	opts := harness.Options{
-		Reps:        j.req.cfg.Reps,
-		Stride:      j.req.cfg.Stride,
-		IncludeTest: j.req.cfg.IncludeTest,
-		Reference:   j.req.cfg.Reference,
-		Workers:     s.cfg.RunWorkers,
-		Progress:    j.progress,
-	}
-	results, err := harness.NewRunner(sub, opts).Run(j.ctx)
+	ms, err := s.resolveJobCells(j)
 	if err != nil {
 		if j.ctx.Err() != nil {
 			j.finishCanceled()
@@ -347,65 +430,93 @@ func (s *Server) runJob(j *job) {
 		}
 		return
 	}
-	env, err := report.Build(results, j.req.cfg, report.BuildOptions{
-		Sections:    j.req.sections,
-		Figure2TopN: j.req.topN,
-	})
+	data, err := buildEnvelope(j.req, ms)
 	if err != nil {
 		j.fail(err)
 		return
 	}
-	data, err := env.Encode()
-	if err != nil {
-		j.fail(err)
-		return
-	}
-	s.cache.put(j.req.key, data)
-	s.accountRun(results)
 	j.finish(data)
 }
 
-// subSuite builds the requested sub-inventory. Names were validated at
-// submit time, so Lookup cannot miss unless the suite changed underneath.
-func (s *Server) subSuite(names []string) (*core.Suite, error) {
-	bs := make([]core.Benchmark, 0, len(names))
-	for _, n := range names {
-		b, ok := s.cfg.Suite.Lookup(n)
-		if !ok {
-			return nil, fmt.Errorf("benchmark %q vanished from the suite", n)
-		}
-		bs = append(bs, b)
+// resolveJobCells resolves every cell of the job's plan concurrently.
+// Parallelism is effectively bounded by the server's execution
+// semaphores (localSem, remoteSem) — the per-cell goroutines themselves
+// only coordinate. The first cell error cancels the rest and fails the
+// job; a canceled job reports context.Canceled.
+func (s *Server) resolveJobCells(j *job) ([]report.Measurement, error) {
+	cells := j.req.cells
+	ms := make([]report.Measurement, len(cells))
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	wg.Add(len(cells))
+	for i := range cells {
+		go func(i int) {
+			defer wg.Done()
+			c := cells[i]
+			m, out, err := s.cellMeasurement(ctx, c, j.req.cfg, true, func() { j.cellStarted(c) })
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					j.cellFailed(c, err)
+					cancel()
+				}
+				errMu.Unlock()
+				return
+			}
+			ms[i] = m
+			j.cellDone(c, out)
+		}(i)
 	}
-	return core.NewSuite(bs...)
+	wg.Wait()
+	if err := j.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ms, nil
 }
 
-// accountRun folds one run's measured wall seconds into the per-benchmark
-// metrics. Updates are commutative, so job completion order is irrelevant.
-func (s *Server) accountRun(results report.Results) {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	for name, ms := range results {
-		for _, m := range ms {
-			s.benchWall[name] += m.WallSeconds
-		}
-		s.benchCells[name] += len(ms)
-	}
+// plannedCell is one cell of a job's plan: a benchmark/workload pair plus
+// the cell's cache identity.
+type plannedCell struct {
+	bench core.Benchmark
+	w     core.Workload
+	key   string
 }
 
-// normalized is a validated, canonicalized job request plus its cache key.
+// normalized is a validated, canonicalized job request plus its cell plan.
 type normalized struct {
 	benchmarks []string // sorted, validated
 	cfg        report.RunConfig
 	sections   report.Sections
 	topN       int
-	key        string
-	total      int // size of the benchmark × workload matrix
+	// cells is the benchmark × workload plan in sorted-benchmark ×
+	// workload-inventory order; total = len(cells).
+	cells []plannedCell
+	total int
+}
+
+func (n normalized) cellKeys() []string {
+	keys := make([]string, len(n.cells))
+	for i, c := range n.cells {
+		keys[i] = c.key
+	}
+	return keys
 }
 
 // normalizeRequest validates a JobRequest against the suite and collapses
 // it to canonical form, the single place request-side defaults live: the
 // harness's own Options.Normalize supplies reps/stride defaults, empty
 // benchmark lists mean the whole suite, empty section lists mean all.
+// The request is planned into cells here; include_test widens the plan
+// but is not part of any cell's identity.
 func (s *Server) normalizeRequest(req JobRequest) (normalized, error) {
 	opts, err := harness.Options{
 		Reps:        req.Config.Reps,
@@ -457,11 +568,14 @@ func (s *Server) normalizeRequest(req JobRequest) (normalized, error) {
 		}
 		for _, wl := range ws {
 			if n.cfg.IncludeTest || wl.WorkloadKind() != core.KindTest {
-				n.total++
+				n.cells = append(n.cells, plannedCell{
+					bench: b,
+					w:     wl,
+					key:   cellKey(name, wl.WorkloadName(), n.cfg),
+				})
 			}
 		}
 	}
-
-	n.key = cacheKey(n.benchmarks, n.cfg, n.sections, n.topN)
+	n.total = len(n.cells)
 	return n, nil
 }

@@ -370,8 +370,13 @@ func TestMetrics(t *testing.T) {
 	if m.Jobs.Done != 2 {
 		t.Errorf("jobs = %+v", m.Jobs)
 	}
-	if m.Cache.Hits != 1 || m.Cache.Misses != 1 || m.Cache.Entries != 1 {
-		t.Errorf("cache = %+v", m.Cache)
+	// First job: 3 cold cells (misses, local runs); repeat job: 3 cell
+	// hits at submit time, born done.
+	if m.Cells.Misses != 3 || m.Cells.Hits != 3 || m.Cells.Cells != 3 || m.Cells.LocalRuns != 3 {
+		t.Errorf("cells = %+v", m.Cells)
+	}
+	if m.Cells.Bytes == 0 || m.Cells.HitRatio != 0.5 || m.Cells.Inflight != 0 {
+		t.Errorf("cells = %+v", m.Cells)
 	}
 	if len(m.PerBenchmark) != 1 || m.PerBenchmark[0].Benchmark != "990.count_r" || m.PerBenchmark[0].Measurements != 3 {
 		t.Errorf("per_benchmark = %+v", m.PerBenchmark)
@@ -397,37 +402,41 @@ func TestBenchmarksEndpoint(t *testing.T) {
 	}
 }
 
-func TestCacheKey(t *testing.T) {
-	base := func() (benchmarks []string, cfg report.RunConfig, sections report.Sections, topN int) {
-		return []string{"990.count_r"}, report.RunConfig{Reps: 3, Stride: 1}, report.Sections{Table2: true}, 6
-	}
-	b, c, sec, n := base()
-	k1 := cacheKey(b, c, sec, n)
-	if k2 := cacheKey(b, c, sec, n); k2 != k1 {
+func TestCellKey(t *testing.T) {
+	base := report.RunConfig{Reps: 3, Stride: 1}
+	k1 := cellKey("990.count_r", "train", base)
+	if k2 := cellKey("990.count_r", "train", base); k2 != k1 {
 		t.Error("equal inputs produced different keys")
 	}
-	variants := []string{}
-	b2, c2, sec2, n2 := base()
-	b2 = []string{"991.other_r"}
-	variants = append(variants, cacheKey(b2, c2, sec2, n2))
-	b3, c3, sec3, n3 := base()
-	c3.Reps = 4
-	variants = append(variants, cacheKey(b3, c3, sec3, n3))
-	b4, c4, sec4, n4 := base()
-	c4.Reference = true
-	variants = append(variants, cacheKey(b4, c4, sec4, n4))
-	b5, c5, sec5, n5 := base()
-	sec5.Kernels = true
-	variants = append(variants, cacheKey(b5, c5, sec5, n5))
-	b6, c6, sec6, n6 := base()
-	n6 = 8
-	variants = append(variants, cacheKey(b6, c6, sec6, n6))
+
+	// Everything that feeds the measurement changes the key.
 	seen := map[string]bool{k1: true}
-	for i, v := range variants {
+	c2 := base
+	c2.Reps = 4
+	c3 := base
+	c3.Stride = 2
+	c4 := base
+	c4.Reference = true
+	distinct := []string{
+		cellKey("991.other_r", "train", base),
+		cellKey("990.count_r", "refrate", base),
+		cellKey("990.count_r", "train", c2),
+		cellKey("990.count_r", "train", c3),
+		cellKey("990.count_r", "train", c4),
+	}
+	for i, v := range distinct {
 		if seen[v] {
 			t.Errorf("variant %d collides with an earlier key", i)
 		}
 		seen[v] = true
+	}
+
+	// Matrix selection and presentation do not: include_test widens the
+	// plan but never re-identifies a cell.
+	c5 := base
+	c5.IncludeTest = true
+	if cellKey("990.count_r", "train", c5) != k1 {
+		t.Error("include_test changed the cell key")
 	}
 }
 

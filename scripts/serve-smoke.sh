@@ -1,75 +1,115 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — end-to-end smoke test of the albertad service.
 #
-# Starts the daemon, submits a one-benchmark characterization job, polls it
-# to completion, fetches the report.Suite envelope, and diffs it against
-# the envelope `albertarun -json` emits for the same matrix (wall_seconds
-# normalized away — it is the one nondeterministic field). Then SIGTERMs
-# the daemon and verifies it drains and exits cleanly.
+# Phase 1 (single daemon): submit a one-benchmark characterization job,
+# poll it to completion, fetch the report.Suite envelope, and diff it
+# against the envelope `albertarun -json` emits for the same matrix
+# (wall_seconds normalized away — it is the one nondeterministic field).
+# Assert cell-cache behavior: a repeat request is a born-done 200, a
+# presentation-only change (different sections) is also a pure cache hit,
+# and a two-benchmark job overlapping the cached one reuses its cells and
+# executes only the new benchmark. Then SIGTERM the daemon and verify it
+# drains and exits cleanly.
+#
+# Phase 2 (coordinator + 2 workers): boot two worker daemons and a
+# coordinator sharding cells across them, run the same job, and diff the
+# merged envelope against the same `albertarun -json` baseline — the
+# merge-determinism check. The job's cells breakdown must show every cell
+# executed remotely.
 set -euo pipefail
 
 BENCH=${BENCH:-557.xz_r}
+BENCH2=${BENCH2:-505.mcf_r}
 REPS=${REPS:-1}
 ADDR=${ADDR:-127.0.0.1:18431}
-BASE="http://$ADDR"
+WORKER1_ADDR=${WORKER1_ADDR:-127.0.0.1:18432}
+WORKER2_ADDR=${WORKER2_ADDR:-127.0.0.1:18433}
+COORD_ADDR=${COORD_ADDR:-127.0.0.1:18434}
 
 workdir=$(mktemp -d)
-daemon_pid=""
+pids=()
 cleanup() {
-    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
-        kill -9 "$daemon_pid" 2>/dev/null || true
-    fi
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# start_daemon <logname> <args...> — boot albertad, wait for /healthz.
+# Sets $daemon_pid and appends to pids.
+start_daemon() {
+    local logname=$1 addr=$2
+    shift 2
+    "$workdir/albertad" -addr "$addr" "$@" >"$workdir/$logname.log" 2>&1 &
+    daemon_pid=$!
+    pids+=("$daemon_pid")
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "albertad ($logname) died during startup:" >&2
+            cat "$workdir/$logname.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    curl -fsS "http://$addr/healthz" >/dev/null
+}
+
+# submit <base> <request-json> — POST a job, echo its id.
+submit() {
+    local job
+    job=$(curl -fsS -X POST -d "$2" "$1/v1/jobs")
+    local id
+    id=$(echo "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+    [[ -n "$id" ]] || { echo "no job id in: $job" >&2; exit 1; }
+    echo "$id"
+}
+
+# poll <base> <id> — poll a job until done (fail on failed/canceled).
+poll() {
+    local state=""
+    for i in $(seq 1 600); do
+        state=$(curl -fsS "$1/v1/jobs/$2" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+        case "$state" in
+            done) return 0 ;;
+            failed|canceled) echo "job $2 reached state $state" >&2; exit 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job $2 stuck (state=$state)" >&2
+    exit 1
+}
+
+# wall_seconds is measured wall time, different on every run (and on
+# every node); everything else in the envelope must match byte for byte.
+normalize() { sed 's/"wall_seconds": [0-9.e+-]*/"wall_seconds": 0/' "$1"; }
 
 echo "== build"
 go build -o "$workdir/albertad" ./cmd/albertad
 go build -o "$workdir/albertarun" ./cmd/albertarun
 
-echo "== start albertad on $ADDR"
-"$workdir/albertad" -addr "$ADDR" -parallel 1 >"$workdir/albertad.log" 2>&1 &
-daemon_pid=$!
-
-for i in $(seq 1 50); do
-    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    if ! kill -0 "$daemon_pid" 2>/dev/null; then
-        echo "albertad died during startup:" >&2
-        cat "$workdir/albertad.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-curl -fsS "$BASE/healthz" >/dev/null
-
-echo "== submit job ($BENCH, reps $REPS, all sections)"
-request=$(printf '{"benchmarks": ["%s"], "config": {"reps": %d}}' "$BENCH" "$REPS")
-job=$(curl -fsS -X POST -d "$request" "$BASE/v1/jobs")
-id=$(echo "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-[[ -n "$id" ]] || { echo "no job id in: $job" >&2; exit 1; }
-
-echo "== poll $id"
-state=""
-for i in $(seq 1 300); do
-    state=$(curl -fsS "$BASE/v1/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
-    case "$state" in
-        done) break ;;
-        failed|canceled) echo "job reached state $state" >&2; exit 1 ;;
-    esac
-    sleep 0.2
-done
-[[ "$state" == done ]] || { echo "job stuck (state=$state)" >&2; exit 1; }
-
-echo "== fetch result and diff against albertarun -json"
-curl -fsS "$BASE/v1/jobs/$id/result" >"$workdir/service.json"
+echo "== albertarun -json baseline ($BENCH, reps $REPS)"
 "$workdir/albertarun" -json -bench "$BENCH" -reps "$REPS" \
     -table1 -table2 -fig1 -fig2 -kernels >"$workdir/cli.json"
 
-# wall_seconds is measured wall time, different on every run; everything
-# else in the envelope must match byte for byte.
-normalize() { sed 's/"wall_seconds": [0-9.e+-]*/"wall_seconds": 0/' "$1"; }
+echo "== phase 1: single daemon on $ADDR"
+start_daemon albertad "$ADDR" -parallel 1
+single_pid=$daemon_pid
+BASE="http://$ADDR"
+
+request=$(printf '{"benchmarks": ["%s"], "config": {"reps": %d}}' "$BENCH" "$REPS")
+id=$(submit "$BASE" "$request")
+echo "== poll $id"
+poll "$BASE" "$id"
+
+echo "== fetch result and diff against albertarun -json"
+curl -fsS "$BASE/v1/jobs/$id/result" >"$workdir/service.json"
 if ! diff <(normalize "$workdir/service.json") <(normalize "$workdir/cli.json"); then
     echo "service and CLI envelopes differ" >&2
     exit 1
@@ -80,18 +120,70 @@ hit=$(curl -fsS -o "$workdir/hit.json" -w '%{http_code}' -X POST -d "$request" "
 [[ "$hit" == 200 ]] || { echo "cache hit answered $hit" >&2; cat "$workdir/hit.json" >&2; exit 1; }
 grep -q '"cached": true' "$workdir/hit.json" || { echo "second submit not served from cache" >&2; exit 1; }
 
+echo "== presentation-only change (different sections) is also a cache hit"
+request_sections=$(printf '{"benchmarks": ["%s"], "config": {"reps": %d}, "sections": ["kernels"]}' "$BENCH" "$REPS")
+hit=$(curl -fsS -o "$workdir/sections.json" -w '%{http_code}' -X POST -d "$request_sections" "$BASE/v1/jobs")
+[[ "$hit" == 200 ]] || { echo "section-only change answered $hit (want 200)" >&2; cat "$workdir/sections.json" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/sections.json" || { echo "section-only change not served from cache" >&2; exit 1; }
+
+echo "== overlapping job {$BENCH2, $BENCH} reuses $BENCH's cells"
+request2=$(printf '{"benchmarks": ["%s", "%s"], "config": {"reps": %d}}' "$BENCH2" "$BENCH" "$REPS")
+id2=$(submit "$BASE" "$request2")
+poll "$BASE" "$id2"
+curl -fsS "$BASE/v1/jobs/$id2" >"$workdir/overlap.json"
+grep -q '"cached": [1-9]' "$workdir/overlap.json" || {
+    echo "overlapping job read no cells from the cache:" >&2
+    cat "$workdir/overlap.json" >&2
+    exit 1
+}
+
+echo "== GET /v1/cache reports cells, DELETE flushes"
+curl -fsS "$BASE/v1/cache" >"$workdir/cache.json"
+grep -q '"cells": [1-9]' "$workdir/cache.json" || { echo "cache introspection empty: $(cat "$workdir/cache.json")" >&2; exit 1; }
+curl -fsS -X DELETE "$BASE/v1/cache" | grep -q '"flushed": [1-9]' || { echo "cache flush reported nothing" >&2; exit 1; }
+
 echo "== SIGTERM drains and exits"
-kill -TERM "$daemon_pid"
+kill -TERM "$single_pid"
 for i in $(seq 1 100); do
-    kill -0 "$daemon_pid" 2>/dev/null || break
+    kill -0 "$single_pid" 2>/dev/null || break
     sleep 0.1
 done
-if kill -0 "$daemon_pid" 2>/dev/null; then
+if kill -0 "$single_pid" 2>/dev/null; then
     echo "albertad did not exit after SIGTERM" >&2
     exit 1
 fi
-wait "$daemon_pid" || { echo "albertad exited non-zero" >&2; cat "$workdir/albertad.log" >&2; exit 1; }
+wait "$single_pid" || { echo "albertad exited non-zero" >&2; cat "$workdir/albertad.log" >&2; exit 1; }
 grep -q drained "$workdir/albertad.log" || { echo "no drain message in log" >&2; cat "$workdir/albertad.log" >&2; exit 1; }
-daemon_pid=""
+
+echo "== phase 2: coordinator on $COORD_ADDR + workers on $WORKER1_ADDR, $WORKER2_ADDR"
+start_daemon worker1 "$WORKER1_ADDR" -worker -parallel 1
+start_daemon worker2 "$WORKER2_ADDR" -worker -parallel 1
+start_daemon coordinator "$COORD_ADDR" -parallel 1 \
+    -workers "http://$WORKER1_ADDR,http://$WORKER2_ADDR"
+CBASE="http://$COORD_ADDR"
+
+cid=$(submit "$CBASE" "$request")
+echo "== poll $cid (coordinator)"
+poll "$CBASE" "$cid"
+
+echo "== every cell must have executed on a worker"
+curl -fsS "$CBASE/v1/jobs/$cid" >"$workdir/coord-job.json"
+grep -q '"remote": [1-9]' "$workdir/coord-job.json" || {
+    echo "coordinator executed no cells remotely:" >&2
+    cat "$workdir/coord-job.json" >&2
+    exit 1
+}
+grep -q '"local": 0' "$workdir/coord-job.json" || {
+    echo "coordinator fell back to local execution with a healthy fleet:" >&2
+    cat "$workdir/coord-job.json" >&2
+    exit 1
+}
+
+echo "== merged envelope must match the single-node albertarun baseline"
+curl -fsS "$CBASE/v1/jobs/$cid/result" >"$workdir/coord.json"
+if ! diff <(normalize "$workdir/coord.json") <(normalize "$workdir/cli.json"); then
+    echo "coordinator envelope differs from single-node envelope" >&2
+    exit 1
+fi
 
 echo "serve-smoke: OK"
