@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-check bench-smoke diff-full serve-smoke check
+.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-smoke diff-full serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism & harness-invariant static analysis (see DESIGN.md).
+# Determinism & harness-invariant static analysis (see DESIGN.md §14).
+# Exit 1 covers findings from both rule families AND stale //lint:allow
+# suppressions, so `make lint` is also the zero-stale-suppressions gate.
 lint:
 	$(GO) run ./cmd/albertalint ./...
+
+# Same analysis as a SARIF 2.1.0 document (CI uploads it as an artifact).
+lint-sarif:
+	$(GO) run ./cmd/albertalint -format sarif ./... > albertalint.sarif
+
+# Race + goroutine-leak gate for the concurrent packages: their TestMain
+# runs under internal/leakcheck, so any goroutine surviving the package
+# run fails it even when every test passes.
+leak-race:
+	$(GO) test -race -count=1 ./internal/service/... ./internal/cluster/...
 
 test:
 	$(GO) test ./...

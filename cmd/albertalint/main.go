@@ -1,24 +1,37 @@
 // Command albertalint checks the repository's determinism and harness
-// invariants: replayable RNG, no wall-clock reads outside the timing
-// packages, no map-iteration-order dependence, single-threaded kernels,
-// pure-compute benchmark imports, and no discarded checksum folds.
+// invariants. Two rule families run:
+//
+//   - Per-package rules: replayable RNG, no wall-clock reads outside the
+//     timing packages, no map-iteration-order dependence, single-threaded
+//     kernels, pure-compute benchmark imports, no discarded checksum
+//     folds, guardedby field discipline, context-aware goroutines,
+//     select-wrapped channel sends, joined workers.
+//   - Whole-program rules: interprocedural nondeterminism taint — a wall
+//     clock, global RNG, map-iteration order, environment read, or
+//     unsynchronized guarded-field read anywhere in the call graph that
+//     reaches a report.Measurement/Results/Suite or checksum producer is
+//     reported with its full call chain.
 //
 // Usage:
 //
-//	albertalint [-json] [-rules] [packages ...]
+//	albertalint [-format text|json|sarif] [-rules] [packages ...]
 //
 // Package patterns are directories relative to the module root; the
 // trailing /... wildcard matches recursively, and the default ./... lints
 // the whole analyzed surface (internal/benchmarks, internal/harness,
-// internal/stats, internal/uarch, internal/fdo — patterns outside the
-// surface are ignored). Diagnostics print as
+// internal/stats, internal/uarch, internal/fdo, internal/service —
+// patterns outside the surface are ignored). Whole-program rules and the
+// stale-suppression check always analyze the full surface, so a partial
+// package selection cannot hide a cross-package taint chain or a dead
+// suppression. Text diagnostics print as
 //
 //	file:line: rule-id: message
 //
 // and the exit status is 1 when violations were found, 2 on usage or
 // analysis errors, and 0 on a clean tree. A finding is suppressed by a
 // `//lint:allow <rule-id> <reason>` comment on the flagged line or the
-// line above it.
+// line above it; a suppression that matches no finding is itself a
+// finding (stale-suppression) and cannot be suppressed.
 package main
 
 import (
@@ -33,19 +46,34 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (alias for -format json)")
 	listRules := flag.Bool("rules", false, "list rule ids and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: albertalint [-json] [-rules] [packages ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: albertalint [-format text|json|sarif] [-rules] [packages ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format))
+	}
 
 	rules := lint.DefaultRules()
+	progRules := lint.DefaultProgramRules()
 	if *listRules {
 		for _, r := range rules {
 			fmt.Printf("%-26s %s\n", r.ID(), r.Doc())
 		}
+		for _, r := range progRules {
+			fmt.Printf("%-26s %s\n", r.ID(), r.Doc())
+		}
+		fmt.Printf("%-26s %s\n", lint.StaleSuppressionID,
+			"a //lint:allow comment matches no finding or names an unknown rule")
 		return
 	}
 
@@ -58,31 +86,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dirs, err := lint.SelectDirs(loader.RepoRoot, patterns)
+	selected, err := lint.SelectDirs(loader.RepoRoot, patterns)
 	if err != nil {
 		fatal(err)
 	}
-
-	var diags []lint.Diagnostic
-	for _, dir := range dirs {
+	// Load the full surface once — the taint rule needs the whole call
+	// graph even when only a subset of packages is selected for
+	// per-package findings, and the shared loader makes the extra
+	// packages nearly free (each is type-checked exactly once).
+	all, err := lint.SurfaceDirs(loader.RepoRoot)
+	if err != nil {
+		fatal(err)
+	}
+	inSelection := map[string]bool{}
+	for _, d := range selected {
+		inSelection[d] = true
+	}
+	var surface []*lint.Pass
+	for _, dir := range all {
 		pass, err := loader.LoadDir(filepath.Join(loader.RepoRoot, dir))
 		if err != nil {
 			fatal(err)
 		}
-		if pass == nil {
-			continue
-		}
-		for _, d := range lint.Lint(pass, rules) {
-			// Report module-relative paths regardless of where the tool
-			// was invoked from.
-			if rel, err := filepath.Rel(loader.RepoRoot, d.File); err == nil && !strings.HasPrefix(rel, "..") {
-				d.File = filepath.ToSlash(rel)
-			}
-			diags = append(diags, d)
+		if pass != nil && inSelection[dir] {
+			surface = append(surface, pass)
 		}
 	}
 
-	if *jsonOut {
+	prog := lint.NewProgram(surface...).WithContext(loader.Passes()...)
+	var diags []lint.Diagnostic
+	for _, d := range prog.Lint(rules, progRules) {
+		// Report module-relative paths regardless of where the tool was
+		// invoked from.
+		if rel, err := filepath.Rel(loader.RepoRoot, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = filepath.ToSlash(rel)
+		}
+		diags = append(diags, d)
+	}
+
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -91,13 +134,19 @@ func main() {
 		if err := enc.Encode(diags); err != nil {
 			fatal(err)
 		}
-	} else {
+	case "sarif":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(rules, progRules, diags)); err != nil {
+			fatal(err)
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(os.Stderr, "albertalint: %d violation(s)\n", len(diags))
 		}
 		os.Exit(1)

@@ -7,8 +7,16 @@ import (
 	"testing"
 
 	"repro/internal/harness/report"
+	"repro/internal/leakcheck"
 	"repro/internal/stats"
 )
+
+// TestMain enforces goroutine hygiene for the package: clustering is
+// purely computational today, so the leak gate both documents that and
+// catches any future parallel k-medoids sweep that forgets to join.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
 
 // blob builds a synthetic measurement around a top-down center.
 func blob(name string, f, b, s, r float64, cycles uint64, hot string) report.Measurement {

@@ -1,0 +1,221 @@
+// Package leakcheck detects goroutines that outlive the code that
+// spawned them, in the style of go.uber.org/goleak but stdlib-only: it
+// snapshots runtime.Stack(all=true), parses the goroutine headers, and
+// diffs against a baseline with retry/backoff so goroutines that are
+// merely slow to exit are not misreported.
+//
+// Two entry points cover the repo's tests:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// fails the package if any non-baseline goroutine survives all tests —
+// the drain gate for internal/service and internal/cluster — and
+//
+//	defer leakcheck.Check(t)
+//
+// (or Take()/Snapshot.Verify for a mid-test baseline) scopes the same
+// diff to one test.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Goroutine is one parsed record from a runtime.Stack(all=true) dump.
+type Goroutine struct {
+	// ID is the runtime's goroutine id from the "goroutine N [state]:" header.
+	ID int
+	// State is the scheduler state inside the brackets ("running",
+	// "chan receive", "IO wait", ...), minus any wait-duration suffix.
+	State string
+	// First is the topmost function on the stack.
+	First string
+	// Stack is the full record, for reporting.
+	Stack string
+}
+
+func (g Goroutine) String() string {
+	return fmt.Sprintf("goroutine %d [%s]: %s", g.ID, g.State, g.First)
+}
+
+// all captures and parses the current goroutine dump.
+func all() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return parse(string(buf))
+}
+
+// parse splits a runtime.Stack(all=true) dump into records.
+func parse(dump string) []Goroutine {
+	var out []Goroutine
+	for _, rec := range strings.Split(dump, "\n\n") {
+		lines := strings.Split(strings.TrimSpace(rec), "\n")
+		if len(lines) == 0 {
+			continue
+		}
+		header := lines[0]
+		rest, ok := strings.CutPrefix(header, "goroutine ")
+		if !ok {
+			continue
+		}
+		idStr, stateRaw, ok := strings.Cut(rest, " [")
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue
+		}
+		state := strings.TrimSuffix(stateRaw, "]:")
+		// "chan receive, 2 minutes" → "chan receive"
+		if s, _, found := strings.Cut(state, ","); found {
+			state = s
+		}
+		first := ""
+		if len(lines) > 1 {
+			first = strings.TrimSpace(lines[1])
+			// Trim the argument list, not a "(*T)" receiver: cut at the
+			// last paren.
+			if i := strings.LastIndex(first, "("); i >= 0 {
+				first = first[:i]
+			}
+		}
+		out = append(out, Goroutine{ID: id, State: state, First: first, Stack: rec})
+	}
+	return out
+}
+
+// ignoredStackFragments marks goroutines that belong to the runtime or
+// the testing machinery rather than code under test: other tests'
+// runners, the signal handler, and the trace reader are never leaks.
+var ignoredStackFragments = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"runtime.goexit0",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/trace.Start",
+}
+
+func ignored(g Goroutine) bool {
+	for _, frag := range ignoredStackFragments {
+		if strings.Contains(g.Stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot is a baseline set of goroutine ids to diff against.
+type Snapshot struct {
+	present map[int]bool
+}
+
+// Take snapshots the currently live goroutines.
+func Take() Snapshot {
+	s := Snapshot{present: map[int]bool{}}
+	for _, g := range all() {
+		s.present[g.ID] = true
+	}
+	return s
+}
+
+// leaks returns every live, non-ignored goroutine that is neither in the
+// baseline nor the caller itself.
+func (s Snapshot) leaks() []Goroutine {
+	self := currentID()
+	var out []Goroutine
+	for _, g := range all() {
+		if g.ID == self || s.present[g.ID] || ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// maxRetries × growing backoff gives a goroutine that is already on its
+// way out roughly 1.3s to disappear before it counts as a leak.
+const maxRetries = 10
+
+// retryLeaks re-diffs with exponential backoff until the diff is empty
+// or the budget runs out.
+func (s Snapshot) retryLeaks() []Goroutine {
+	delay := 1 * time.Millisecond
+	var out []Goroutine
+	for i := 0; i < maxRetries; i++ {
+		out = s.leaks()
+		if len(out) == 0 {
+			return nil
+		}
+		time.Sleep(delay)
+		if delay < 500*time.Millisecond {
+			delay *= 2
+		}
+	}
+	return out
+}
+
+// currentID parses this goroutine's id from its own stack header.
+func currentID() int {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	rest, _ := strings.CutPrefix(string(buf), "goroutine ")
+	idStr, _, _ := strings.Cut(rest, " ")
+	id, _ := strconv.Atoi(idStr)
+	return id
+}
+
+// Verify fails t for every goroutine live now that was not in the
+// snapshot, after the retry budget.
+func (s Snapshot) Verify(t testing.TB) {
+	t.Helper()
+	for _, g := range s.retryLeaks() {
+		t.Errorf("leaked %v\n%s", g, g.Stack)
+	}
+}
+
+// Check fails t if any non-baseline goroutine is live — the zero
+// baseline form for `defer leakcheck.Check(t)` at the top of a test that
+// should start from a quiet process.
+func Check(t testing.TB) {
+	t.Helper()
+	Snapshot{present: map[int]bool{}}.Verify(t)
+}
+
+// Main wraps testing.M.Run with a whole-package leak gate: the baseline
+// is whatever is live before the first test, and any extra goroutine
+// still live after the last test fails the package even when every test
+// passed. Use from TestMain; it does not return.
+func Main(m *testing.M) {
+	base := Take()
+	code := m.Run()
+	if code == 0 {
+		if leaked := base.retryLeaks(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) outlived the test run:\n", len(leaked))
+			for _, g := range leaked {
+				fmt.Fprintf(os.Stderr, "%v\n%s\n", g, g.Stack)
+			}
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,97 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/src/main.go:10 +0x20
+
+goroutine 7 [chan receive, 3 minutes]:
+repro/internal/service.(*Server).worker(0xc000123000)
+	/src/service.go:99 +0x45
+created by repro/internal/service.NewServer
+	/src/service.go:50 +0x91
+
+goroutine 18 [syscall]:
+os/signal.signal_recv()
+	/usr/local/go/src/runtime/sigqueue.go:152 +0x29
+created by os/signal.Notify.func1.1
+	/usr/local/go/src/os/signal/signal.go:151 +0x1f`
+
+func TestParse(t *testing.T) {
+	gs := parse(sampleDump)
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3", len(gs))
+	}
+	if gs[0].ID != 1 || gs[0].State != "running" || gs[0].First != "main.main" {
+		t.Errorf("first record parsed as %+v", gs[0])
+	}
+	if gs[1].ID != 7 || gs[1].State != "chan receive" {
+		t.Errorf("wait-duration suffix not stripped: %+v", gs[1])
+	}
+	if !strings.Contains(gs[1].First, "service.(*Server).worker") {
+		t.Errorf("first function = %q", gs[1].First)
+	}
+}
+
+func TestIgnored(t *testing.T) {
+	gs := parse(sampleDump)
+	if ignored(gs[1]) {
+		t.Error("service worker goroutine must not be ignored")
+	}
+	if !ignored(gs[2]) {
+		t.Error("signal_recv goroutine must be ignored")
+	}
+}
+
+func TestSelfAndBaselineExcluded(t *testing.T) {
+	// The running test goroutine carries tRunner frames and is also the
+	// caller: a fresh snapshot must diff clean immediately.
+	if leaked := Take().leaks(); len(leaked) != 0 {
+		t.Fatalf("fresh snapshot reports leaks: %v", leaked)
+	}
+}
+
+func TestDetectsAndClearsLeak(t *testing.T) {
+	base := Take()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-release
+		close(done)
+	}()
+	// The blocked goroutine must show up against the baseline...
+	var leaked []Goroutine
+	for i := 0; i < 100; i++ {
+		if leaked = base.leaks(); len(leaked) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(leaked) != 1 {
+		t.Fatalf("expected exactly the blocked goroutine, got %v", leaked)
+	}
+	if !strings.Contains(leaked[0].Stack, "leakcheck.TestDetectsAndClearsLeak") {
+		t.Errorf("leak attributed to the wrong stack:\n%s", leaked[0].Stack)
+	}
+	// ...and the retrying diff must see it exit once released.
+	close(release)
+	<-done
+	if leaked := base.retryLeaks(); len(leaked) != 0 {
+		t.Errorf("released goroutine still reported: %v", leaked)
+	}
+}
+
+func TestVerifyPasses(t *testing.T) {
+	s := Take()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	// The short-lived goroutine is gone (or about to be); Verify's retry
+	// budget must absorb it rather than fail the test.
+	s.Verify(t)
+}

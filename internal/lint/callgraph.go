@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// funcNode is one declared function or method in the program: its type
+// object plus the syntax and pass needed to inspect its body.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pass *Pass
+}
+
+// callEdge is one statically resolvable call site inside a function.
+// Calls made inside function literals are attributed to the enclosing
+// declared function: a closure runs with its creator's determinism
+// obligations.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// callGraph maps every declared function in the program to its node and
+// outgoing static call edges. Dynamic calls (interface methods without a
+// body in the program, function values) simply have no outgoing edge —
+// taint propagation is best-effort across them and exact everywhere else.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+	calls map[*types.Func][]callEdge
+}
+
+// buildCallGraph walks every function body in the passes. The passes must
+// share one FileSet and one type-checked object world so that a call in
+// package A to a function declared in package B resolves to the same
+// *types.Func that keys B's node.
+func buildCallGraph(passes []*Pass) *callGraph {
+	g := &callGraph{
+		nodes: map[*types.Func]*funcNode{},
+		calls: map[*types.Func][]callEdge{},
+	}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok || g.nodes[fn] != nil {
+					continue
+				}
+				g.nodes[fn] = &funcNode{fn: fn, decl: fd, pass: p}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(p.Info, call); callee != nil {
+						g.calls[fn] = append(g.calls[fn], callEdge{callee: callee, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// staticCallee resolves a call expression to the *types.Func it invokes,
+// or nil for dynamic calls (function values, builtins) and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// sortedNodes returns every node ordered by source position (file name,
+// then offset) so program rules iterate deterministically.
+func (g *callGraph) sortedNodes() []*funcNode {
+	out := make([]*funcNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi := out[i].pass.Fset.Position(out[i].decl.Pos())
+		pj := out[j].pass.Fset.Position(out[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return out
+}
+
+// callersOf inverts the edge set: callee → callers, deduplicated.
+func (g *callGraph) callersOf() map[*types.Func][]*types.Func {
+	rev := map[*types.Func][]*types.Func{}
+	seen := map[[2]*types.Func]bool{}
+	for caller, edges := range g.calls {
+		for _, e := range edges {
+			k := [2]*types.Func{caller, e.callee}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rev[e.callee] = append(rev[e.callee], caller)
+		}
+	}
+	return rev
+}

@@ -1,19 +1,40 @@
 // Package lint is a static analyzer for the repository's determinism and
-// harness invariants: replayable RNG, no wall-clock reads outside the
-// timing packages, no map-iteration-order dependence in anything that
-// feeds a report or a checksum, no goroutines inside benchmark kernels,
-// pure-compute imports in benchmark packages, no silently discarded
-// checksum folds, and uninstrumented benchmark Prepare methods (the
-// prepared-workload contract of core.Preparer).
+// concurrency invariants, organized as two rule families plus an
+// interprocedural dataflow engine.
+//
+// The determinism family guards the measurement path syntactically:
+// replayable RNG, no wall-clock reads outside the timing packages, no
+// map-iteration-order dependence in anything that feeds a report or a
+// checksum, no goroutines inside benchmark kernels, pure-compute imports
+// in benchmark packages, no silently discarded checksum folds, and
+// uninstrumented benchmark Prepare methods (the prepared-workload
+// contract of core.Preparer).
+//
+// The concurrency family guards the invariants the multi-node service
+// depends on: mutex-guarded struct fields accessed without their guard
+// (declared with a //lint:guardedby <mutex> field comment), goroutines
+// launched without propagating an in-scope context.Context, channel sends
+// outside a select that can block shutdown, and spawned workers with no
+// Wait/join evidence.
+//
+// On top of the per-package rules, the interprocedural engine (Program,
+// NondeterministicTaint) builds a whole-surface call graph over the
+// type-checked packages and taint-propagates nondeterminism sources (wall
+// clock, global rand, map-order folds, env/hostname reads, unsynchronized
+// guarded-field access) to report sinks — functions producing
+// report.Measurement/Results/Suite values or checksums — reporting the
+// full source-to-sink call chain.
 //
 // The analyzer is stdlib-only (go/parser, go/ast, go/types, go/token).
-// Each invariant is a Rule; rules receive a fully type-checked Pass and
-// report Diagnostics. A finding can be suppressed — explicitly and
-// auditably — with a comment on the flagged line or the line above it:
+// Each invariant is a Rule (per package) or ProgramRule (whole program);
+// rules receive fully type-checked input and report Diagnostics. A
+// finding can be suppressed — explicitly and auditably — with a comment
+// on the flagged line or the line above it:
 //
 //	//lint:allow <rule-id> <reason>
 //
-// The reason is mandatory; an allow comment without one is ignored.
+// The reason is mandatory; an allow comment without one is ignored. An
+// allow that suppresses nothing is itself reported as stale-suppression.
 package lint
 
 import (
@@ -72,7 +93,8 @@ type Rule interface {
 	Check(p *Pass) []Diagnostic
 }
 
-// DefaultRules returns the full rule set in a stable order.
+// DefaultRules returns the full per-package rule set in a stable order:
+// the determinism family first, then the concurrency-invariant family.
 func DefaultRules() []Rule {
 	return []Rule{
 		NoGlobalRand{},
@@ -82,22 +104,22 @@ func DefaultRules() []Rule {
 		ForbiddenImports{},
 		ChecksumDiscipline{},
 		NoProfilerInPrepare{},
+		GuardedBy{},
+		GoroutineContext{},
+		BlockingSend{},
+		WorkerJoin{},
 	}
 }
 
-// Lint runs rules over the pass, drops suppressed findings, and returns
-// the rest sorted by position.
+// Lint runs per-package rules over one pass, drops suppressed findings,
+// flags stale suppressions, and returns the rest sorted by position. It is
+// the single-package form of Program.Lint.
 func Lint(p *Pass, rules []Rule) []Diagnostic {
-	allows := collectAllows(p)
-	var out []Diagnostic
-	for _, r := range rules {
-		for _, d := range r.Check(p) {
-			if allows.suppresses(d) {
-				continue
-			}
-			out = append(out, d)
-		}
-	}
+	return NewProgram(p).Lint(rules, nil)
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, rule id.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -110,8 +132,12 @@ func Lint(p *Pass, rules []Rule) []Diagnostic {
 		}
 		return out[i].RuleID < out[j].RuleID
 	})
-	return out
 }
+
+// StaleSuppressionID is the rule id under which unused or unknown
+// //lint:allow comments are reported. It is emitted by the engine itself
+// (not a Rule) and cannot be suppressed with another allow comment.
+const StaleSuppressionID = "stale-suppression"
 
 // allowKey identifies one allow grant: a rule on a line of a file.
 type allowKey struct {
@@ -120,38 +146,108 @@ type allowKey struct {
 	ruleID string
 }
 
-type allowSet map[allowKey]bool
+// allowGrant is one parsed //lint:allow comment. used is set when the
+// grant suppresses at least one diagnostic; surface marks grants from the
+// linted packages (as opposed to call-graph context), which are the only
+// ones eligible for stale reporting.
+type allowGrant struct {
+	pos     token.Position
+	ruleID  string
+	reason  string
+	used    bool
+	surface bool
+}
+
+// allowIndex holds every grant plus a by-(file,line,rule) lookup. One
+// grant registers under two keys: the comment's own line (trailing form)
+// and the line below it (standalone form).
+type allowIndex struct {
+	grants []*allowGrant
+	byKey  map[allowKey]*allowGrant
+}
 
 // collectAllows parses every "//lint:allow <rule-id> <reason>" comment in
-// the pass. A grant covers the comment's own line (trailing form) and the
-// line below it (standalone form). Comments without a reason are ignored
-// so that every suppression carries its justification.
-func collectAllows(p *Pass) allowSet {
-	set := allowSet{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
-				if !ok {
-					continue
+// the given passes. Comments without a reason are ignored so that every
+// suppression carries its justification.
+func collectAllows(surface, context []*Pass) *allowIndex {
+	ai := &allowIndex{byKey: map[allowKey]*allowGrant{}}
+	ai.add(surface, true)
+	ai.add(context, false)
+	return ai
+}
+
+func (ai *allowIndex) add(passes []*Pass, surface bool) {
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						// Rule id but no reason (or nothing at all): not a
+						// valid suppression.
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					g := &allowGrant{
+						pos:     pos,
+						ruleID:  fields[0],
+						reason:  strings.Join(fields[1:], " "),
+						surface: surface,
+					}
+					ai.grants = append(ai.grants, g)
+					ai.byKey[allowKey{pos.Filename, pos.Line, g.ruleID}] = g
+					ai.byKey[allowKey{pos.Filename, pos.Line + 1, g.ruleID}] = g
 				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					// Rule id but no reason (or nothing at all): not a
-					// valid suppression.
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				set[allowKey{pos.Filename, pos.Line, fields[0]}] = true
-				set[allowKey{pos.Filename, pos.Line + 1, fields[0]}] = true
 			}
 		}
 	}
-	return set
 }
 
-func (s allowSet) suppresses(d Diagnostic) bool {
-	return s[allowKey{d.File, d.Line, d.RuleID}]
+func (ai *allowIndex) suppresses(d Diagnostic) bool {
+	if d.RuleID == StaleSuppressionID {
+		return false
+	}
+	g := ai.byKey[allowKey{d.File, d.Line, d.RuleID}]
+	if g == nil {
+		return false
+	}
+	g.used = true
+	return true
+}
+
+// stale reports every surface grant that suppressed nothing. A grant whose
+// rule id is unknown to the registry is always stale; a known rule id is
+// only judged when that rule actually ran (fixture tests run one rule at a
+// time and must not see stale findings for the others).
+func (ai *allowIndex) stale(ran, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, g := range ai.grants {
+		if g.used || !g.surface {
+			continue
+		}
+		var msg string
+		switch {
+		case !known[g.ruleID]:
+			msg = fmt.Sprintf("//lint:allow names unknown rule %q; remove or fix the suppression", g.ruleID)
+		case ran[g.ruleID]:
+			msg = fmt.Sprintf("//lint:allow %s (%s) matches no finding; remove the stale suppression", g.ruleID, g.reason)
+		default:
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     g.pos,
+			File:    g.pos.Filename,
+			Line:    g.pos.Line,
+			Col:     g.pos.Column,
+			RuleID:  StaleSuppressionID,
+			Message: msg,
+		})
+	}
+	return out
 }
 
 // --- shared helpers used by several rules ---

@@ -70,7 +70,26 @@ func runFixture(t *testing.T, rule Rule, pkgpath, fixture string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", fixture, err)
 	}
-	diags := Lint(pass, []Rule{rule})
+	matchWants(t, fixture, path, Lint(pass, []Rule{rule}))
+}
+
+// runProgramFixture is runFixture for interprocedural rules: the fixture
+// becomes a one-package Program.
+func runProgramFixture(t *testing.T, rule ProgramRule, pkgpath, fixture string) {
+	t.Helper()
+	l := testLoader(t)
+	path := filepath.Join("testdata", fixture)
+	pass, err := l.LoadFiles(pkgpath, path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", fixture, err)
+	}
+	matchWants(t, fixture, path, NewProgram(pass).Lint(nil, []ProgramRule{rule}))
+}
+
+// matchWants matches diagnostics against the fixture's want annotations,
+// both ways.
+func matchWants(t *testing.T, fixture, path string, diags []Diagnostic) {
+	t.Helper()
 	wants := parseWants(t, path)
 
 	matched := make([]bool, len(diags))
@@ -183,6 +202,88 @@ func TestAllowSuppression(t *testing.T) {
 	runFixture(t, NoWallClock{}, statsPkg, "allow.go")
 }
 
+func TestStaleSuppression(t *testing.T) {
+	runFixture(t, NoWallClock{}, statsPkg, "stale.go")
+}
+
+func TestGuardedBy(t *testing.T) {
+	runFixture(t, GuardedBy{}, statsPkg, "guardedby.go")
+}
+
+func TestGoroutineContext(t *testing.T) {
+	runFixture(t, GoroutineContext{}, statsPkg, "ctxgoroutine.go")
+}
+
+func TestBlockingSend(t *testing.T) {
+	runFixture(t, BlockingSend{}, statsPkg, "send.go")
+}
+
+func TestWorkerJoin(t *testing.T) {
+	runFixture(t, WorkerJoin{}, statsPkg, "join.go")
+}
+
+func TestNondeterministicTaint(t *testing.T) {
+	runProgramFixture(t, NondeterministicTaint{}, statsPkg, "taint.go")
+}
+
+func TestTaintSanctionedInTimingPackage(t *testing.T) {
+	l := testLoader(t)
+	pass, err := l.LoadFiles("repro/internal/harness", filepath.Join("testdata", "taint_timing.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := NewProgram(pass).Lint(nil, DefaultProgramRules()); len(diags) != 0 {
+		t.Errorf("clock reads in the timing package must be sanctioned sources, got %v", diags)
+	}
+}
+
+// TestLoaderSharesPasses pins the pass cache: a package type-checked as a
+// dependency is the same Pass — and the same *types.Package — when later
+// loaded as a lint root, so cross-package objects are identical and no
+// package is checked twice.
+func TestLoaderSharesPasses(t *testing.T) {
+	l := testLoader(t)
+	svc, err := l.LoadDir(filepath.Join(l.RepoRoot, "internal/service"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.LoadDir(filepath.Join(l.RepoRoot, "internal/harness/report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := l.LoadDir(filepath.Join(l.RepoRoot, "internal/harness/report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != again {
+		t.Error("LoadDir re-checked an already loaded package")
+	}
+	found := false
+	for _, imp := range svc.Pkg.Imports() {
+		if imp.Path() == "repro/internal/harness/report" {
+			found = true
+			if imp != rep.Pkg {
+				t.Error("import-resolved report package is not the pass-cached one")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("internal/service does not import the report package?")
+	}
+	var hasReport bool
+	for _, p := range l.Passes() {
+		if p.PkgPath == "repro/internal/harness/report" {
+			hasReport = true
+			if p != rep {
+				t.Error("Passes() returns a different report pass")
+			}
+		}
+	}
+	if !hasReport {
+		t.Error("Passes() is missing the report package")
+	}
+}
+
 func TestDiagnosticString(t *testing.T) {
 	d := Diagnostic{File: "a/b.go", Line: 7, RuleID: "no-wall-clock", Message: "m"}
 	if got, want := d.String(), "a/b.go:7: no-wall-clock: m"; got != want {
@@ -199,6 +300,10 @@ func TestDefaultRuleIDs(t *testing.T) {
 		"forbidden-imports",
 		"checksum-discipline",
 		"no-profiler-in-prepare",
+		"guardedby",
+		"goroutine-context",
+		"blocking-send",
+		"worker-join",
 	}
 	rules := DefaultRules()
 	if len(rules) != len(want) {
@@ -210,6 +315,22 @@ func TestDefaultRuleIDs(t *testing.T) {
 		}
 		if r.Doc() == "" {
 			t.Errorf("rule %s: empty Doc", r.ID())
+		}
+	}
+}
+
+func TestDefaultProgramRuleIDs(t *testing.T) {
+	want := []string{"nondeterministic-taint"}
+	rules := DefaultProgramRules()
+	if len(rules) != len(want) {
+		t.Fatalf("DefaultProgramRules() has %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.ID() != want[i] {
+			t.Errorf("program rule %d: id %q, want %q", i, r.ID(), want[i])
+		}
+		if r.Doc() == "" {
+			t.Errorf("program rule %s: empty Doc", r.ID())
 		}
 	}
 }
@@ -257,7 +378,10 @@ func TestSelectDirs(t *testing.T) {
 }
 
 // TestRepoIsClean is the acceptance gate: the repository's own analyzed
-// surface must lint clean with the default rules.
+// surface must lint clean — per-package rules, the interprocedural taint
+// engine, and the stale-suppression audit all at once. Every package is
+// loaded exactly once (the Loader's pass cache); the non-surface module
+// packages the loads pulled in become call-graph context.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("lints the whole surface")
@@ -270,7 +394,7 @@ func TestRepoIsClean(t *testing.T) {
 	if len(dirs) < 10 {
 		t.Fatalf("suspiciously small surface: %v", dirs)
 	}
-	var failures []string
+	var passes []*Pass
 	for _, dir := range dirs {
 		pass, err := l.LoadDir(filepath.Join(l.RepoRoot, dir))
 		if err != nil {
@@ -279,9 +403,12 @@ func TestRepoIsClean(t *testing.T) {
 		if pass == nil {
 			continue
 		}
-		for _, d := range Lint(pass, DefaultRules()) {
-			failures = append(failures, d.String())
-		}
+		passes = append(passes, pass)
+	}
+	prog := NewProgram(passes...).WithContext(l.Passes()...)
+	var failures []string
+	for _, d := range prog.Lint(DefaultRules(), DefaultProgramRules()) {
+		failures = append(failures, d.String())
 	}
 	if len(failures) > 0 {
 		t.Errorf("repository surface has %d violation(s):\n%s",

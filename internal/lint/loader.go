@@ -19,6 +19,12 @@ import (
 // through the compiler's source importer. All type-checked packages are
 // cached, so checking many packages in one process pays the (dominant)
 // standard-library cost once.
+//
+// Module-internal packages are additionally cached as full Passes (with
+// types.Info populated): a package type-checked once as a dependency is
+// the same *Pass — and therefore holds the same *types.Func objects — when
+// later linted as a root. That identity is what lets the interprocedural
+// call graph connect callers and callees across package boundaries.
 type Loader struct {
 	Fset *token.FileSet
 	// RepoRoot is the directory containing go.mod.
@@ -26,8 +32,9 @@ type Loader struct {
 	// ModulePath is the module path declared in go.mod (e.g. "repro").
 	ModulePath string
 
-	std   types.Importer
-	cache map[string]*types.Package
+	std    types.Importer
+	cache  map[string]*types.Package
+	passes map[string]*Pass
 }
 
 // NewLoader builds a Loader rooted at the module containing dir (dir or any
@@ -44,6 +51,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modpath,
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      map[string]*types.Package{},
+		passes:     map[string]*Pass{},
 	}, nil
 }
 
@@ -114,8 +122,17 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, []string, error) {
 
 // LoadDir parses and type-checks the package in dir, returning a Pass ready
 // for rules to inspect. Directories with no non-test .go files return a nil
-// Pass and no error.
+// Pass and no error. The result is cached by import path, so a package
+// already type-checked as someone else's dependency is returned as-is
+// rather than re-parsed and re-checked.
 func (l *Loader) LoadDir(dir string) (*Pass, error) {
+	pkgpath, err := l.pkgPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.passes[pkgpath]; ok {
+		return p, nil
+	}
 	files, _, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -123,16 +140,33 @@ func (l *Loader) LoadDir(dir string) (*Pass, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
-	pkgpath, err := l.pkgPathFor(dir)
+	pass, err := l.check(pkgpath, files)
 	if err != nil {
 		return nil, err
 	}
-	return l.check(pkgpath, files)
+	l.passes[pkgpath] = pass
+	l.cache[pkgpath] = pass.Pkg
+	return pass, nil
+}
+
+// Passes returns every module-internal package type-checked so far (as a
+// root or as a dependency), sorted by import path. The interprocedural
+// engine uses this as call-graph context so that paths through helper
+// packages outside the linted surface are still visible.
+func (l *Loader) Passes() []*Pass {
+	out := make([]*Pass, 0, len(l.passes))
+	for _, p := range l.passes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
 }
 
 // LoadFiles type-checks an explicit file set under a caller-chosen package
 // path. Rules scope themselves by package path, so tests use synthetic
 // paths (e.g. ".../internal/benchmarks/fixture") to exercise scoping.
+// LoadFiles deliberately bypasses the pass cache: fixtures reuse the same
+// synthetic path for different file sets.
 func (l *Loader) LoadFiles(pkgpath string, paths ...string) (*Pass, error) {
 	var files []*ast.File
 	for _, p := range paths {
@@ -171,18 +205,22 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		return p, nil
 	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		// Build the full Pass (with types.Info), not just the bare
+		// *types.Package: when the same package is later linted as a root,
+		// LoadDir returns this Pass from the cache instead of checking it a
+		// second time.
 		dir := filepath.Join(l.RepoRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")))
 		files, _, err := l.parseDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		conf := types.Config{Importer: li}
-		pkg, err := conf.Check(path, l.Fset, files, nil)
+		pass, err := l.check(path, files)
 		if err != nil {
 			return nil, err
 		}
-		l.cache[path] = pkg
-		return pkg, nil
+		l.passes[path] = pass
+		l.cache[path] = pass.Pkg
+		return pass.Pkg, nil
 	}
 	pkg, err := l.std.Import(path)
 	if err == nil {

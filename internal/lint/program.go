@@ -1,0 +1,128 @@
+package lint
+
+import "sync"
+
+// Program is a set of type-checked packages analyzed together. Passes are
+// the linted surface — rules report into them and their allow comments
+// are audited for staleness. Context holds additional module packages
+// (typically every dependency the Loader type-checked along the way);
+// their function bodies feed the call graph so interprocedural paths
+// through helper packages stay visible, but no diagnostics are filed
+// against them for per-package rules.
+//
+// All passes must share one *token.FileSet and one type-checked object
+// world (the Loader guarantees this via its pass cache): the call graph
+// keys functions by *types.Func identity across package boundaries.
+type Program struct {
+	Passes  []*Pass
+	Context []*Pass
+
+	graphOnce sync.Once
+	graph     *callGraph
+}
+
+// NewProgram builds a Program over the given surface passes.
+func NewProgram(passes ...*Pass) *Program {
+	return &Program{Passes: passes}
+}
+
+// WithContext attaches call-graph context packages (deduplicated against
+// the surface by import path) and returns prog for chaining.
+func (prog *Program) WithContext(passes ...*Pass) *Program {
+	surface := map[string]bool{}
+	for _, p := range prog.Passes {
+		surface[p.PkgPath] = true
+	}
+	for _, p := range passes {
+		if p == nil || surface[p.PkgPath] {
+			continue
+		}
+		prog.Context = append(prog.Context, p)
+	}
+	return prog
+}
+
+// allPasses returns surface then context passes.
+func (prog *Program) allPasses() []*Pass {
+	out := make([]*Pass, 0, len(prog.Passes)+len(prog.Context))
+	out = append(out, prog.Passes...)
+	return append(out, prog.Context...)
+}
+
+// callGraphOnce builds (once) the whole-program call graph.
+func (prog *Program) callGraphOnce() *callGraph {
+	prog.graphOnce.Do(func() { prog.graph = buildCallGraph(prog.allPasses()) })
+	return prog.graph
+}
+
+// ProgramRule checks one invariant over the whole program; its Check sees
+// every pass at once, so it can follow calls across package boundaries.
+type ProgramRule interface {
+	// ID is the stable identifier used in diagnostics and allow comments.
+	ID() string
+	// Doc is a one-line description for -rules listings and documentation.
+	Doc() string
+	// CheckProgram inspects the program and returns every violation found.
+	CheckProgram(prog *Program) []Diagnostic
+}
+
+// DefaultProgramRules returns the interprocedural rule set.
+func DefaultProgramRules() []ProgramRule {
+	return []ProgramRule{
+		NondeterministicTaint{},
+	}
+}
+
+// knownRuleIDs is the registry used to classify //lint:allow rule ids:
+// every default rule (both kinds), the engine's own stale-suppression id,
+// and whatever extra rules the caller passed.
+func knownRuleIDs(rules []Rule, progRules []ProgramRule) map[string]bool {
+	known := map[string]bool{StaleSuppressionID: true}
+	for _, r := range DefaultRules() {
+		known[r.ID()] = true
+	}
+	for _, r := range DefaultProgramRules() {
+		known[r.ID()] = true
+	}
+	for _, r := range rules {
+		known[r.ID()] = true
+	}
+	for _, r := range progRules {
+		known[r.ID()] = true
+	}
+	return known
+}
+
+// Lint runs the per-package rules over every surface pass and the program
+// rules over the whole program, drops suppressed findings, appends a
+// stale-suppression diagnostic for every surface allow comment that
+// suppressed nothing (restricted to rules that actually ran, so partial
+// runs don't misreport), and returns everything sorted by position.
+func (prog *Program) Lint(rules []Rule, progRules []ProgramRule) []Diagnostic {
+	allows := collectAllows(prog.Passes, prog.Context)
+	ran := map[string]bool{}
+	var out []Diagnostic
+	for _, p := range prog.Passes {
+		for _, r := range rules {
+			ran[r.ID()] = true
+			for _, d := range r.Check(p) {
+				if allows.suppresses(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	for _, r := range progRules {
+		ran[r.ID()] = true
+		for _, d := range r.CheckProgram(prog) {
+			if allows.suppresses(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, allows.stale(ran, knownRuleIDs(rules, progRules))...)
+	sortDiagnostics(out)
+	return out
+}

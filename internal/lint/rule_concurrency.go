@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineContext flags goroutines launched from a function that has a
+// context.Context parameter when the goroutine body/arguments never
+// mention a context. Such a goroutine cannot observe cancellation: it
+// outlives request deadlines and blocks graceful drain. Functions without
+// a context parameter are exempt — there is nothing to propagate.
+// Benchmark packages are exempt too; no-goroutines-in-kernels already
+// bans the goroutine itself.
+type GoroutineContext struct{}
+
+func (GoroutineContext) ID() string { return "goroutine-context" }
+
+func (GoroutineContext) Doc() string {
+	return "goroutines launched where a context.Context is in scope must propagate it (reference some ctx in the go statement)"
+}
+
+func (r GoroutineContext) Check(p *Pass) []Diagnostic {
+	if isBenchmarkPkg(p.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasContextParam(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !mentionsContext(p, g.Call) {
+					out = append(out, p.diag(r.ID(), g,
+						"goroutine in %s ignores the context.Context in scope; propagate it so cancellation reaches the worker", fd.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// hasContextParam reports whether fd declares a context.Context parameter.
+func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsContext reports whether any expression under n has static type
+// context.Context (the ctx being passed along or selected from).
+func mentionsContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isContextType(p.Info.TypeOf(e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// BlockingSend flags channel sends outside a select statement. An
+// unconditional send blocks its goroutine forever if the receiver is gone
+// — the classic shutdown hang. Two shapes are exempt: sends that are a
+// select communication clause (they have an escape path), and sends on a
+// channel made with non-zero capacity in the same function, where the
+// local code bounds the outstanding sends.
+type BlockingSend struct{}
+
+func (BlockingSend) ID() string { return "blocking-send" }
+
+func (BlockingSend) Doc() string {
+	return "channel sends must sit in a select (or target a locally made buffered channel); a bare send can block shutdown forever"
+}
+
+func (r BlockingSend) Check(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inSelect := map[*ast.SendStmt]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectStmt); ok {
+					for _, clause := range sel.Body.List {
+						if cc, ok := clause.(*ast.CommClause); ok {
+							if send, ok := cc.Comm.(*ast.SendStmt); ok {
+								inSelect[send] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				send, ok := n.(*ast.SendStmt)
+				if !ok || inSelect[send] {
+					return true
+				}
+				if madeBufferedLocally(p, fd.Body, send.Chan) {
+					return true
+				}
+				out = append(out, p.diag(r.ID(), send,
+					"send on %s outside a select can block forever; add a select with a cancellation/default case or bound it with a buffered channel", types.ExprString(send.Chan)))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// madeBufferedLocally reports whether ch resolves to a variable assigned
+// make(chan T, n) with n not the constant 0, somewhere in the same
+// function body.
+func madeBufferedLocally(p *Pass, body *ast.BlockStmt, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || p.Info.ObjectOf(lid) != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBufferedMake(p, call) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBufferedMake matches make(chan T, n) where n is not literally 0.
+func isBufferedMake(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if tv, ok := p.Info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+		return false
+	}
+	return true
+}
+
+// WorkerJoin flags goroutines with no join evidence: nothing in the
+// spawning function waits for them (no WaitGroup Wait, no Add feeding a
+// package-level Wait) and the goroutine signals no completion (no channel
+// send, close, or WaitGroup Done in its body or its statically resolved
+// target). An unjoined worker outlives Drain and leaks past shutdown.
+type WorkerJoin struct{}
+
+func (WorkerJoin) ID() string { return "worker-join" }
+
+func (WorkerJoin) Doc() string {
+	return "spawned goroutines need join evidence: a WaitGroup Wait/Add+Done or a completion signal (send/close) the spawner can observe"
+}
+
+func (r WorkerJoin) Check(p *Pass) []Diagnostic {
+	if isBenchmarkPkg(p.PkgPath) {
+		return nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	pkgHasWait := false
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if containsWaitGroupCall(p, fd.Body, "Wait") {
+				pkgHasWait = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			waitsHere := containsWaitGroupCall(p, fd.Body, "Wait")
+			addsHere := containsWaitGroupCall(p, fd.Body, "Add")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				switch {
+				case waitsHere:
+				case addsHere && pkgHasWait:
+				case goroutineSignalsCompletion(p, g, decls):
+				default:
+					out = append(out, p.diag(r.ID(), g,
+						"goroutine in %s is never joined: no WaitGroup Wait/Add and no completion signal; it can outlive shutdown", fd.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// goroutineSignalsCompletion reports whether the spawned code observably
+// finishes: its function literal (or same-package static target) contains
+// a channel send, a close, or a WaitGroup Done.
+func goroutineSignalsCompletion(p *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	var body ast.Node
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if callee := staticCallee(p.Info, g.Call); callee != nil {
+		if fd := decls[callee]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if isWaitGroupCallExpr(p, n, "Done") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// containsWaitGroupCall reports whether body calls method (Wait/Add/Done)
+// on a sync.WaitGroup value.
+func containsWaitGroupCall(p *Pass, body *ast.BlockStmt, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCallExpr(p, call, method) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCallExpr matches x.<method>() where x is a sync.WaitGroup.
+func isWaitGroupCallExpr(p *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

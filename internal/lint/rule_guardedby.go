@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces comment-declared mutex invariants on struct fields.
+// A field annotated
+//
+//	jobs map[string]*job //lint:guardedby mu
+//
+// (trailing or doc-comment form; the guard names a sibling sync.Mutex or
+// sync.RWMutex field) may only be read or written in functions that lock
+// the guard on the same receiver/base expression before the access.
+//
+// The check is deliberately flow-insensitive — any base.mu.Lock() or
+// base.mu.RLock() call earlier in the same function body satisfies it —
+// so it catches the real bug class (a field access with no locking
+// discipline at all) without modeling unlock paths. Two structural
+// exemptions keep it honest: functions whose name ends in "Locked"
+// (helpers documented to run under the caller's lock) and constructors
+// (functions named new*/New*, where the value is not yet shared).
+type GuardedBy struct{}
+
+func (GuardedBy) ID() string { return "guardedby" }
+
+func (GuardedBy) Doc() string {
+	return "fields annotated //lint:guardedby <mutex> must be accessed with the guard locked (exempt: *Locked helpers, new*/New* constructors)"
+}
+
+func (r GuardedBy) Check(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range guardedByViolations(p) {
+		out = append(out, p.diag(r.ID(), v.node,
+			"%s is guarded by %q but accessed without %s.%s.Lock() in %s",
+			v.field, v.guard, v.base, v.guard, v.fnName))
+	}
+	return out
+}
+
+// gbViolation is one unguarded access to a //lint:guardedby field. The
+// taint engine also consumes these: an unsynchronized read is a
+// goroutine-scheduling-dependent nondeterminism source.
+type gbViolation struct {
+	fn     *types.Func
+	fnName string
+	node   ast.Node
+	field  string
+	guard  string
+	base   string
+}
+
+// collectGuardedFields parses //lint:guardedby annotations off struct
+// field comments (trailing or doc form), mapping each annotated field
+// object to its guard name.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the guard name from a field's comments.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//lint:guardedby"); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// guardedByViolations finds every access to an annotated field with no
+// preceding lock of its guard in the enclosing function.
+func guardedByViolations(p *Pass) []gbViolation {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []gbViolation
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasSuffix(name, "Locked") ||
+				strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New") {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			locks := lockCalls(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := p.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				guard, ok := guarded[v]
+				if !ok {
+					return true
+				}
+				base := types.ExprString(sel.X)
+				held := false
+				for _, lc := range locks {
+					if lc.base == base && lc.guard == guard && lc.pos < sel.Pos() {
+						held = true
+						break
+					}
+				}
+				if !held {
+					out = append(out, gbViolation{
+						fn: fn, fnName: name, node: sel,
+						field: v.Name(), guard: guard, base: base,
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// lockCall is one base.guard.Lock()/RLock() call site.
+type lockCall struct {
+	base  string
+	guard string
+	pos   token.Pos
+}
+
+// lockCalls collects every mutex acquisition in a function body.
+func lockCalls(p *Pass, body *ast.BlockStmt) []lockCall {
+	var out []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") {
+			return true
+		}
+		guardSel, ok := fun.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		out = append(out, lockCall{
+			base:  types.ExprString(guardSel.X),
+			guard: guardSel.Sel.Name,
+			pos:   call.Pos(),
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NondeterministicTaint is the interprocedural dataflow engine: it builds
+// the whole-program call graph, marks every function that touches a
+// nondeterminism source, propagates that taint caller-ward through the
+// graph, and reports any path that reaches a report sink — a function
+// producing or consuming report.Measurement/Results/Suite values or a
+// checksum. Each diagnostic sits on the source call itself (so a
+// //lint:allow on that line is the suppression point) and carries the
+// full sink-to-source call chain.
+//
+// Sources: wall-clock reads (time.Now/Since — sanctioned inside the
+// timing packages, which own wall time), global math/rand draws,
+// environment/host identity reads (os.Getenv & friends), map-iteration-
+// order dependence (the same detector the per-function rule uses), and
+// unsynchronized reads of //lint:guardedby fields (goroutine-scheduling-
+// dependent values).
+//
+// Propagation is over static call edges only; dynamic calls (interface
+// methods, function values) end the walk. That makes the rule sound on
+// the paths it reports and quiet on the ones it cannot see, which is the
+// right bias for a gate that must stay clean.
+type NondeterministicTaint struct{}
+
+func (NondeterministicTaint) ID() string { return "nondeterministic-taint" }
+
+func (NondeterministicTaint) Doc() string {
+	return "no call path may carry a nondeterminism source (clock, global rand, map order, env, unsynchronized read) into a report/checksum sink"
+}
+
+// sourceRef is one nondeterminism source occurrence inside a function.
+type sourceRef struct {
+	pos  token.Position
+	desc string
+}
+
+func (r NondeterministicTaint) CheckProgram(prog *Program) []Diagnostic {
+	g := prog.callGraphOnce()
+	nodes := g.sortedNodes()
+
+	// Per-pass guardedby violations, grouped by enclosing function.
+	gbByFn := map[*types.Func][]sourceRef{}
+	for _, p := range prog.allPasses() {
+		for _, v := range guardedByViolations(p) {
+			if v.fn != nil {
+				gbByFn[v.fn] = append(gbByFn[v.fn], sourceRef{
+					pos:  p.Fset.Position(v.node.Pos()),
+					desc: fmt.Sprintf("unsynchronized read of guarded field %s", v.field),
+				})
+			}
+		}
+	}
+
+	// Classify every node: sources it contains, sink shape if any.
+	sources := map[*types.Func][]sourceRef{}
+	for _, n := range nodes {
+		refs := taintSourcesIn(n.pass, n.decl)
+		refs = append(refs, gbByFn[n.fn]...)
+		if len(refs) > 0 {
+			sources[n.fn] = refs
+		}
+	}
+
+	// Multi-source BFS caller-ward: dist[f] = hops from f down to the
+	// nearest tainted function. FIFO order makes the distances exact
+	// regardless of within-level ordering.
+	dist := map[*types.Func]int{}
+	var queue []*types.Func
+	for _, n := range nodes {
+		if _, tainted := sources[n.fn]; tainted {
+			dist[n.fn] = 0
+			queue = append(queue, n.fn)
+		}
+	}
+	rev := g.callersOf()
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		for _, caller := range rev[cur] {
+			if _, seen := dist[caller]; !seen {
+				dist[caller] = dist[cur] + 1
+				queue = append(queue, caller)
+			}
+		}
+	}
+
+	// Walk the sinks in source order; for each tainted sink, rebuild the
+	// chain down to a source and report at the source position. One
+	// diagnostic per source position — the shortest chain wins.
+	type finding struct {
+		d     Diagnostic
+		hops  int
+		order int
+	}
+	best := map[token.Position]finding{}
+	order := 0
+	for _, n := range nodes {
+		sink := sinkShape(n.fn)
+		if sink == "" {
+			continue
+		}
+		d, tainted := dist[n.fn]
+		if !tainted {
+			continue
+		}
+		chain := []string{n.fn.Name()}
+		cur := n.fn
+		for d > 0 {
+			var next *types.Func
+			for _, e := range g.calls[cur] {
+				if dc, ok := dist[e.callee]; ok && dc == d-1 {
+					next = e.callee
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			chain = append(chain, next.Name())
+			cur, d = next, d-1
+		}
+		refs := sources[cur]
+		if len(refs) == 0 {
+			continue
+		}
+		src := refs[0]
+		for _, ref := range refs[1:] {
+			if ref.pos.Filename < src.pos.Filename ||
+				(ref.pos.Filename == src.pos.Filename && ref.pos.Offset < src.pos.Offset) {
+				src = ref
+			}
+		}
+		f := finding{
+			d: Diagnostic{
+				Pos:    src.pos,
+				File:   src.pos.Filename,
+				Line:   src.pos.Line,
+				Col:    src.pos.Column,
+				RuleID: r.ID(),
+				Message: fmt.Sprintf("%s reaches %s (%s); call chain: %s",
+					src.desc, n.fn.Name(), sink, strings.Join(chain, " → ")),
+			},
+			hops:  len(chain),
+			order: order,
+		}
+		order++
+		if prev, ok := best[src.pos]; !ok || f.hops < prev.hops {
+			best[src.pos] = f
+		}
+	}
+
+	out := make([]Diagnostic, 0, len(best))
+	for _, f := range best {
+		out = append(out, f.d)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// envSources lists the os package reads that leak host identity or
+// per-run environment into results.
+var envSources = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+	"Hostname":  true,
+	"Getpid":    true,
+	"Getppid":   true,
+}
+
+// taintSourcesIn scans one function declaration for direct nondeterminism
+// sources: clock reads (outside the timing packages), global rand draws,
+// environment reads, and map-iteration-order dependence.
+func taintSourcesIn(p *Pass, fd *ast.FuncDecl) []sourceRef {
+	if fd.Body == nil {
+		return nil
+	}
+	var refs []sourceRef
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgCall(p, call, "time"); ok && (name == "Now" || name == "Since") && !isTimingPkg(p.PkgPath) {
+			refs = append(refs, sourceRef{p.Fset.Position(call.Pos()), "wall-clock read time." + name})
+		}
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			if name, ok := pkgCall(p, call, path); ok && !globalRandAllowed[name] {
+				refs = append(refs, sourceRef{p.Fset.Position(call.Pos()), "global rand." + name})
+			}
+		}
+		if name, ok := pkgCall(p, call, "os"); ok && envSources[name] {
+			refs = append(refs, sourceRef{p.Fset.Position(call.Pos()), "environment read os." + name})
+		}
+		return true
+	})
+	var mapDiags []Diagnostic
+	NoMapOrderDependence{}.walkFunc(p, fd.Body, &mapDiags)
+	for _, d := range mapDiags {
+		refs = append(refs, sourceRef{d.Pos, "map-iteration-order dependence"})
+	}
+	return refs
+}
+
+// sinkShape classifies fn as a report sink, returning a short description
+// ("" when fn is not a sink): its signature mentions a report envelope
+// type, or it returns a checksum-typed value.
+func sinkShape(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if name := reportTypeName(recv.Type()); name != "" {
+			return "method on report." + name
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if name := reportTypeName(sig.Params().At(i).Type()); name != "" {
+			return "takes report." + name
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if name := reportTypeName(t); name != "" {
+			return "produces report." + name
+		}
+		if resultsContainChecksum(t) {
+			return "produces a checksum"
+		}
+	}
+	return ""
+}
+
+// reportTypeName unwraps pointers/slices and reports the type name when t
+// is one of the report package's envelope types.
+func reportTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/harness/report") {
+		return ""
+	}
+	switch obj.Name() {
+	case "Measurement", "Results", "Suite":
+		return obj.Name()
+	}
+	return ""
+}

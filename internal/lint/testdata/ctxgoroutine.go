@@ -1,0 +1,31 @@
+// Fixture for the goroutine-context rule: where a context.Context is in
+// scope, spawned goroutines must reference one.
+package fixture
+
+import "context"
+
+func spawnBad(ctx context.Context, work func()) {
+	go work() // want goroutine-context "ignores the context"
+	<-ctx.Done()
+}
+
+func spawnGood(ctx context.Context, work func(context.Context)) {
+	go work(ctx)
+}
+
+func spawnLit(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func spawnDerived(ctx context.Context, work func(context.Context)) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go work(sub)
+}
+
+// noCtx has nothing to propagate: exempt.
+func noCtx(work func()) {
+	go work()
+}

@@ -1,0 +1,59 @@
+// Fixture for the guardedby rule: //lint:guardedby fields may only be
+// touched under their declared mutex, from *Locked helpers, or in
+// constructors.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //lint:guardedby mu
+	// hits uses the doc-comment annotation form.
+	//lint:guardedby mu
+	hits int
+	// free has no annotation and is never checked.
+	free int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits++
+}
+
+func (c *counter) bad() int {
+	return c.n // want guardedby `n is guarded by "mu"`
+}
+
+func (c *counter) alsoBad() {
+	c.hits++ // want guardedby `hits is guarded by "mu"`
+	c.free++
+}
+
+// snapshotLocked runs under the caller's lock by convention.
+func (c *counter) snapshotLocked() int {
+	return c.n + c.hits
+}
+
+// newCounter owns the value exclusively until it returns.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int //lint:guardedby rw
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) badLen() int {
+	return len(t.rows) // want guardedby `rows is guarded by "rw"`
+}

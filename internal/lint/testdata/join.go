@@ -1,0 +1,41 @@
+// Fixture for the worker-join rule: every spawned goroutine needs join
+// evidence — a WaitGroup the spawner waits on, or a completion signal
+// (send/close/Done) the spawner can observe.
+package fixture
+
+import "sync"
+
+func fanout(items []int, f func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			f(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func fireAndForget(f func()) {
+	go f() // want worker-join "never joined"
+}
+
+func signaled(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}
+
+var pumpDone = make(chan struct{})
+
+// runs spawns a named function whose body closes a channel: the static
+// callee provides the completion signal.
+func runs() {
+	go pump()
+	<-pumpDone
+}
+
+func pump() {
+	close(pumpDone)
+}

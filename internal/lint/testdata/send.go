@@ -1,0 +1,26 @@
+// Fixture for the blocking-send rule: bare channel sends can block
+// shutdown; sends inside a select or on locally made buffered channels
+// cannot (locally, at least — the bound is the buffer).
+package fixture
+
+import "context"
+
+func relay(ctx context.Context, out chan<- int, v int) {
+	out <- v // want blocking-send "outside a select"
+	select {
+	case out <- v:
+	case <-ctx.Done():
+	}
+}
+
+func buffered(n int, v int) chan int {
+	ch := make(chan int, n)
+	ch <- v
+	return ch
+}
+
+func unbuffered(v int) {
+	ch := make(chan int)
+	ch <- v // want blocking-send "outside a select"
+	close(ch)
+}

@@ -1,0 +1,18 @@
+// Fixture for stale-suppression detection: an //lint:allow must suppress
+// a real finding to stay; unused and unknown-rule allows are findings
+// themselves. Exercised with the no-wall-clock rule.
+package fixture
+
+import "time"
+
+func used() time.Time {
+	return time.Now() //lint:allow no-wall-clock fixture: legitimate suppression
+}
+
+func unused() int {
+	//lint:allow no-wall-clock nothing here reads the clock // want stale-suppression "matches no finding"
+	return 42
+}
+
+//lint:allow no-such-rule this id is not in the registry // want stale-suppression "unknown rule"
+func alsoClean() {}

@@ -1,0 +1,48 @@
+// Fixture for the interprocedural nondeterministic-taint rule: sources
+// several hops below a report sink must be reported with the full call
+// chain, and sources no sink can reach must stay silent.
+package fixture
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/harness/report"
+)
+
+// produce is the sink: it returns a report.Measurement.
+func produce() report.Measurement {
+	return report.Measurement{Benchmark: "x", WallSeconds: mid()}
+}
+
+// Three hops between the sink and the clock read.
+func mid() float64 { return inner() }
+
+func inner() float64 { return leaf() }
+
+func leaf() float64 {
+	return float64(time.Now().UnixNano()) // want nondeterministic-taint "call chain: produce → mid → inner → leaf"
+}
+
+// tag consumes a Measurement (parameter sink) and reaches an environment
+// read one hop down.
+func tag(m report.Measurement) string {
+	return m.Benchmark + hostTag()
+}
+
+func hostTag() string {
+	h, _ := os.Hostname() // want nondeterministic-taint "environment read os.Hostname"
+	return h
+}
+
+// cleanProduce touches no source: no finding.
+func cleanProduce() report.Measurement {
+	return report.Measurement{Benchmark: "y", WallSeconds: 1.5}
+}
+
+// orphan reads the clock but nothing on a sink path calls it, so the
+// taint rule stays silent (the per-function no-wall-clock rule is the
+// one that owns this case).
+func orphan() time.Duration {
+	return time.Since(time.Unix(0, 0))
+}

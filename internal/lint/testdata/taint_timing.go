@@ -1,0 +1,20 @@
+// Fixture proving wall-clock reads are sanctioned taint sources inside
+// the timing packages: loaded under the internal/harness package path,
+// the same clock→Measurement shape that taint.go flags must stay silent
+// (the harness owns WallSeconds by design).
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/harness/report"
+)
+
+func timedProduce() report.Measurement {
+	return report.Measurement{Benchmark: "x", WallSeconds: elapsed()}
+}
+
+func elapsed() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}

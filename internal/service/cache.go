@@ -98,17 +98,21 @@ const (
 // bytes-producing values (including WallSeconds) of the first run.
 type cellStore struct {
 	mu      sync.Mutex
-	entries map[string]*cellEntry
-	bytes   int
+	entries map[string]*cellEntry //lint:guardedby mu
+	bytes   int                   //lint:guardedby mu
 
-	hits            uint64 // acquire found a resolved entry
-	misses          uint64 // acquire created the entry (caller leads)
-	inflightWaits   uint64 // acquire joined another flight
-	localRuns       uint64 // cells resolved by local execution
-	remoteRuns      uint64 // cells resolved by a worker daemon
-	remoteErrors    uint64 // failed remote attempts (before retry/failover)
-	remoteFailovers uint64 // cells that fell back to local execution
-	flushes         uint64 // DELETE /v1/cache calls
+	hits            uint64 //lint:guardedby mu — acquire found a resolved entry
+	misses          uint64 //lint:guardedby mu — acquire created the entry (caller leads)
+	inflightWaits   uint64 //lint:guardedby mu — acquire joined another flight
+	localRuns       uint64 //lint:guardedby mu — cells resolved by local execution
+	remoteRuns      uint64 //lint:guardedby mu — cells resolved by a worker daemon
+	remoteErrors    uint64 //lint:guardedby mu — failed remote attempts (before retry/failover)
+	remoteFailovers uint64 //lint:guardedby mu — cells that fell back to local execution
+	flushes         uint64 //lint:guardedby mu — DELETE /v1/cache calls
+
+	// remoteErrLog retains the most recent remote failure details (cell
+	// key, benchmark/workload, attempt, worker error) for /metrics.
+	remoteErrLog []string //lint:guardedby mu
 }
 
 func newCellStore() *cellStore {
@@ -194,9 +198,21 @@ func (c *cellStore) allResolved(keys []string, countHits bool) ([]report.Measure
 	return ms, true
 }
 
-func (c *cellStore) noteRemoteError() {
+// remoteErrLogCap bounds the /metrics remote-error detail ring.
+const remoteErrLogCap = 16
+
+// noteRemoteError counts one failed remote attempt and retains its
+// detail (cell key, benchmark/workload, attempt number, worker error) in
+// a bounded ring surfaced by /metrics.
+func (c *cellStore) noteRemoteError(detail string) {
 	c.mu.Lock()
 	c.remoteErrors++
+	if len(c.remoteErrLog) == remoteErrLogCap {
+		copy(c.remoteErrLog, c.remoteErrLog[1:])
+		c.remoteErrLog[len(c.remoteErrLog)-1] = detail
+	} else {
+		c.remoteErrLog = append(c.remoteErrLog, detail)
+	}
 	c.mu.Unlock()
 }
 
@@ -243,6 +259,11 @@ type CellCacheStats struct {
 	RemoteErrors    uint64 `json:"remote_errors"`
 	RemoteFailovers uint64 `json:"remote_failovers"`
 	Flushes         uint64 `json:"flushes"`
+
+	// RemoteErrorLog is the detail behind RemoteErrors: the most recent
+	// failed attempts, each carrying the cell key, benchmark/workload,
+	// attempt number, and the worker's error.
+	RemoteErrorLog []string `json:"remote_error_log,omitempty"`
 }
 
 func (c *cellStore) stats() CellCacheStats {
@@ -258,6 +279,7 @@ func (c *cellStore) stats() CellCacheStats {
 		RemoteErrors:    c.remoteErrors,
 		RemoteFailovers: c.remoteFailovers,
 		Flushes:         c.flushes,
+		RemoteErrorLog:  append([]string(nil), c.remoteErrLog...),
 	}
 	for _, e := range c.entries {
 		if e.state == cellResolved {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -357,6 +358,95 @@ func TestWorkerFailover(t *testing.T) {
 			t.Errorf("live worker ran %d times, want 3", wb.runs.Load())
 		}
 	})
+}
+
+// TestWorkerMalformedResponse: a worker that answers 200 with a
+// truncated or mismatched Measurement body must count as a remote error
+// and fall through to local execution — and the garbage must never enter
+// the cell store. The /metrics remote-error detail must name the cell
+// key, benchmark/workload and attempt number, not just the worker.
+func TestWorkerMalformedResponse(t *testing.T) {
+	bodies := map[string]string{
+		"truncated json":    `{"schema_version": 1, "measurement": {"benchmark": "990.`,
+		"wrong measurement": `{"schema_version": 1, "measurement": {"benchmark": "990.count_r", "workload": "not-a-workload"}}`,
+	}
+	for name, body := range bodies {
+		t.Run(name, func(t *testing.T) {
+			bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(body))
+			}))
+			t.Cleanup(bad.Close)
+
+			bench := &countBench{name: "990.count_r"}
+			suite, err := core.NewSuite(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewServer(Config{Suite: suite, Workers: []string{bad.URL}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(s.Drain)
+
+			_, st := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`)
+			if st["state"] != stateDone {
+				t.Fatalf("job: %+v", st)
+			}
+			if cc := cellCounts(t, st); cc["local"] != 3 || cc["remote"] != 0 {
+				t.Errorf("cells = %v, want 3 local after malformed worker answers", cc)
+			}
+			if bench.runs.Load() != 3 {
+				t.Errorf("local fallback ran %d times, want 3", bench.runs.Load())
+			}
+			stats := s.cells.stats()
+			if stats.RemoteErrors != 3 || stats.RemoteFailovers != 3 {
+				t.Errorf("remote_errors=%d remote_failovers=%d, want 3/3", stats.RemoteErrors, stats.RemoteFailovers)
+			}
+			if len(stats.RemoteErrorLog) != 3 {
+				t.Fatalf("remote_error_log has %d entries, want 3: %v", len(stats.RemoteErrorLog), stats.RemoteErrorLog)
+			}
+			for _, entry := range stats.RemoteErrorLog {
+				if !strings.HasPrefix(entry, "cell ") {
+					t.Errorf("error detail does not lead with the cell key: %q", entry)
+				}
+				if !strings.Contains(entry, "990.count_r/") {
+					t.Errorf("error detail missing benchmark/workload: %q", entry)
+				}
+				if !strings.Contains(entry, "attempt 1/1:") {
+					t.Errorf("error detail missing attempt number: %q", entry)
+				}
+				if !strings.Contains(entry, "worker "+bad.URL) {
+					t.Errorf("error detail missing the worker error: %q", entry)
+				}
+			}
+
+			// The garbage must not have poisoned the store: the same job
+			// resubmitted is born done from clean locally-run cells, with
+			// zero additional executions and an identical envelope.
+			rec1, _ := doJSON(t, s.Handler(), "GET", "/v1/jobs/"+jobID(t, st)+"/result", "")
+			rec2, st2 := doJSON(t, s.Handler(), "POST", "/v1/jobs", `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`)
+			if rec2.Code != http.StatusOK || st2["state"] != stateDone || st2["cached"] != true {
+				t.Fatalf("resubmit not served from cache: code=%d %+v", rec2.Code, st2)
+			}
+			if bench.runs.Load() != 3 {
+				t.Errorf("resubmit re-executed: %d runs", bench.runs.Load())
+			}
+			rec3, _ := doJSON(t, s.Handler(), "GET", "/v1/jobs/"+jobID(t, st2)+"/result", "")
+			if rec1.Body.String() != rec3.Body.String() {
+				t.Error("cached envelope differs from the original")
+			}
+		})
+	}
+}
+
+func jobID(t *testing.T, st map[string]any) string {
+	t.Helper()
+	id, ok := st["id"].(string)
+	if !ok || id == "" {
+		t.Fatalf("status has no id: %+v", st)
+	}
+	return id
 }
 
 // TestCellExecuteEndpoint exercises the worker wire protocol directly.

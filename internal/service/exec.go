@@ -141,7 +141,8 @@ func (s *Server) remoteCell(ctx context.Context, c plannedCell, cfg report.RunCo
 		if err == nil {
 			return m, true
 		}
-		s.cells.noteRemoteError()
+		s.cells.noteRemoteError(fmt.Sprintf("cell %.12s %s/%s attempt %d/%d: %v",
+			c.key, c.bench.Name(), c.w.WorkloadName(), a+1, attempts, err))
 	}
 	return report.Measurement{}, false
 }

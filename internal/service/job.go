@@ -83,15 +83,15 @@ type job struct {
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
-	state     string
-	cached    bool
-	counts    [4]int // indexed by cellOutcome
-	completed int
-	errMsg    string
-	result    []byte
-	events    []Event      // replay log for late SSE subscribers
-	subs      []chan Event // live subscribers
-	closed    bool         // terminal event published
+	state     string       //lint:guardedby mu
+	cached    bool         //lint:guardedby mu
+	counts    [4]int       //lint:guardedby mu — indexed by cellOutcome
+	completed int          //lint:guardedby mu
+	errMsg    string       //lint:guardedby mu
+	result    []byte       //lint:guardedby mu
+	events    []Event      //lint:guardedby mu — replay log for late SSE subscribers
+	subs      []chan Event //lint:guardedby mu — live subscribers
+	closed    bool         //lint:guardedby mu — terminal event published
 }
 
 func newJob(id string, nr normalized) *job {
@@ -263,7 +263,7 @@ func (j *job) finishCanceled() {
 func (j *job) publishLocked(e Event) {
 	j.events = append(j.events, e)
 	for _, ch := range j.subs {
-		ch <- e
+		ch <- e //lint:allow blocking-send subscriber channels are sized for the whole event budget (subscribe); the send cannot block
 	}
 }
 

@@ -87,11 +87,11 @@ type Server struct {
 	remoteSem chan struct{}
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // job ids in creation order
-	nextID   int
+	jobs     map[string]*job //lint:guardedby mu
+	order    []string        //lint:guardedby mu — job ids in creation order
+	nextID   int             //lint:guardedby mu
+	draining bool            //lint:guardedby mu
 	queue    chan *job
-	draining bool
 
 	wg sync.WaitGroup // job workers
 
@@ -102,8 +102,8 @@ type Server struct {
 	// benchWall / benchCells accumulate per-benchmark measured wall
 	// seconds and executed-cell counts (cache hits are not re-counted).
 	statsMu    sync.Mutex
-	benchWall  map[string]float64
-	benchCells map[string]int
+	benchWall  map[string]float64 //lint:guardedby statsMu
+	benchCells map[string]int     //lint:guardedby statsMu
 }
 
 // NewServer builds the service and starts its job workers.
@@ -180,6 +180,9 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 	if !already {
 		s.wg.Wait()
+		// Drop keep-alive connections to the worker fleet; their readLoop
+		// goroutines would otherwise outlive the server (leakcheck).
+		s.client.CloseIdleConnections()
 	}
 }
 

@@ -13,8 +13,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness/report"
+	"repro/internal/leakcheck"
 	"repro/internal/perf"
 )
+
+// TestMain gates the whole package on goroutine hygiene: every job
+// worker, cell flight, SSE publisher and keep-alive connection spawned
+// by any test must be gone once the run ends, or the package fails even
+// with every test green. This is the executable form of the Drain
+// contract.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
 
 // countBench is a tiny deterministic benchmark that counts Run calls, so
 // tests can assert a cache hit executed zero measurements. With a gate it
