@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-smoke diff-full serve-smoke check
+.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-budget bench-smoke diff-full serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ bench:
 # a micro missing from the baseline — is a real error.
 bench-check:
 	$(GO) run ./cmd/albertabench -check BENCH_profiler.json
+
+# Warn-only budget assertion for the bytecode-compiled interpreter cells:
+# re-times perlbench and gcc against the baseline's per_bench rows and
+# warns when either exceeds its recorded wall clock by the tolerance band.
+bench-budget:
+	$(GO) run ./cmd/albertabench -budget BENCH_profiler.json
 
 # One-iteration pass over every go-test benchmark; catches bit-rot without
 # the cost of a real measurement.

@@ -28,10 +28,12 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/benchmarks"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/perf"
 )
@@ -105,6 +107,18 @@ type SuiteResult struct {
 	GCCycles       uint32 `json:"gc_cycles"`
 }
 
+// BenchResult is one per-benchmark row: wall clock and allocation profile
+// of a single optimized, serial characterization of that benchmark's
+// measurement workloads. Unlike the suite rows it covers all benchmarks,
+// including perlbench (which the characterized suite excludes for having no
+// Alberta workloads), so engine-level speedups are visible per benchmark.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+	Bytes       uint64  `json:"bytes"`
+}
+
 // Baseline is the schema of BENCH_profiler.json.
 type Baseline struct {
 	Go         string        `json:"go"`
@@ -115,6 +129,8 @@ type Baseline struct {
 	// resolves to 1, so the recorded workers count documents the machine.
 	Suite         *SuiteResult `json:"suite,omitempty"`
 	SuiteParallel *SuiteResult `json:"suite_parallel,omitempty"`
+	// PerBench breaks the optimized serial pass down by benchmark.
+	PerBench []BenchResult `json:"per_bench,omitempty"`
 }
 
 // measure times one micro body on one path via the testing package's
@@ -202,18 +218,70 @@ func measureSuite(workers, suiteCount int) (*SuiteResult, error) {
 	return row, nil
 }
 
+// measurePerBench times one optimized serial characterization of each
+// benchmark's measurement workloads, with the allocation delta captured
+// around it (a forced GC first, as in runSuite). Minimum wall over
+// benchCount passes; allocation profile from the first pass. A non-nil
+// only set restricts the sweep to the named benchmarks.
+func measurePerBench(benchCount int, only map[string]bool) ([]BenchResult, error) {
+	suite, err := benchmarks.Suite()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var rows []BenchResult
+	for _, b := range suite.Benchmarks() {
+		if only != nil && !only[b.Name()] {
+			continue
+		}
+		ws, err := core.MeasurementWorkloads(b)
+		if err != nil {
+			return nil, err
+		}
+		row := BenchResult{Name: b.Name(), WallSeconds: math.Inf(1)}
+		for pass := 0; pass < benchCount; pass++ {
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for _, w := range ws {
+				if _, err := harness.RunWorkload(ctx, b, w, harness.Options{Reps: 1, Stride: 1}); err != nil {
+					return nil, err
+				}
+			}
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&after)
+			row.WallSeconds = math.Min(row.WallSeconds, wall)
+			if pass == 0 {
+				row.Allocs = after.Mallocs - before.Mallocs
+				row.Bytes = after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		row.WallSeconds = round2(row.WallSeconds)
+		fmt.Fprintf(os.Stderr, "albertabench: per_bench %-18s %6.2fs   %d allocs / %d bytes\n",
+			row.Name, row.WallSeconds, row.Allocs, row.Bytes)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 func main() {
 	out := flag.String("out", "", "write the baseline JSON to this file (stdout when empty)")
 	microOnly := flag.Bool("micro", false, "skip the full-suite wall-clock comparison")
 	suiteCount := flag.Int("suitecount", 3, "suite timing passes per path; the minimum is recorded")
 	check := flag.String("check", "", "re-run the microbenchmarks and compare against this baseline JSON (warn-only)")
-	tol := flag.Float64("tol", 0.5, "relative tolerance band for -check (0.5 = ±50%)")
+	budget := flag.String("budget", "", "re-time selected benchmarks and compare against this baseline's per_bench rows (warn-only)")
+	benches := flag.String("benches", "500.perlbench_r,502.gcc_r", "comma-separated benchmark names for -budget")
+	tol := flag.Float64("tol", 0.5, "relative tolerance band for -check/-budget (0.5 = ±50%)")
 	flag.Parse()
 
 	var err error
-	if *check != "" {
+	switch {
+	case *check != "":
 		err = runCheck(*check, *tol)
-	} else {
+	case *budget != "":
+		err = runBudget(*budget, *tol, *benches)
+	default:
 		err = run(*out, *microOnly, *suiteCount)
 	}
 	if err != nil {
@@ -254,6 +322,9 @@ func run(out string, microOnly bool, suiteCount int) error {
 			return err
 		}
 		if base.SuiteParallel, err = measureSuite(runtime.GOMAXPROCS(0), suiteCount); err != nil {
+			return err
+		}
+		if base.PerBench, err = measurePerBench(2, nil); err != nil {
 			return err
 		}
 	}
@@ -321,6 +392,63 @@ func runCheck(path string, tol float64) error {
 		fmt.Fprintf(os.Stderr, "albertabench: all %d micros within ±%.0f%% of %s\n", len(fresh), tol*100, path)
 	} else {
 		fmt.Fprintf(os.Stderr, "albertabench: %d timing(s) outside the band — warn-only; run `make bench` to re-record\n", warns)
+	}
+	return nil
+}
+
+// runBudget re-times the named benchmarks' measurement workloads and
+// compares wall clock against the baseline's per_bench rows. Like -check
+// it is warn-only for timing — the interpreter-engine budgets (perlbench,
+// gcc after bytecode compilation) are asserted visibly without letting CI
+// runner noise fail the build — but a requested benchmark missing from the
+// baseline is structural drift and a real error.
+func runBudget(path string, tol float64, benches string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	recorded := map[string]BenchResult{}
+	for _, r := range base.PerBench {
+		recorded[r.Name] = r
+	}
+	only := map[string]bool{}
+	for _, name := range strings.Split(benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := recorded[name]; !ok {
+			return fmt.Errorf("benchmark %q has no per_bench row in %s: regenerate with make bench", name, path)
+		}
+		only[name] = true
+	}
+	if len(only) == 0 {
+		return fmt.Errorf("-budget requires at least one benchmark name in -benches")
+	}
+	fresh, err := measurePerBench(1, only)
+	if err != nil {
+		return err
+	}
+	warns := 0
+	for _, f := range fresh {
+		r := recorded[f.Name]
+		if r.WallSeconds <= 0 {
+			continue
+		}
+		if dev := f.WallSeconds/r.WallSeconds - 1; dev > tol {
+			warns++
+			fmt.Fprintf(os.Stderr, "albertabench: WARN %s over budget %+.0f%% (baseline %.2fs, now %.2fs, band +%.0f%%)\n",
+				f.Name, dev*100, r.WallSeconds, f.WallSeconds, tol*100)
+		}
+	}
+	if warns == 0 {
+		fmt.Fprintf(os.Stderr, "albertabench: all %d benchmark(s) within +%.0f%% of %s budgets\n", len(fresh), tol*100, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "albertabench: %d benchmark(s) over budget — warn-only; run `make bench` to re-record\n", warns)
 	}
 	return nil
 }

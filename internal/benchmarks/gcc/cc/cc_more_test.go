@@ -132,7 +132,7 @@ int main() { return down(0); }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrStackOverflo) {
+	if _, err := Run(unit, VMOptions{}); !errors.Is(err, ErrStackOverflow) {
 		t.Errorf("err = %v, want stack overflow", err)
 	}
 }

@@ -168,7 +168,26 @@ func foldExpr(e Expr) Expr {
 		x.R = foldExpr(x.R)
 		l, lok := x.L.(*NumExpr)
 		r, rok := x.R.(*NumExpr)
-		if lok && rok && x.Op != "&&" && x.Op != "||" {
+		if x.Op == "&&" || x.Op == "||" {
+			// Logical operators fold only through the short-circuit rules:
+			// a constant left operand decides the result without the right
+			// operand ever evaluating, so dropping it is always safe — even
+			// when it has side effects, exactly as at run time.
+			isAnd := x.Op == "&&"
+			switch {
+			case lok && rok:
+				if isAnd {
+					return &NumExpr{V: b2i(l.V != 0 && r.V != 0)}
+				}
+				return &NumExpr{V: b2i(l.V != 0 || r.V != 0)}
+			case lok && isAnd && l.V == 0:
+				return &NumExpr{V: 0}
+			case lok && !isAnd && l.V != 0:
+				return &NumExpr{V: 1}
+			}
+			return x
+		}
+		if lok && rok {
 			if v, ok := evalBinary(x.Op, l.V, r.V); ok {
 				return &NumExpr{V: v}
 			}
@@ -181,6 +200,8 @@ func foldExpr(e Expr) Expr {
 				return x.L
 			case r.V == 1 && (x.Op == "*" || x.Op == "/"):
 				return x.L
+			case r.V == 0 && x.Op == "*" && sideEffectFree(x.L):
+				return &NumExpr{V: 0}
 			}
 		}
 		if lok {
@@ -189,6 +210,8 @@ func foldExpr(e Expr) Expr {
 				return x.R
 			case l.V == 1 && x.Op == "*":
 				return x.R
+			case l.V == 0 && x.Op == "*" && sideEffectFree(x.R):
+				return &NumExpr{V: 0}
 			}
 		}
 		return x

@@ -10,11 +10,11 @@ import (
 
 // VM execution errors.
 var (
-	ErrNoMain       = errors.New("cc: program has no main")
-	ErrOutOfBounds  = errors.New("cc: array index out of bounds")
-	ErrDivByZero    = errors.New("cc: division by zero")
-	ErrStepLimit    = errors.New("cc: step limit exceeded")
-	ErrStackOverflo = errors.New("cc: call stack overflow")
+	ErrNoMain        = errors.New("cc: program has no main")
+	ErrOutOfBounds   = errors.New("cc: array index out of bounds")
+	ErrDivByZero     = errors.New("cc: division by zero")
+	ErrStepLimit     = errors.New("cc: step limit exceeded")
+	ErrStackOverflow = errors.New("cc: call stack overflow")
 )
 
 // Synthetic address bases for the modeled hierarchy.
@@ -51,17 +51,51 @@ type VMOptions struct {
 	// evaluation run): function-level coverage, branch outcomes through
 	// the modeled predictor, memory traffic.
 	Prof *perf.Profiler
+	// Scratch, when non-nil, supplies reusable run buffers (operand stack,
+	// call frames, locals arena, globals, array storage) so repeated runs
+	// of prepared workloads do not re-allocate. A Scratch must not be
+	// shared between concurrent Runs.
+	Scratch *Scratch
 }
 
-// frame is one call record.
+// frame is one call record. Locals live in the run's shared arena at
+// [lbase, lbase+fn.NumLocals); frames are LIFO so returning truncates the
+// arena back to lbase.
 type frame struct {
-	fn     *CompiledFunc
-	pc     int
-	locals []int64
-	base   int // operand-stack base
+	fn    *CompiledFunc
+	pc    int
+	lbase int // locals-arena base
+	base  int // operand-stack base
 }
 
-// Run executes the unit's main function.
+// Scratch holds the VM's reusable run state. The zero value is ready to
+// use; buffers grow on first use and are recycled on subsequent runs.
+type Scratch struct {
+	stack   []int64
+	frames  []frame
+	arena   []int64 // locals arena, frames index into it by offset
+	globals []int64
+	arrays  [][]int64
+	arrMem  []int64 // single backing store for all arrays
+}
+
+// growZero extends a by n zeroed slots, reusing capacity when available.
+func growZero(a []int64, n int) []int64 {
+	old := len(a)
+	if old+n <= cap(a) {
+		a = a[:old+n]
+		clear(a[old:])
+		return a
+	}
+	b := make([]int64, old+n, (old+n)*2+64)
+	copy(b, a)
+	return b
+}
+
+// Run executes the unit's main function. The dispatch loop operates
+// directly on slice-indexed stacks (no per-op closures, no string-keyed
+// operator dispatch) and draws frame locals from a LIFO arena so steady-
+// state execution performs no per-call allocation.
 func Run(u *Unit, opts VMOptions) (RunResult, error) {
 	mainIdx, ok := u.FuncIndex["main"]
 	if !ok {
@@ -71,7 +105,12 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 	if limit == 0 {
 		limit = 50_000_000
 	}
-	globals := append([]int64(nil), u.GlobalInit...)
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	globals := append(sc.globals[:0], u.GlobalInit...)
+	sc.globals = globals
 	for name, v := range opts.Globals {
 		slot, ok := u.GlobalIndex[name]
 		if !ok {
@@ -79,34 +118,44 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 		}
 		globals[slot] = v
 	}
-	arrays := make([][]int64, len(u.Arrays))
-	for i, size := range u.Arrays {
-		arrays[i] = make([]int64, size)
+	total := 0
+	for _, size := range u.Arrays {
+		total += size
 	}
+	arrMem := growZero(sc.arrMem[:0], total)
+	sc.arrMem = arrMem
+	arrays := sc.arrays[:0]
+	off := 0
+	for _, size := range u.Arrays {
+		arrays = append(arrays, arrMem[off:off+size:off+size])
+		off += size
+	}
+	sc.arrays = arrays
 
 	prof := opts.Prof
 	collect := opts.Collect
 
 	var res RunResult
 	outSum := core.NewChecksum()
-	stack := make([]int64, 0, 1024)
-	frames := make([]frame, 0, 64)
+	stack := sc.stack[:0]
+	frames := sc.frames[:0]
+	arena := sc.arena[:0]
+	defer func() {
+		// Return grown buffers to the scratch for the next run.
+		sc.stack = stack[:0]
+		sc.frames = frames[:0]
+		sc.arena = arena[:0]
+	}()
 
 	fn := u.Funcs[mainIdx]
 	if fn.NumParams != 0 {
 		return RunResult{}, fmt.Errorf("%w: main takes parameters", ErrCompile)
 	}
-	cur := frame{fn: fn, locals: make([]int64, fn.NumLocals)}
+	arena = growZero(arena, fn.NumLocals)
+	cur := frame{fn: fn}
 	if prof != nil {
 		prof.Enter("vm:" + fn.Name)
 	}
-
-	pop := func() int64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	push := func(v int64) { stack = append(stack, v) }
 
 	branchEvent := func(id int32, taken bool) {
 		if collect != nil && id != 0 {
@@ -140,40 +189,43 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 		}
 		switch in.Op {
 		case OpConst:
-			push(in.A)
+			stack = append(stack, in.A)
 		case OpLoadL:
-			push(cur.locals[in.A])
+			stack = append(stack, arena[cur.lbase+int(in.A)])
 			if prof != nil {
 				prof.Load(vmLocalBase + uint64(len(frames))<<10 + uint64(in.A)*8)
 			}
 		case OpStoreL:
-			cur.locals[in.A] = pop()
+			arena[cur.lbase+int(in.A)] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if prof != nil {
 				prof.Store(vmLocalBase + uint64(len(frames))<<10 + uint64(in.A)*8)
 			}
 		case OpLoadG:
-			push(globals[in.A])
+			stack = append(stack, globals[in.A])
 			if prof != nil {
 				prof.Load(vmGlobalBase + uint64(in.A)*8)
 			}
 		case OpStoreG:
-			globals[in.A] = pop()
+			globals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if prof != nil {
 				prof.Store(vmGlobalBase + uint64(in.A)*8)
 			}
 		case OpALoad:
-			idx := pop()
+			idx := stack[len(stack)-1]
 			arr := arrays[in.A]
 			if idx < 0 || idx >= int64(len(arr)) {
 				return res, fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(arr))
 			}
-			push(arr[idx])
+			stack[len(stack)-1] = arr[idx]
 			if prof != nil {
 				prof.Load(vmArrayBase + uint64(in.A)<<24 + uint64(idx)*8)
 			}
 		case OpAStore:
-			idx := pop()
-			val := pop()
+			idx := stack[len(stack)-1]
+			val := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
 			arr := arrays[in.A]
 			if idx < 0 || idx >= int64(len(arr)) {
 				return res, fmt.Errorf("%w: %d of %d", ErrOutOfBounds, idx, len(arr))
@@ -182,42 +234,106 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 			if prof != nil {
 				prof.Store(vmArrayBase + uint64(in.A)<<24 + uint64(idx)*8)
 			}
-		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
-			OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
-			r := pop()
-			l := pop()
-			if (in.Op == OpDiv || in.Op == OpMod) && r == 0 {
+		case OpAdd:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] += r
+		case OpSub:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] -= r
+		case OpMul:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] *= r
+		case OpDiv:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r == 0 {
 				return res, ErrDivByZero
 			}
-			v, _ := evalBinary(opToStr[in.Op], l, r)
-			push(v)
-			if in.Op == OpDiv || in.Op == OpMod {
-				if prof != nil {
-					prof.LongOps(1)
-				}
+			stack[len(stack)-1] /= r
+			if prof != nil {
+				prof.LongOps(1)
 			}
+		case OpMod:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r == 0 {
+				return res, ErrDivByZero
+			}
+			stack[len(stack)-1] %= r
+			if prof != nil {
+				prof.LongOps(1)
+			}
+		case OpAnd:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] &= r
+		case OpOr:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] |= r
+		case OpXor:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] ^= r
+		case OpShl:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] <<= uint64(r) & 63
+		case OpShr:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] >>= uint64(r) & 63
+		case OpLt:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] < r)
+		case OpLe:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] <= r)
+		case OpGt:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] > r)
+		case OpGe:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] >= r)
+		case OpEq:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] == r)
+		case OpNe:
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] != r)
 		case OpNeg:
-			push(-pop())
+			stack[len(stack)-1] = -stack[len(stack)-1]
 		case OpNot:
-			push(b2i(pop() == 0))
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] == 0)
 		case OpBNot:
-			push(^pop())
+			stack[len(stack)-1] = ^stack[len(stack)-1]
 		case OpBool:
-			push(b2i(pop() != 0))
+			stack[len(stack)-1] = b2i(stack[len(stack)-1] != 0)
 		case OpJmp:
 			cur.pc = int(in.A)
 			if prof != nil {
 				prof.Jump()
 			}
 		case OpJz:
-			v := pop()
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			taken := v == 0
 			branchEvent(in.B, taken)
 			if taken {
 				cur.pc = int(in.A)
 			}
 		case OpJnz:
-			v := pop()
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			taken := v != 0
 			branchEvent(in.B, taken)
 			if taken {
@@ -226,24 +342,26 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 		case OpCall:
 			callee := u.Funcs[in.A]
 			if len(frames) >= 512 {
-				return res, ErrStackOverflo
+				return res, ErrStackOverflow
 			}
 			if collect != nil && in.B != 0 {
 				collect.CallSites[int(in.B)]++
 			}
-			locals := make([]int64, callee.NumLocals)
+			lbase := len(arena)
+			arena = growZero(arena, callee.NumLocals)
 			// Arguments were pushed left to right.
 			for i := callee.NumParams - 1; i >= 0; i-- {
-				locals[i] = pop()
+				arena[lbase+i] = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
 			}
 			frames = append(frames, cur)
-			cur = frame{fn: callee, locals: locals, base: len(stack)}
+			cur = frame{fn: callee, lbase: lbase, base: len(stack)}
 			if prof != nil {
 				prof.Ops(6) // call overhead
 				prof.Enter("vm:" + callee.Name)
 			}
 		case OpRet:
-			v := pop()
+			v := stack[len(stack)-1]
 			if len(frames) == 0 {
 				res.Return = v
 				res.Output = outSum.Value()
@@ -253,32 +371,27 @@ func Run(u *Unit, opts VMOptions) (RunResult, error) {
 				return res, nil
 			}
 			stack = stack[:cur.base]
+			arena = arena[:cur.lbase]
 			cur = frames[len(frames)-1]
 			frames = frames[:len(frames)-1]
-			push(v)
+			stack = append(stack, v)
 			if prof != nil {
 				prof.Ops(4) // return overhead
 				prof.Leave()
 			}
 		case OpPrint:
-			v := pop()
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			outSum = outSum.AddUint64(uint64(v))
 			res.Printed++
 		case OpPop:
-			pop()
+			stack = stack[:len(stack)-1]
 		case OpDup:
-			push(stack[len(stack)-1])
+			stack = append(stack, stack[len(stack)-1])
 		default:
 			return res, fmt.Errorf("%w: bad opcode %d", ErrCompile, in.Op)
 		}
 	}
-}
-
-// opToStr maps arithmetic opcodes back to their operator for evalBinary.
-var opToStr = map[Op]string{
-	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
-	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
-	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
 }
 
 // CompileSource is the full front-to-back driver: preprocess, parse,

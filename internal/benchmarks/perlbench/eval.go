@@ -106,11 +106,19 @@ func (e *exprParser) parseAnd() (Value, error) {
 	return v, nil
 }
 
+// trueValue/falseValue carry the numeric cache; numPrefix("1") is 1 and
+// numPrefix("") is 0, so they are indistinguishable from the uncached
+// StrValue forms.
+var (
+	trueValue  = Value{s: "1", n: 1, hasN: true}
+	falseValue = Value{s: "", n: 0, hasN: true}
+)
+
 func boolVal(b bool) Value {
 	if b {
-		return StrValue("1")
+		return trueValue
 	}
-	return StrValue("")
+	return falseValue
 }
 
 func (e *exprParser) parseCmp() (Value, error) {

@@ -2,6 +2,7 @@ package perlbench
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -27,4 +28,99 @@ func TestScriptSoupNeverPanics(t *testing.T) {
 		i.limit = 20000 // bound runaway loops from random composition
 		_ = i.Run(prog)
 	}
+}
+
+// FuzzExprDifferential feeds one expression through both engines — the
+// retained tree-walk evaluator and the bytecode compiler+VM — inside a
+// fixed preamble that populates scalars, an array and a hash, and requires
+// identical output, step counts and error text. Expressions the compiler
+// rejects are skipped: Prepare falls back to the tree-walker for those, so
+// they cannot diverge by construction.
+func FuzzExprDifferential(f *testing.F) {
+	for _, expr := range []string{
+		`1 + 2 * 3`,
+		`$x + $y . "tail"`,
+		`"$s-$x" . length($s)`,
+		`$h{"k"} + $h{"k" . $x}`,
+		`$s =~ /ab*c/ || $x > 1`,
+		`($x || $y) && !($x eq "5")`,
+		`substr($s, 0, $x) . uc($s) . lc("AB")`,
+		`index($s, "b") + int($x / 2) - scalar(@a) * keys(%h)`,
+		`exists($h{"k"}) . exists($h{$s})`,
+		`$x % 3 + 10 / $x`,
+		`1 / 0`,
+		`substr($s, 1)`,
+		`-$x * -2 . ("a" lt "b")`,
+		`$s !~ /^a[b-d]+$/`,
+	} {
+		f.Add(expr)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if strings.ContainsAny(expr, "\n\r") || len(expr) > 200 {
+			t.Skip()
+		}
+		src := "$x = 5;\n$y = 0;\n$s = \"abc5\";\npush @a, 7;\npush @a, \"q\";\n$h{\"k\"} = 3;\n$r = " + expr + ";\nprint \"r=\" . $r;\n"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		bc, err := compileProgram(prog)
+		if err != nil {
+			t.Skip() // compiler rejects => Prepare falls back to the tree
+		}
+
+		ti := NewInterp(nil)
+		ti.limit = 100000
+		treeErr := ti.Run(prog)
+
+		sc := newScratch(bc)
+		steps, bcErr := bc.run(sc, nil, 100000)
+
+		if (treeErr == nil) != (bcErr == nil) {
+			t.Fatalf("error divergence on %q: tree %v, bc %v", expr, treeErr, bcErr)
+		}
+		if treeErr != nil && treeErr.Error() != bcErr.Error() {
+			t.Fatalf("error text divergence on %q: tree %q, bc %q", expr, treeErr, bcErr)
+		}
+		if ti.Output() != sc.out.String() {
+			t.Fatalf("output divergence on %q: tree %q, bc %q", expr, ti.Output(), sc.out.String())
+		}
+		if ti.Steps() != steps {
+			t.Fatalf("steps divergence on %q: tree %d, bc %d", expr, ti.Steps(), steps)
+		}
+	})
+}
+
+// FuzzRegexCompiledDifferential cross-checks the precompiled matcher
+// against the tree-walker's string-walking matcher on arbitrary patterns
+// and subjects.
+func FuzzRegexCompiledDifferential(f *testing.F) {
+	for _, seed := range [][2]string{
+		{"ab*c", "abbbc"},
+		{"^a[b-d]+$", "acdb"},
+		{`\w+\s\d`, "word 7"},
+		{"[^xyz]*", "abc"},
+		{"a$b", "a$b"},
+		{"[ab", "x[aby"},
+		{"", "anything"},
+		{"^$", ""},
+		{"a+$", "baaa"},
+		{`\$.`, "$x"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, pat, subj string) {
+		// Bound backtracking blowup and skip the one intentional
+		// divergence: the tree-walker's byte-range expansion wraps (and
+		// hangs) on a class range ending at 0xff; the compiled form bounds
+		// it.
+		if len(pat) > 12 || len(subj) > 32 || strings.ContainsRune(pat, 0xff) || strings.Contains(pat, "\xff") {
+			t.Skip()
+		}
+		i := NewInterp(nil)
+		want := i.regexMatch(subj, pat)
+		if got := compileRegex(pat).matchProfiled(subj, nil); got != want {
+			t.Fatalf("match(%q, %q): tree %v, compiled %v", subj, pat, got, want)
+		}
+	})
 }

@@ -18,17 +18,26 @@ import (
 )
 
 // Value is a Perl-style scalar: it carries a string and converts to a
-// number on demand.
+// number on demand. Values built numerically cache the conversion (hasN),
+// so arithmetic chains stop round-tripping strconv; the invariant is that
+// n always equals numPrefix(s), making cached and uncached Values
+// semantically indistinguishable.
 type Value struct {
-	s string
+	s    string
+	n    float64
+	hasN bool
 }
 
 // NumValue builds a numeric scalar.
 func NumValue(f float64) Value {
 	if f == float64(int64(f)) {
-		return Value{s: strconv.FormatInt(int64(f), 10)}
+		// The decimal form of int64(f) parses back to exactly f.
+		return Value{s: strconv.FormatInt(int64(f), 10), n: f, hasN: true}
 	}
-	return Value{s: strconv.FormatFloat(f, 'g', -1, 64)}
+	// 'g' may format with an exponent ("1.0000005e+06"), whose numeric
+	// prefix ends at 'e' — cache what Num would parse, not f itself.
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	return Value{s: s, n: numPrefix(s), hasN: true}
 }
 
 // StrValue builds a string scalar.
@@ -39,7 +48,15 @@ func (v Value) Str() string { return v.s }
 
 // Num converts like Perl: the longest numeric prefix, else 0.
 func (v Value) Num() float64 {
-	s := strings.TrimSpace(v.s)
+	if v.hasN {
+		return v.n
+	}
+	return numPrefix(v.s)
+}
+
+// numPrefix parses the longest numeric prefix, else 0.
+func numPrefix(raw string) float64 {
+	s := strings.TrimSpace(raw)
 	end := 0
 	seenDigit := false
 	for end < len(s) {
@@ -406,12 +423,5 @@ func (i *Interp) execOne(st stmt) error {
 }
 
 func hashAddr(name, key string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(name); i++ {
-		h = (h ^ uint64(name[i])) * 1099511628211
-	}
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint64(key[i])) * 1099511628211
-	}
-	return h % (1 << 22)
+	return hashAddrSeeded(fnvSeed(name), key)
 }

@@ -115,16 +115,29 @@ func (b *Benchmark) Run(w core.Workload, p *perf.Profiler) (core.Result, error) 
 	return pw.Execute(p)
 }
 
-// prepared holds the parsed program; the interpreter treats statements as a
-// read-only AST, so the same prog serves every Execute. Each Execute builds a
-// fresh interpreter: its variable/array state is the run's mutable state.
+// prepared holds the compiled program plus its recycled run scratch. The
+// script is bytecode-compiled once at Prepare; Execute is the flat VM
+// dispatch loop in bytecode.go. When the compiler rejects an expression
+// (the tree-walker parses expression strings lazily, so a malformed
+// expression in an untaken branch must not fail the run) the prepared
+// workload falls back to the tree-walk path for the whole script — the
+// same interpreter that serves as the bytecode path's differential
+// reference.
 type prepared struct {
-	b    *Benchmark
-	pw   Workload
+	b  *Benchmark
+	pw Workload
+
+	// Bytecode path.
+	bc     *program
+	sc     *bcScratch
+	corpus []Value
+
+	// Tree-walk fallback (non-nil only when compilation failed).
 	prog []stmt
 }
 
-// Prepare implements core.Preparer: parse the script once, uninstrumented.
+// Prepare implements core.Preparer: parse and compile the script once,
+// uninstrumented.
 func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	pw, ok := w.(Workload)
 	if !ok {
@@ -134,12 +147,56 @@ func (b *Benchmark) Prepare(w core.Workload) (core.PreparedWorkload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("perlbench: %s: %w", pw.Name, err)
 	}
-	return &prepared{b: b, pw: pw, prog: prog}, nil
+	ps := &prepared{b: b, pw: pw}
+	if bc, cerr := compileProgram(prog); cerr == nil {
+		ps.bc = bc
+		ps.sc = newScratch(bc)
+		ps.corpus = make([]Value, len(pw.Corpus))
+		for i, line := range pw.Corpus {
+			ps.corpus[i] = StrValue(line)
+		}
+	} else {
+		ps.prog = prog
+	}
+	return ps, nil
 }
 
-// Execute implements core.PreparedWorkload: interpret the prepared program
-// over the corpus.
+// Execute implements core.PreparedWorkload: run the compiled program over
+// the corpus, resetting the scratch in place.
 func (ps *prepared) Execute(p *perf.Profiler) (core.Result, error) {
+	b, pw := ps.b, ps.pw
+	if ps.bc == nil {
+		return ps.executeTree(p)
+	}
+	if p != nil {
+		// Same footprint declarations as NewInterp, every Execute.
+		p.SetFootprint("pp_eval", 6<<10)
+		p.SetFootprint("regex_match", 4<<10)
+		p.SetFootprint("hash_ops", 3<<10)
+	}
+	sc := ps.sc
+	sc.reset()
+	sc.arrays[ps.bc.inputSlot] = append(sc.arrays[ps.bc.inputSlot][:0], ps.corpus...)
+	steps, err := ps.bc.run(sc, p, interpStepLimit)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("perlbench: %s: %w", pw.Name, err)
+	}
+	out := sc.out.String()
+	if out == "" {
+		return core.Result{}, fmt.Errorf("perlbench: %s: script produced no output", pw.Name)
+	}
+	sum := core.NewChecksum().AddString(out).AddUint64(steps)
+	return core.Result{
+		Benchmark: b.Name(),
+		Workload:  pw.Name,
+		Kind:      pw.WorkloadKind(),
+		Checksum:  sum.Value(),
+	}, nil
+}
+
+// executeTree is the retained tree-walk path: a fresh interpreter over the
+// prepared statement tree.
+func (ps *prepared) executeTree(p *perf.Profiler) (core.Result, error) {
 	b, pw := ps.b, ps.pw
 	interp := NewInterp(p)
 	for _, line := range pw.Corpus {

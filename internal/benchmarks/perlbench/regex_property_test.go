@@ -73,5 +73,8 @@ func TestRegexAgainstStdlib(t *testing.T) {
 		if got != want {
 			t.Fatalf("match(%q, %q) = %v, stdlib says %v", subj, pat, got, want)
 		}
+		if compiled := compileRegex(pat).matchProfiled(subj, nil); compiled != want {
+			t.Fatalf("compiled match(%q, %q) = %v, stdlib says %v", subj, pat, compiled, want)
+		}
 	}
 }

@@ -1,0 +1,36 @@
+package perlbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkTreeWalkRefrate(b *testing.B) {
+	bm := New()
+	w, _ := core.FindWorkload(bm, "refrate")
+	pw := w.(Workload)
+	prog, _ := Parse(pw.Script)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewInterp(nil)
+		for _, line := range pw.Corpus {
+			it.arrays["input"] = append(it.arrays["input"], StrValue(line))
+		}
+		if err := it.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBytecodeRefrate(b *testing.B) {
+	bm := New()
+	w, _ := core.FindWorkload(bm, "refrate")
+	pwp, _ := bm.Prepare(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pwp.Execute(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -112,7 +112,14 @@ func TestPreparedMatchesColdRuns(t *testing.T) {
 				}
 				report := p.Report()
 
-				m, err := RunWorkload(ctx, b, w, Options{Reps: 2, Stride: 1})
+				// Three repetitions share one prepared workload and one
+				// Reset-recycled profiler; runWorkload's internal
+				// determinism check requires every repetition to reproduce
+				// the first one's checksum, cycles and top-down split, so
+				// this also proves recycled prepared state (bytecode
+				// scratches, VM arenas, compiled sheets) is bit-stable
+				// across ≥3 consecutive Executes.
+				m, err := RunWorkload(ctx, b, w, Options{Reps: 3, Stride: 1})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -133,5 +140,70 @@ func TestPreparedMatchesColdRuns(t *testing.T) {
 	}
 	if pairs == 0 {
 		t.Fatal("no workloads selected")
+	}
+}
+
+// TestCompiledEnginesRecycleFullReports drives the three bytecode-compiled
+// interpreter benchmarks — perlbench, gcc and xalan — through one Prepare
+// and four consecutive Executes each on fresh stride-1 profilers, and
+// requires the complete perf.Report (methods, coverage, cycles, top-down,
+// every counter) to be bit-identical run over run. This is a stronger
+// per-Execute assertion than the harness sweep above, which compares the
+// aggregate Measurement.
+func TestCompiledEnginesRecycleFullReports(t *testing.T) {
+	suite, err := benchmarks.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]bool{
+		"500.perlbench_r": true, "502.gcc_r": true, "523.xalancbmk_r": true,
+	}
+	seen := 0
+	for _, b := range suite.Benchmarks() {
+		if !targets[b.Name()] {
+			continue
+		}
+		seen++
+		ws, err := b.Workloads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ws {
+			if w.WorkloadKind() != core.KindTest {
+				continue
+			}
+			b, w := b, w
+			t.Run(b.Name()+"/"+w.WorkloadName(), func(t *testing.T) {
+				pw, err := core.PrepareOrRun(b, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var first perf.Report
+				var firstSum uint64
+				for rep := 0; rep < 4; rep++ {
+					p := perf.NewWithOptions(perf.Options{Stride: 1})
+					res, err := pw.Execute(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rpt := p.Report()
+					rpt.WallTime = 0
+					rpt.Methods = append([]perf.MethodProfile(nil), rpt.Methods...)
+					if rep == 0 {
+						first, firstSum = rpt, res.Checksum
+						continue
+					}
+					if res.Checksum != firstSum {
+						t.Errorf("rep %d checksum %x != first %x", rep, res.Checksum, firstSum)
+					}
+					if !reflect.DeepEqual(rpt, first) {
+						t.Errorf("rep %d full report diverges from first", rep)
+					}
+				}
+			})
+		}
+	}
+	if seen != len(targets) {
+		t.Fatalf("found %d of %d compiled-engine benchmarks", seen, len(targets))
 	}
 }

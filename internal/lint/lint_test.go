@@ -149,6 +149,14 @@ func TestNoMapOrderDependence(t *testing.T) {
 	runFixture(t, NoMapOrderDependence{}, statsPkg, "maporder.go")
 }
 
+// TestNoMapOrderDependenceInternedSlots pins the interned-slot-table
+// pattern the bytecode compilers rely on (first-seen-order interning,
+// keyed inversion) as clean, and the raw-range leaks as findings. It
+// runs under the benchmark package scope, where the compilers live.
+func TestNoMapOrderDependenceInternedSlots(t *testing.T) {
+	runFixture(t, NoMapOrderDependence{}, benchPkg, "internslots.go")
+}
+
 func TestNoGoroutinesInKernels(t *testing.T) {
 	runFixture(t, NoGoroutinesInKernels{}, benchPkg, "goroutine.go")
 }

@@ -1,0 +1,75 @@
+// Fixture for the interned-slot-table pattern used by the bytecode
+// compilers (perlbench variable slots, gcc locals, xalan template
+// streams): a name→slot map is *written* in deterministic first-seen
+// order during an AST/source walk and *read* by key or inverted with
+// keyed writes — never ranged to build ordered state. The no-map-order
+// rule must stay silent on the blessed shapes and still fire when the
+// table leaks into map-iteration order.
+package fixture
+
+import "sort"
+
+// internSlots assigns slot numbers in first-seen source order: writes
+// are keyed lookups driven by a deterministic slice walk, so the map's
+// own iteration order is never consulted. No diagnostic.
+func internSlots(names []string) map[string]int {
+	slots := make(map[string]int, len(names))
+	for _, name := range names {
+		if _, ok := slots[name]; !ok {
+			slots[name] = len(slots)
+		}
+	}
+	return slots
+}
+
+// invertSlots rebuilds the dense slot→name table with writes keyed by
+// the slot value: every key lands at its own index, so visit order is
+// irrelevant. No diagnostic.
+func invertSlots(slots map[string]int) []string {
+	names := make([]string, len(slots))
+	for name, slot := range slots {
+		names[slot] = name
+	}
+	return names
+}
+
+// dumpSlotsSorted is the blessed way to enumerate a slot table when the
+// dense inversion is unavailable: collect, then sort. No diagnostic.
+func dumpSlotsSorted(slots map[string]int) []string {
+	var names []string
+	for name := range slots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dumpSlotsRaw ranges the table straight into a slice: slot order would
+// differ run to run, and so would any bytecode emitted from it.
+func dumpSlotsRaw(slots map[string]int) []string {
+	var names []string
+	for name := range slots {
+		names = append(names, name) // want no-map-order-dependence "never sorted"
+	}
+	return names
+}
+
+// hashSlots folds names into a multiplicative hash in map order: the
+// checksum drifts run to run.
+func hashSlots(slots map[string]int) uint64 {
+	var sum uint64
+	for name := range slots {
+		sum = sum*31 + uint64(len(name)) // want no-map-order-dependence "folded in map iteration order"
+	}
+	return sum
+}
+
+// slotMask is an order-independent integer fold over the table: xor is
+// commutative and exact. No diagnostic.
+func slotMask(slots map[string]int) uint64 {
+	var mask uint64
+	for _, slot := range slots {
+		mask ^= 1 << (uint(slot) & 63)
+	}
+	return mask
+}
