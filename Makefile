@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-budget bench-smoke diff-full serve-smoke check
+.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-budget bench-smoke diff-full diff-sampled serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ bench-smoke:
 # bit-identical.
 diff-full:
 	ALBERTA_DIFF_FULL=1 $(GO) test -run 'TestSuiteDifferentialReference|TestPreparedMatchesColdRuns' -v ./internal/harness/
+
+# Sampled-vs-exact differential gate: every benchmark × every workload is
+# measured both ways and each report counter must stay within its
+# density-tiered tolerance (perf.DefaultTolerance). Hard fail — the errors
+# are deterministic, so a violation is a regression, not noise.
+diff-sampled:
+	ALBERTA_DIFF_FULL=1 $(GO) test -run 'TestSampledWithinTolerance' -v ./internal/harness/
 
 # End-to-end smoke of the albertad service: a single daemon run (envelope
 # diffed against albertarun -json, cell-cache hit and dedup assertions,

@@ -9,11 +9,15 @@
 //	albertabench -micro                       # microbenchmarks only, print to stdout
 //	albertabench -check BENCH_profiler.json   # warn-only drift check (make bench-check)
 //
-// The suite section carries two rows — serial (workers=1) and parallel
-// (workers=GOMAXPROCS, the resolved count recorded in the row) — each with
-// the optimized path's allocation profile (allocs/bytes/GC cycles per
-// characterization), which is deterministic and therefore reviewable the
-// same way cycle counts are.
+// The suite section carries a serial row (workers=1) and, on multi-CPU
+// machines, a parallel row (workers=GOMAXPROCS or -workers, the resolved
+// count recorded in the row; a 1-CPU machine omits the row, and an
+// explicit -workers below 2 is an error) — each with the optimized path's
+// allocation profile (allocs/bytes/GC cycles per characterization), which
+// is deterministic and therefore reviewable the same way cycle counts are.
+// A sampled section compares exact characterization against phase-sampled
+// simulation (suite and per-benchmark rows: exact vs sampled wall,
+// speedup, and worst gate-eligible counter error).
 //
 // The microbenchmark bodies mirror internal/perf's go-test benchmarks
 // (BenchmarkLoadHit etc.); the committed JSON is the reviewable record of
@@ -119,18 +123,39 @@ type BenchResult struct {
 	Bytes       uint64  `json:"bytes"`
 }
 
+// SampledResult is one exact-vs-sampled comparison row: wall clock of one
+// exact characterization against one sampled measure pass (the
+// steady-state repeat cost; the one-time profile and warm passes are not
+// in it), and the worst relative error over the gate-eligible counters
+// (those with at least perf.SparseMin exact events — sub-threshold
+// counters are shot noise the gate deliberately ignores).
+type SampledResult struct {
+	// Name is the benchmark for per-bench rows, empty on the suite row.
+	Name               string  `json:"name,omitempty"`
+	WallSecondsExact   float64 `json:"wall_seconds_exact"`
+	WallSecondsSampled float64 `json:"wall_seconds_sampled"`
+	Speedup            float64 `json:"speedup"`
+	MaxCounterErr      float64 `json:"max_counter_err"`
+}
+
 // Baseline is the schema of BENCH_profiler.json.
 type Baseline struct {
 	Go         string        `json:"go"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Micro      []MicroResult `json:"micro"`
 	// Suite is the serial row (Workers = 1); SuiteParallel runs the same
-	// matrix with Workers = GOMAXPROCS and is present even when that
-	// resolves to 1, so the recorded workers count documents the machine.
+	// matrix with a worker pool (≥ 2 workers by definition — on a 1-CPU
+	// machine the row is omitted rather than recorded as a misleading
+	// "parallel" run with one worker).
 	Suite         *SuiteResult `json:"suite,omitempty"`
 	SuiteParallel *SuiteResult `json:"suite_parallel,omitempty"`
+	// SuiteSampled compares one exact serial characterization against
+	// phase-sampled simulation of the same matrix; PerBenchSampled breaks
+	// it down by benchmark.
+	SuiteSampled *SampledResult `json:"suite_sampled,omitempty"`
 	// PerBench breaks the optimized serial pass down by benchmark.
-	PerBench []BenchResult `json:"per_bench,omitempty"`
+	PerBench        []BenchResult   `json:"per_bench,omitempty"`
+	PerBenchSampled []SampledResult `json:"per_bench_sampled,omitempty"`
 }
 
 // measure times one micro body on one path via the testing package's
@@ -218,6 +243,79 @@ func measureSuite(workers, suiteCount int) (*SuiteResult, error) {
 	return row, nil
 }
 
+// maxGatedErr is the worst relative error over the gate-eligible rows of a
+// sampled-vs-exact diff (counters with at least perf.SparseMin exact
+// events; sparser rows are shot noise the diff-sampled gate ignores, so
+// recording them here would make the baseline unreadable without saying
+// anything about plan quality).
+func maxGatedErr(d perf.ReportDiff) float64 {
+	worst := 0.0
+	for _, c := range d.Counters {
+		if c.Events >= perf.SparseMin && c.Rel > worst {
+			worst = c.Rel
+		}
+	}
+	return worst
+}
+
+// measureSampled compares exact and phase-sampled characterization cell by
+// cell over the characterized suite: per cell one exact execution and one
+// full sampled pipeline (profile, plan, warm, measure), recording the
+// exact wall against the sampled measure pass — the steady-state cost of
+// one more sampled measurement — and the worst gate-eligible counter
+// error. One pass per cell: wall noise only blurs the speedup column, and
+// the error columns are deterministic.
+func measureSampled() (*SampledResult, []SampledResult, error) {
+	suite, err := benchmarks.CharacterizedSuite()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := context.Background()
+	total := &SampledResult{}
+	var rows []SampledResult
+	for _, b := range suite.Benchmarks() {
+		ws, err := core.MeasurementWorkloads(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := SampledResult{Name: b.Name()}
+		for _, w := range ws {
+			c, err := harness.SampledDiff(ctx, b, w, harness.Options{Reps: 1})
+			if err != nil {
+				return nil, nil, err
+			}
+			row.WallSecondsExact += c.ExactWall
+			row.WallSecondsSampled += c.SampledWall
+			if e := maxGatedErr(c.Diff); e > row.MaxCounterErr {
+				row.MaxCounterErr = e
+			}
+		}
+		total.WallSecondsExact += row.WallSecondsExact
+		total.WallSecondsSampled += row.WallSecondsSampled
+		if row.MaxCounterErr > total.MaxCounterErr {
+			total.MaxCounterErr = row.MaxCounterErr
+		}
+		if row.WallSecondsSampled > 0 {
+			row.Speedup = round2(row.WallSecondsExact / row.WallSecondsSampled)
+		}
+		fmt.Fprintf(os.Stderr, "albertabench: sampled %-18s exact %6.2fs   sampled %6.2fs   %.2fx   maxerr %.4f\n",
+			row.Name, row.WallSecondsExact, row.WallSecondsSampled, row.Speedup, row.MaxCounterErr)
+		row.WallSecondsExact = round2(row.WallSecondsExact)
+		row.WallSecondsSampled = round2(row.WallSecondsSampled)
+		row.MaxCounterErr = round4(row.MaxCounterErr)
+		rows = append(rows, row)
+	}
+	if total.WallSecondsSampled > 0 {
+		total.Speedup = round2(total.WallSecondsExact / total.WallSecondsSampled)
+	}
+	fmt.Fprintf(os.Stderr, "albertabench: sampled suite: exact %.2fs   sampled %.2fs   %.2fx   maxerr %.4f\n",
+		total.WallSecondsExact, total.WallSecondsSampled, total.Speedup, total.MaxCounterErr)
+	total.WallSecondsExact = round2(total.WallSecondsExact)
+	total.WallSecondsSampled = round2(total.WallSecondsSampled)
+	total.MaxCounterErr = round4(total.MaxCounterErr)
+	return total, rows, nil
+}
+
 // measurePerBench times one optimized serial characterization of each
 // benchmark's measurement workloads, with the allocation delta captured
 // around it (a forced GC first, as in runSuite). Minimum wall over
@@ -269,6 +367,8 @@ func main() {
 	out := flag.String("out", "", "write the baseline JSON to this file (stdout when empty)")
 	microOnly := flag.Bool("micro", false, "skip the full-suite wall-clock comparison")
 	suiteCount := flag.Int("suitecount", 3, "suite timing passes per path; the minimum is recorded")
+	workers := flag.Int("workers", 0, "worker count for the parallel suite row (0 = GOMAXPROCS; explicit values below 2 are an error)")
+	sampledOnly := flag.Bool("sampled", false, "measure only the exact-vs-sampled comparison rows (suite + per benchmark)")
 	check := flag.String("check", "", "re-run the microbenchmarks and compare against this baseline JSON (warn-only)")
 	budget := flag.String("budget", "", "re-time selected benchmarks and compare against this baseline's per_bench rows (warn-only)")
 	benches := flag.String("benches", "500.perlbench_r,502.gcc_r", "comma-separated benchmark names for -budget")
@@ -281,8 +381,10 @@ func main() {
 		err = runCheck(*check, *tol)
 	case *budget != "":
 		err = runBudget(*budget, *tol, *benches)
+	case *sampledOnly:
+		err = runSampledOnly(*out)
 	default:
-		err = run(*out, *microOnly, *suiteCount)
+		err = run(*out, *microOnly, *suiteCount, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "albertabench:", err)
@@ -308,7 +410,16 @@ func measureMicros() []MicroResult {
 	return out
 }
 
-func run(out string, microOnly bool, suiteCount int) error {
+func run(out string, microOnly bool, suiteCount, workers int) error {
+	// A "parallel" row with one worker is a serial run wearing the wrong
+	// label — an explicit request for it is an error, and a 1-CPU machine
+	// omits the row instead of recording it.
+	if workers != 0 && workers < 2 {
+		return fmt.Errorf("-workers %d: a parallel suite row needs at least 2 workers", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	base := Baseline{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	base.Micro = measureMicros()
 
@@ -321,7 +432,14 @@ func run(out string, microOnly bool, suiteCount int) error {
 		if base.Suite, err = measureSuite(1, suiteCount); err != nil {
 			return err
 		}
-		if base.SuiteParallel, err = measureSuite(runtime.GOMAXPROCS(0), suiteCount); err != nil {
+		if workers >= 2 {
+			if base.SuiteParallel, err = measureSuite(workers, suiteCount); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "albertabench: 1-CPU machine: omitting the parallel suite row")
+		}
+		if base.SuiteSampled, base.PerBenchSampled, err = measureSampled(); err != nil {
 			return err
 		}
 		if base.PerBench, err = measurePerBench(2, nil); err != nil {
@@ -329,6 +447,11 @@ func run(out string, microOnly bool, suiteCount int) error {
 		}
 	}
 
+	return writeBaseline(base, out)
+}
+
+// writeBaseline serializes a baseline to out, or stdout when out is empty.
+func writeBaseline(base Baseline, out string) error {
 	doc, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
@@ -339,6 +462,18 @@ func run(out string, microOnly bool, suiteCount int) error {
 		return err
 	}
 	return os.WriteFile(out, doc, 0o644)
+}
+
+// runSampledOnly writes a baseline holding only the sampled comparison
+// rows — the cheap artifact CI publishes on every run, next to the full
+// committed baseline that `make bench` regenerates.
+func runSampledOnly(out string) error {
+	base := Baseline{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var err error
+	if base.SuiteSampled, base.PerBenchSampled, err = measureSampled(); err != nil {
+		return err
+	}
+	return writeBaseline(base, out)
 }
 
 // runCheck re-times the microbenchmarks and compares them against the
@@ -460,4 +595,13 @@ func round2(v float64) float64 {
 		return -round2(-v)
 	}
 	return float64(int64(v*100+0.5)) / 100
+}
+
+// round4 is round2 at error-column resolution: relative errors live well
+// below 1%, where two decimals would round them to zero.
+func round4(v float64) float64 {
+	if v < 0 {
+		return -round4(-v)
+	}
+	return float64(int64(v*10000+0.5)) / 10000
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness/report"
 	"repro/internal/perf"
+	"repro/internal/phase"
 )
 
 // Options configure a characterization run.
@@ -56,6 +57,21 @@ type Options struct {
 	// own perf.Profiler, so any worker count yields bit-identical results
 	// except for the WallSeconds field.
 	Workers int
+	// Sampled switches workload measurement to phase-sampled simulation:
+	// a profile pass slices the event stream into fixed-size instruction
+	// intervals and fingerprints each, k-medoids clustering picks
+	// representative intervals, a warm pass checkpoints simulator state at
+	// the plan's restore points, and the measure passes fully simulate only
+	// the representatives, extrapolating probe-derived counters by cluster
+	// weight. Architectural counters and checksums stay exact. Incompatible
+	// with Reference and with Stride > 1.
+	Sampled bool
+	// SampledInterval is the sampled-mode profiling interval in retired
+	// ops; Normalize defaults zero to perf.DefaultSampleInterval.
+	SampledInterval uint64
+	// SampledPhases is the sampled-mode cluster count k; Normalize
+	// defaults zero to phase.DefaultPhases.
+	SampledPhases int
 	// FailFast cancels outstanding work on the first measurement error
 	// and returns that error alone. When false, the run continues past
 	// failures and reports them all in a *RunError alongside the partial
@@ -93,6 +109,27 @@ func (o Options) Normalize() (Options, error) {
 	if o.Workers < 0 {
 		o.Workers = 0
 	}
+	if !o.Sampled {
+		if o.SampledInterval != 0 || o.SampledPhases != 0 {
+			return o, fmt.Errorf("harness: sampled interval/phases require sampled mode")
+		}
+		return o, nil
+	}
+	if o.Reference {
+		return o, fmt.Errorf("harness: sampled mode is incompatible with the reference event path")
+	}
+	if o.Stride > 1 {
+		return o, fmt.Errorf("harness: sampled mode is incompatible with stride %d (sampling already sub-samples)", o.Stride)
+	}
+	if o.SampledPhases < 0 {
+		return o, fmt.Errorf("harness: sampled phases must be >= 1 (got %d)", o.SampledPhases)
+	}
+	if o.SampledInterval == 0 {
+		o.SampledInterval = perf.DefaultSampleInterval
+	}
+	if o.SampledPhases == 0 {
+		o.SampledPhases = phase.DefaultPhases
+	}
 	return o, nil
 }
 
@@ -100,12 +137,18 @@ func (o Options) Normalize() (Options, error) {
 // report.Suite envelopes and used for cache key derivation. Call it on
 // normalized Options.
 func (o Options) ReportConfig() report.RunConfig {
-	return report.RunConfig{
+	cfg := report.RunConfig{
 		Reps:        o.Reps,
 		Stride:      o.Stride,
 		IncludeTest: o.IncludeTest,
 		Reference:   o.Reference,
 	}
+	if o.Sampled {
+		cfg.Sampled = true
+		cfg.SampledInterval = o.SampledInterval
+		cfg.SampledPhases = o.SampledPhases
+	}
+	return cfg
 }
 
 // RunWorkload executes one benchmark/workload pair opts.Reps times.
@@ -138,6 +181,9 @@ func runWorkload(ctx context.Context, b core.Benchmark, w core.Workload, opts Op
 	pw, err := core.PrepareOrRun(b, w)
 	if err != nil {
 		return report.Measurement{}, fmt.Errorf("harness: %s/%s: prepare: %w", b.Name(), w.WorkloadName(), err)
+	}
+	if opts.Sampled {
+		return runWorkloadSampled(ctx, b, w, opts, p, pw)
 	}
 	// One profiler serves all repetitions: Reset recycles the
 	// just-constructed state — clearing method records and simulators in

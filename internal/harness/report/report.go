@@ -43,6 +43,14 @@ type RunConfig struct {
 	// Reference records whether the retained pre-optimization event path
 	// was used (bit-identical modeled fields, different wall time).
 	Reference bool `json:"reference"`
+	// Sampled records whether measurements were taken by phase-sampled
+	// simulation; SampledInterval and SampledPhases are its profiling
+	// interval (retired ops) and cluster count. All three are omitted from
+	// exact envelopes, keeping them byte-identical to pre-sampling schema
+	// version 1.
+	Sampled         bool   `json:"sampled,omitempty"`
+	SampledInterval uint64 `json:"sampled_interval,omitempty"`
+	SampledPhases   int    `json:"sampled_phases,omitempty"`
 }
 
 // Sections selects which derived sections Build computes for a Suite.

@@ -22,8 +22,15 @@ type Measurement struct {
 	ModeledSeconds float64 `json:"modeled_seconds"`
 	// WallSeconds is the mean wall-clock run time of the repetitions. It
 	// is the only field that may differ between runs (and between worker
-	// counts); everything else is deterministic.
+	// counts); everything else is deterministic. In sampled mode it is the
+	// mean of the measure passes alone — the steady-state repeat cost —
+	// excluding the one-time profile and warm passes.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Sampled marks a measurement taken by phase-sampled simulation:
+	// probe-derived fields are extrapolated from representative intervals,
+	// not exact. Exact measurements omit the key, so their envelopes are
+	// byte-identical to schema version 1 before sampling existed.
+	Sampled bool `json:"sampled,omitempty"`
 }
 
 // Results maps benchmark name to its per-workload measurements, in

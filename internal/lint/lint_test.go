@@ -157,6 +157,16 @@ func TestNoMapOrderDependenceInternedSlots(t *testing.T) {
 	runFixture(t, NoMapOrderDependence{}, benchPkg, "internslots.go")
 }
 
+// TestNoMapOrderDependenceIntervalHistogram pins the interval-histogram
+// pattern the sampled-execution profiler is built on (fixed-size BBV
+// signature array indexed by a deterministic hash bucket, normalized by
+// index-order walks) as clean, and the map-keyed histogram variants that
+// leak iteration order into the signature or its norm as findings. It
+// runs under the perf package path, where the signatures live.
+func TestNoMapOrderDependenceIntervalHistogram(t *testing.T) {
+	runFixture(t, NoMapOrderDependence{}, "repro/internal/perf", "sighist.go")
+}
+
 func TestNoGoroutinesInKernels(t *testing.T) {
 	runFixture(t, NoGoroutinesInKernels{}, benchPkg, "goroutine.go")
 }

@@ -1,0 +1,99 @@
+// Fixture for the interval-histogram pattern the sampled-execution
+// profiler relies on (internal/perf BBV signatures): per-interval basic
+// block counts land in a fixed-size array indexed by a deterministic
+// hash bucket, and the signature is normalized by walking that array in
+// index order. The no-map-order rule must stay silent on the blessed
+// array shape and still fire when a map-keyed histogram leaks its
+// iteration order into the signature vector or its norm.
+package fixture
+
+import "sort"
+
+// sigDims mirrors perf.SigDims: the bucketed signature width.
+const sigDims = 64
+
+// sigBucket folds a block address into a bucket with a multiplicative
+// finalizer — pure arithmetic, identical every run. No diagnostic.
+func sigBucket(pc uint64) int {
+	pc *= 0x9e3779b97f4a7c15
+	pc ^= pc >> 29
+	return int(pc % sigDims)
+}
+
+// histogramArray is the blessed idiom: counts accumulate into a dense
+// array at hash-derived indices, so the visit order of the instruction
+// stream is the only order in play and it is deterministic by
+// construction. No diagnostic.
+func histogramArray(blocks []uint64, weights []uint32) [sigDims]uint32 {
+	var sig [sigDims]uint32
+	for i, pc := range blocks {
+		sig[sigBucket(pc)] += weights[i]
+	}
+	return sig
+}
+
+// normalizeArray walks the array in index order to build the unit-norm
+// signature: slice iteration is ordered, nothing drifts. No diagnostic.
+func normalizeArray(sig [sigDims]uint32) [sigDims]float64 {
+	var total float64
+	for _, c := range sig {
+		total += float64(c)
+	}
+	var out [sigDims]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range sig {
+		out[i] = float64(c) / total
+	}
+	return out
+}
+
+// histogramMapFlatten builds the histogram in a map and ranges it
+// straight into the signature slice: bucket order differs run to run,
+// and so does every downstream clustering distance.
+func histogramMapFlatten(hist map[uint64]uint32) []uint32 {
+	var sig []uint32
+	for _, c := range hist {
+		sig = append(sig, c) // want no-map-order-dependence "never sorted"
+	}
+	return sig
+}
+
+// histogramMapNorm accumulates the float norm in map order: the rounded
+// total — and therefore the normalized signature — drifts per run.
+func histogramMapNorm(hist map[uint64]float64) float64 {
+	var total float64
+	for _, c := range hist {
+		total += c // want no-map-order-dependence "accumulated in map iteration order"
+	}
+	return total
+}
+
+// histogramMapKeyed converts a sparse map histogram into the dense
+// bucketed array with writes keyed by the hashed bucket: each count
+// lands at its own index and integer adds commute, so iteration order
+// cannot matter. No diagnostic.
+func histogramMapKeyed(hist map[uint64]uint32) [sigDims]uint32 {
+	var sig [sigDims]uint32
+	for pc, c := range hist {
+		sig[sigBucket(pc)] += c
+	}
+	return sig
+}
+
+// histogramMapSorted is the blessed escape hatch when the map must be
+// enumerated: collect the keys, sort, then walk deterministically. No
+// diagnostic.
+func histogramMapSorted(hist map[uint64]uint32) []uint32 {
+	keys := make([]uint64, 0, len(hist))
+	for pc := range hist {
+		keys = append(keys, pc)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sig := make([]uint32, 0, len(keys))
+	for _, pc := range keys {
+		sig = append(sig, hist[pc])
+	}
+	return sig
+}

@@ -16,6 +16,14 @@ import "repro/internal/uarch"
 //   - Options.Reference: the reference path is the retained pre-optimization
 //     event path, which had no batched forms.
 //
+// Phase-sampled passes (see sampled.go) keep the batched forms but handle
+// them at batch granularity: the whole batch commits to the interval that
+// is current at its start — probed in live intervals, counted only in dead
+// ones — and any interval boundaries it spans fire after its ops land.
+// Both the profile and the measure pass advance the interval clock through
+// the identical batch calls, so boundaries fall at the same op positions
+// and the plan's interval indices line up.
+//
 // Events on the three independent simulator channels — fetch (Ops/LongOps →
 // L1I/ITLB), data (Load/Store → hierarchy) and branch (Branch → predictor)
 // — only order within their own channel; fused calls such as OpsBranch may
@@ -34,6 +42,23 @@ func (p *Profiler) LoadRange(base, stride uint64, n uint64) {
 	m := p.current
 	m.loads += n
 	m.ops += n
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				m.sLoads += n
+				for k := uint64(0); k < n; k++ {
+					p.classifyLoad(m, base+k*stride)
+				}
+			} else if s.live {
+				s.touch(m)
+				for k := uint64(0); k < n; k++ {
+					p.classifyLoadScratch(m, base+k*stride)
+				}
+			}
+		}
+		p.sampAdvance(n)
+		return
+	}
 	m.sLoads += n
 	for k := uint64(0); k < n; k++ {
 		p.classifyLoad(m, base+k*stride)
@@ -52,6 +77,22 @@ func (p *Profiler) StoreRange(base, stride uint64, n uint64) {
 	m := p.current
 	m.stores += n
 	m.ops += n
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				for k := uint64(0); k < n; k++ {
+					p.storeProbe(m, base+k*stride)
+				}
+			} else if s.live {
+				s.touch(m)
+				for k := uint64(0); k < n; k++ {
+					p.storeProbeScratch(m, base+k*stride)
+				}
+			}
+		}
+		p.sampAdvance(n)
+		return
+	}
 	for k := uint64(0); k < n; k++ {
 		p.storeProbe(m, base+k*stride)
 	}
@@ -70,6 +111,19 @@ func (p *Profiler) LoadStore(addr uint64) {
 	m.loads++
 	m.stores++
 	m.ops += 2
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				m.sLoads++
+				p.classifyLoad(m, addr)
+			} else if s.live {
+				s.touch(m)
+				p.classifyLoadScratch(m, addr)
+			}
+		}
+		p.sampAdvance(2)
+		return
+	}
 	m.sLoads++
 	p.classifyLoad(m, addr)
 }
@@ -89,6 +143,23 @@ func (p *Profiler) LoadStoreRange(base, stride uint64, n uint64) {
 	m.loads += n
 	m.stores += n
 	m.ops += 2 * n
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				m.sLoads += n
+				for k := uint64(0); k < n; k++ {
+					p.classifyLoad(m, base+k*stride)
+				}
+			} else if s.live {
+				s.touch(m)
+				for k := uint64(0); k < n; k++ {
+					p.classifyLoadScratch(m, base+k*stride)
+				}
+			}
+		}
+		p.sampAdvance(2 * n)
+		return
+	}
 	m.sLoads += n
 	for k := uint64(0); k < n; k++ {
 		p.classifyLoad(m, base+k*stride)
@@ -105,11 +176,32 @@ func (p *Profiler) OpsBranch(n uint64, site uint64, taken bool) {
 	}
 	m := p.current
 	m.ops += n + 1 // n work ops plus the branch itself retiring
-	p.fetch(m, n)
 	m.branches++
 	if taken {
 		m.taken++
 	}
+	if s := p.samp; s != nil {
+		if s.profiling {
+			s.cur[sigBucket(m.codeBase+site*8)]++
+		} else if s.warming {
+			p.fetch(m, n)
+			m.sBranches++
+			if !p.observe(m.codeBase+site*8, taken) {
+				m.sMispredicts++
+			}
+		} else if s.live {
+			s.touch(m)
+			p.sampFetch(m, n)
+			if !p.observe(m.codeBase+site*8, taken) {
+				m.iMisp++
+			}
+		} else {
+			advanceFetch(m, n)
+		}
+		p.sampAdvance(n + 1)
+		return
+	}
+	p.fetch(m, n)
 	if p.stride == 1 {
 		m.sBranches++
 		if !p.observe(m.codeBase+site*8, taken) {

@@ -69,6 +69,13 @@ type methodRecord struct {
 	// Sampled outcome counts (scaled by stride at report time).
 	sBranches, sMispredicts           uint64
 	sLoads, sL2, sLLC, sMem, sTLBMiss uint64
+
+	// Interval scratch for phase-sampled mode (see sampled.go): probe
+	// outcomes of the current live interval, folded into the counters
+	// above — multiplied by the interval weight — at the next boundary.
+	// mark is the interval epoch that last touched this record.
+	iMisp, iL2, iLLC, iMem, iTLB, iIC, iITLB uint64
+	mark                                     uint32
 }
 
 // Profiler is the modeled equivalent of "perf stat -e topdown... + perf
@@ -89,6 +96,11 @@ type Profiler struct {
 	// pre-optimization models instead (see Options.Reference). The hot path
 	// pays one well-predicted nil check per probe.
 	ref *refSims
+
+	// samp, when non-nil, puts the profiler in a phase-sampled pass (see
+	// sampled.go): a signature-only profile pass or a plan-driven measure
+	// pass. Like ref, the exact hot path pays one nil check per event.
+	samp *sampState
 
 	// memShift is the data-side coalescing granularity (log2 of the L1 line
 	// size): two addresses with equal addr>>memShift are indistinguishable
@@ -234,6 +246,9 @@ func (p *Profiler) Reset() {
 	p.memTick = 0
 	p.lastData = ^uint64(0)
 	p.lastFetch = ^uint64(0)
+	// Reset leaves sampled mode: each sampled pass is re-entered explicitly
+	// on a Reset profiler via BeginSampleProfile/BeginSampleMeasure.
+	p.samp = nil
 	// Keep and clear the records: name and codeBase are pure functions of
 	// the method name, so a recycled record is indistinguishable from a
 	// fresh one once its run state is zeroed.
@@ -279,9 +294,25 @@ func (p *Profiler) SetFootprint(name string, bytes uint64) {
 // matching Leave (or a nested Enter) are attributed to it.
 func (p *Profiler) Enter(name string) {
 	p.stack = append(p.stack, p.current)
-	p.current = p.method(name)
+	m := p.method(name)
+	p.current = m
+	if s := p.samp; s != nil {
+		// An entry retires no ops (no interval tick), but it is the
+		// strongest phase signal, so it weighs extra in the signature.
+		if s.profiling {
+			s.cur[sigBucket(m.codeBase)] += enterSigWeight
+		} else if s.warming {
+			p.fetch(m, 1)
+		} else if s.live {
+			s.touch(m)
+			p.sampFetch(m, 1)
+		} else {
+			advanceFetch(m, 1)
+		}
+		return
+	}
 	// A call re-steers fetch to the method entry.
-	p.fetch(p.current, 1)
+	p.fetch(m, 1)
 }
 
 // Leave pops the region stack. Unbalanced Leave calls panic: they indicate
@@ -338,6 +369,20 @@ func (p *Profiler) fetch(m *methodRecord, n uint64) {
 func (p *Profiler) Ops(n uint64) {
 	m := p.current
 	m.ops += n
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				p.fetch(m, n)
+			} else if s.live {
+				s.touch(m)
+				p.sampFetch(m, n)
+			} else {
+				advanceFetch(m, n)
+			}
+		}
+		p.sampAdvance(n)
+		return
+	}
 	p.fetch(m, n)
 }
 
@@ -346,6 +391,20 @@ func (p *Profiler) Ops(n uint64) {
 func (p *Profiler) LongOps(n uint64) {
 	m := p.current
 	m.longOps += n
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				p.fetch(m, n)
+			} else if s.live {
+				s.touch(m)
+				p.sampFetch(m, n)
+			} else {
+				advanceFetch(m, n)
+			}
+		}
+		p.sampAdvance(n)
+		return
+	}
 	p.fetch(m, n)
 }
 
@@ -368,6 +427,23 @@ func (p *Profiler) Branch(site uint64, taken bool) {
 		m.taken++
 	}
 	m.ops++ // the branch itself retires
+	if s := p.samp; s != nil {
+		if s.profiling {
+			s.cur[sigBucket(m.codeBase+site*8)]++
+		} else if s.warming {
+			m.sBranches++
+			if !p.observe(m.codeBase+site*8, taken) {
+				m.sMispredicts++
+			}
+		} else if s.live {
+			s.touch(m)
+			if !p.observe(m.codeBase+site*8, taken) {
+				m.iMisp++
+			}
+		}
+		p.sampAdvance(1)
+		return
+	}
 	if p.stride == 1 {
 		// Exact simulation: every branch is sampled and brTick stays 0.
 		m.sBranches++
@@ -393,6 +469,9 @@ func (p *Profiler) Jump() {
 	m := p.current
 	m.ops++
 	m.taken++
+	if p.samp != nil {
+		p.sampAdvance(1)
+	}
 }
 
 // Load records a data load from addr through the modeled hierarchy.
@@ -400,6 +479,19 @@ func (p *Profiler) Load(addr uint64) {
 	m := p.current
 	m.loads++
 	m.ops++
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				m.sLoads++
+				p.classifyLoad(m, addr)
+			} else if s.live {
+				s.touch(m)
+				p.classifyLoadScratch(m, addr)
+			}
+		}
+		p.sampAdvance(1)
+		return
+	}
 	p.memTick++
 	if p.memTick >= p.stride {
 		p.memTick = 0
@@ -415,6 +507,18 @@ func (p *Profiler) Store(addr uint64) {
 	m := p.current
 	m.stores++
 	m.ops++
+	if s := p.samp; s != nil {
+		if !s.profiling {
+			if s.warming {
+				p.storeProbe(m, addr)
+			} else if s.live {
+				s.touch(m)
+				p.storeProbeScratch(m, addr)
+			}
+		}
+		p.sampAdvance(1)
+		return
+	}
 	p.memTick++
 	if p.memTick >= p.stride {
 		p.memTick = 0
@@ -472,6 +576,11 @@ type Report struct {
 func (p *Profiler) Report() Report {
 	if len(p.stack) != 0 {
 		panic(fmt.Sprintf("perf: Report with %d unmatched Enter calls (current %q)", len(p.stack), p.current.name))
+	}
+	// A sampled measure pass ends here: fold the final (partial, always
+	// live) interval's scratch into the report counters.
+	if s := p.samp; s != nil && !s.profiling && !s.warming {
+		s.finishMeasure()
 	}
 	stride := uint64(p.stride)
 	var total uarch.Events

@@ -1,0 +1,227 @@
+// Package phase turns the interval signatures of a perf profile pass into
+// a perf.SamplePlan: which intervals a sampled measure pass fully
+// simulates, and the extrapolation weight of each. It is the bridge
+// between perf (which cannot import internal/cluster — the dependency
+// would cycle through report → core → perf) and the k-medoids machinery
+// that picks the representative intervals.
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/perf"
+)
+
+// DefaultPhases is the default cluster count: sixteen phases resolves the
+// alternation patterns of the suite's kernels without fragmenting short
+// streams.
+const DefaultPhases = 16
+
+// DefaultStratum caps how many cluster members one simulated representative
+// may stand for. Control-flow signatures cannot see time-evolving simulator
+// state — a compression window or software cache fills over the run, so two
+// intervals with identical BBVs can have very different hit rates — and a
+// single medoid weighted by a huge cluster inherits that blindness (an
+// early, cache-cold medoid measured xz's llc_hits 34% low). Splitting each
+// cluster into time-ordered strata of at most this many members and
+// simulating each stratum's temporal median bounds the extrapolation span.
+// Sixteen balanced accuracy against live-interval count in the tuning
+// sweep; 24 left double-digit errors on drift-heavy counters.
+const DefaultStratum = 16
+
+// DefaultMinIntervals is the shortest stream worth sampling. Below ~200
+// intervals the live set a clustered plan needs (pinned ends, earliest-pins,
+// one representative per stratum) approaches the stream itself, so the
+// speedup is negligible while sparse counters still pick up sampling noise
+// — the suite's short streams (xalancbmk at 165 intervals, lbm at 122)
+// measured multi-percent errors for under 2x gain. Such streams degenerate
+// to the all-ones exact plan instead.
+const DefaultMinIntervals = 192
+
+// Config controls plan construction.
+type Config struct {
+	// IntervalOps is the profile pass's interval size in retired ops.
+	IntervalOps uint64
+	// Phases is the cluster count k; 0 means DefaultPhases.
+	Phases int
+	// MaxIntervals caps the interval count fed to the clusterer; longer
+	// streams are coarsened by merging adjacent intervals (doubling the
+	// effective interval size) until they fit. 0 means
+	// perf.DefaultMaxIntervals.
+	MaxIntervals int
+	// Stratum caps the cluster members one representative stands for; 0
+	// means DefaultStratum.
+	Stratum int
+	// MinIntervals is the shortest (post-coarsening) stream that gets a
+	// clustered plan; anything shorter degenerates to exact. 0 means
+	// DefaultMinIntervals; it is clamped up to Phases+3, the hard floor
+	// below which clustering is impossible.
+	MinIntervals int
+}
+
+// BuildPlan clusters a profile pass's signatures and returns the measure
+// plan. The first and last intervals are always simulated with weight 1
+// (cold-start transient and tail, respectively); the interior intervals
+// are clustered with deterministic k-medoids, each cluster is split into
+// time-ordered strata of at most Stratum members, and each stratum's
+// temporal-median member carries the stratum's population as its weight —
+// so every skipped interval is represented exactly once, by a
+// control-flow-similar interval from its own era of the run. Streams too
+// short to sample — fewer than Config.MinIntervals after coarsening — get
+// an all-ones plan (Clustered=false): the measurement degenerates to exact
+// simulation with zero error.
+func BuildPlan(sigs []perf.IntervalSignature, cfg Config) (*perf.SamplePlan, error) {
+	if cfg.IntervalOps == 0 {
+		return nil, fmt.Errorf("phase: interval size must be >= 1 op")
+	}
+	k := cfg.Phases
+	if k == 0 {
+		k = DefaultPhases
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("phase: phases must be >= 1 (got %d)", k)
+	}
+	maxIntervals := cfg.MaxIntervals
+	if maxIntervals == 0 {
+		maxIntervals = perf.DefaultMaxIntervals
+	}
+	if maxIntervals < k+3 {
+		return nil, fmt.Errorf("phase: max intervals %d cannot hold %d phases plus pinned ends", maxIntervals, k)
+	}
+	stratum := cfg.Stratum
+	if stratum == 0 {
+		stratum = DefaultStratum
+	}
+	if stratum < 1 {
+		return nil, fmt.Errorf("phase: stratum must be >= 1 (got %d)", stratum)
+	}
+	minIntervals := cfg.MinIntervals
+	if minIntervals == 0 {
+		minIntervals = DefaultMinIntervals
+	}
+	if minIntervals < 0 {
+		return nil, fmt.Errorf("phase: min intervals must be >= 0 (got %d)", minIntervals)
+	}
+	if minIntervals < k+3 {
+		minIntervals = k + 3
+	}
+
+	sigs, intervalOps := coarsen(sigs, cfg.IntervalOps, maxIntervals)
+	n := len(sigs)
+
+	// Short stream: every interval is simulated, nothing is extrapolated.
+	if n < minIntervals {
+		weights := make([]uint32, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		return &perf.SamplePlan{IntervalOps: intervalOps, Weights: weights, Phases: k, Clustered: false}, nil
+	}
+
+	// Cluster the interior intervals 1..n-2 on their normalized frequency
+	// vectors; normalization makes the distance a shape comparison, so a
+	// partial-length interval clusters with full ones of the same phase.
+	points := make([][]float64, 0, n-2)
+	for i := 1; i < n-1; i++ {
+		points = append(points, normalize(sigs[i]))
+	}
+	cl, err := cluster.KMedoids(points, k)
+	if err != nil {
+		return nil, fmt.Errorf("phase: %w", err)
+	}
+
+	weights := make([]uint32, n)
+	weights[0] = 1
+	weights[n-1] = 1
+	// Point j is interior interval j+1. Gather each cluster's members in
+	// time order, split them into strata of at most strataSpan, and weight
+	// each stratum's temporal-median member with the stratum's population:
+	// every skipped interval is represented exactly once, by a
+	// control-flow-similar interval from its own era of the run.
+	members := make([][]int, k)
+	for j, slot := range cl.Assign {
+		members[slot] = append(members[slot], j+1)
+	}
+	for _, ms := range members {
+		for a := 0; a < len(ms); a += stratum {
+			b := a + stratum
+			if b > len(ms) {
+				b = len(ms)
+			}
+			weights[ms[(a+b-1)/2]] += uint32(b - a)
+		}
+		// Pin the cluster's earliest interval live at weight 1, carved out
+		// of its stratum's representative. A phase's first interval carries
+		// the phase's compulsory misses — first touches of its code and
+		// data — which happen once in the exact stream and so must be
+		// counted exactly once, not zero times (skipped) or stratum-weight
+		// times (extrapolated).
+		if len(ms) > 0 && weights[ms[0]] == 0 {
+			b := stratum
+			if b > len(ms) {
+				b = len(ms)
+			}
+			weights[ms[(b-1)/2]]--
+			weights[ms[0]] = 1
+		}
+	}
+	return &perf.SamplePlan{IntervalOps: intervalOps, Weights: weights, Phases: k, Clustered: true}, nil
+}
+
+// coarsen merges adjacent intervals in power-of-two groups until at most
+// maxIntervals remain, returning the merged signatures and the effective
+// interval size. Boundaries of the coarse grid are a subset of the fine
+// grid's, so a measure pass ticking at the coarse size lands on the same
+// op positions the profile pass crossed.
+func coarsen(sigs []perf.IntervalSignature, intervalOps uint64, maxIntervals int) ([]perf.IntervalSignature, uint64) {
+	group := 1
+	for (len(sigs)+group-1)/group > maxIntervals {
+		group *= 2
+	}
+	if group == 1 {
+		return sigs, intervalOps
+	}
+	merged := make([]perf.IntervalSignature, 0, (len(sigs)+group-1)/group)
+	for base := 0; base < len(sigs); base += group {
+		var sum perf.IntervalSignature
+		end := base + group
+		if end > len(sigs) {
+			end = len(sigs)
+		}
+		for _, sig := range sigs[base:end] {
+			for d := range sum {
+				sum[d] += sig[d]
+			}
+		}
+		merged = append(merged, sum)
+	}
+	return merged, intervalOps * uint64(group)
+}
+
+// normalize converts a signature to a unit-sum frequency vector. An empty
+// signature (an interval with no branches or entries) stays all-zero.
+func normalize(sig perf.IntervalSignature) []float64 {
+	v := make([]float64, perf.SigDims)
+	total := 0.0
+	for d, c := range sig {
+		v[d] = float64(c)
+		total += v[d]
+	}
+	if total > 0 {
+		inv := 1 / total
+		for d := range v {
+			v[d] *= inv
+		}
+	}
+	// Guard: k-medoids distance is finite on these vectors by construction,
+	// but normalize is also the single place a profile-pass anomaly (an
+	// overflowed bucket) would surface — keep it finite.
+	for d := range v {
+		if math.IsInf(v[d], 0) || math.IsNaN(v[d]) {
+			v[d] = 0
+		}
+	}
+	return v
+}

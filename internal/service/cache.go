@@ -42,6 +42,10 @@ func cellKey(benchmark, workload string, cfg report.RunConfig) string {
 	}
 	fmt.Fprintf(h, "benchmark=%s workload=%s\n", benchmark, workload)
 	fmt.Fprintf(h, "reps=%d stride=%d reference=%t\n", cfg.Reps, cfg.Stride, cfg.Reference)
+	// Sampled measurements extrapolate probe counters, so a sampled cell
+	// and its exact twin must never alias; the interval and phase knobs
+	// change the plan and with it every extrapolated field.
+	fmt.Fprintf(h, "sampled=%t interval=%d phases=%d\n", cfg.Sampled, cfg.SampledInterval, cfg.SampledPhases)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

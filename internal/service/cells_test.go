@@ -532,3 +532,50 @@ func TestCacheEndpoints(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestSampledCellKeyDistinct: a sampled cell and its exact twin must never
+// alias in the cache — extrapolated counters differ from exact ones — and
+// the sampled knobs (interval, phases) are part of the identity because
+// they change the plan. The integration half proves it end to end: after
+// an exact job resolves a cell, a sampled job for the same matrix point
+// must execute, not hit the cache.
+func TestSampledCellKeyDistinct(t *testing.T) {
+	exact := report.RunConfig{Reps: 1, Stride: 1}
+	sampled := report.RunConfig{Reps: 1, Stride: 1, Sampled: true, SampledInterval: 16 << 10, SampledPhases: 16}
+	keys := map[string]string{
+		"exact":    cellKey("b", "w", exact),
+		"sampled":  cellKey("b", "w", sampled),
+		"interval": cellKey("b", "w", report.RunConfig{Reps: 1, Stride: 1, Sampled: true, SampledInterval: 32 << 10, SampledPhases: 16}),
+		"phases":   cellKey("b", "w", report.RunConfig{Reps: 1, Stride: 1, Sampled: true, SampledInterval: 16 << 10, SampledPhases: 8}),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("cell keys alias: %s == %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	bench := &countBench{name: "990.count_r"}
+	s := newTestServer(t, bench)
+	_, st := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1}}`)
+	if st["state"] != stateDone {
+		t.Fatalf("exact job: %+v", st)
+	}
+	runs := bench.runs.Load()
+	_, st2 := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1, "sampled": true}}`)
+	if st2["state"] != stateDone {
+		t.Fatalf("sampled job: %+v", st2)
+	}
+	if st2["cached"] == true {
+		t.Fatal("sampled job must not resolve from exact cells")
+	}
+	if got := bench.runs.Load(); got == runs {
+		t.Fatal("sampled job executed no benchmarks")
+	}
+	// Same sampled config again: now it is a pure cache hit.
+	_, st3 := submitAndWait(t, s, `{"benchmarks": ["990.count_r"], "config": {"reps": 1, "sampled": true}}`)
+	if st3["state"] != stateDone || st3["cached"] != true {
+		t.Fatalf("identical sampled job missed the cache: %+v", st3)
+	}
+}

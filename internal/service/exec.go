@@ -105,7 +105,10 @@ func (s *Server) executeCell(ctx context.Context, c plannedCell, cfg report.RunC
 		return report.Measurement{}, 0, ctx.Err()
 	}
 	defer func() { <-s.localSem }()
-	opts := harness.Options{Reps: cfg.Reps, Stride: cfg.Stride, Reference: cfg.Reference}
+	opts := harness.Options{
+		Reps: cfg.Reps, Stride: cfg.Stride, Reference: cfg.Reference,
+		Sampled: cfg.Sampled, SampledInterval: cfg.SampledInterval, SampledPhases: cfg.SampledPhases,
+	}
 	m, err := harness.RunWorkload(ctx, c.bench, c.w, opts)
 	if err != nil {
 		return report.Measurement{}, 0, err
@@ -243,9 +246,12 @@ func (s *Server) handleCellExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts, err := harness.Options{
-		Reps:      req.Config.Reps,
-		Stride:    req.Config.Stride,
-		Reference: req.Config.Reference,
+		Reps:            req.Config.Reps,
+		Stride:          req.Config.Stride,
+		Reference:       req.Config.Reference,
+		Sampled:         req.Config.Sampled,
+		SampledInterval: req.Config.SampledInterval,
+		SampledPhases:   req.Config.SampledPhases,
 	}.Normalize()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

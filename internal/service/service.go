@@ -522,10 +522,13 @@ func (n normalized) cellKeys() []string {
 // but is not part of any cell's identity.
 func (s *Server) normalizeRequest(req JobRequest) (normalized, error) {
 	opts, err := harness.Options{
-		Reps:        req.Config.Reps,
-		Stride:      req.Config.Stride,
-		IncludeTest: req.Config.IncludeTest,
-		Reference:   req.Config.Reference,
+		Reps:            req.Config.Reps,
+		Stride:          req.Config.Stride,
+		IncludeTest:     req.Config.IncludeTest,
+		Reference:       req.Config.Reference,
+		Sampled:         req.Config.Sampled,
+		SampledInterval: req.Config.SampledInterval,
+		SampledPhases:   req.Config.SampledPhases,
 	}.Normalize()
 	if err != nil {
 		return normalized{}, err

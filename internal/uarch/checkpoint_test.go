@@ -1,0 +1,108 @@
+package uarch
+
+import "testing"
+
+// lcg is a tiny deterministic generator for checkpoint test streams.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+func TestCacheCheckpointRestore(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "L1D", SizeB: 32 << 10, Ways: 8, LineSize: 64})
+	g := lcg(1)
+	for i := 0; i < 50000; i++ {
+		c.Access(g.next() % (1 << 20))
+	}
+	st := c.Checkpoint()
+	accesses0, misses0 := c.Stats()
+
+	// Continue past the checkpoint, then restore and replay the identical
+	// stream: the hit/miss sequence and statistics must repeat exactly.
+	replay := g
+	var first []bool
+	for i := 0; i < 20000; i++ {
+		first = append(first, c.Access(replay.next()%(1<<20)))
+	}
+	c.Restore(st)
+	if a, m := c.Stats(); a != accesses0 || m != misses0 {
+		t.Fatalf("restore did not rewind stats: got %d/%d want %d/%d", a, m, accesses0, misses0)
+	}
+	replay = g
+	for i := 0; i < 20000; i++ {
+		if got := c.Access(replay.next() % (1 << 20)); got != first[i] {
+			t.Fatalf("access %d diverged after restore: got %v want %v", i, got, first[i])
+		}
+	}
+}
+
+func TestHierarchyCheckpointRestore(t *testing.T) {
+	h := NewHierarchy()
+	g := lcg(7)
+	for i := 0; i < 80000; i++ {
+		h.Access(g.next() % (64 << 20))
+	}
+	st := h.Checkpoint()
+	tlb0 := h.TLBMisses()
+
+	replay := g
+	type outcome struct {
+		res  MemoryResult
+		miss bool
+	}
+	var first []outcome
+	for i := 0; i < 30000; i++ {
+		r, m := h.Access(replay.next() % (64 << 20))
+		first = append(first, outcome{r, m})
+	}
+	h.Restore(st)
+	if h.TLBMisses() != tlb0 {
+		t.Fatalf("restore did not rewind TLB misses: got %d want %d", h.TLBMisses(), tlb0)
+	}
+	replay = g
+	for i := 0; i < 30000; i++ {
+		r, m := h.Access(replay.next() % (64 << 20))
+		if r != first[i].res || m != first[i].miss {
+			t.Fatalf("access %d diverged after restore: got %v/%v want %v/%v",
+				i, r, m, first[i].res, first[i].miss)
+		}
+	}
+}
+
+func TestTournamentCheckpointRestore(t *testing.T) {
+	tr := NewTournament(14)
+	g := lcg(42)
+	for i := 0; i < 60000; i++ {
+		v := g.next()
+		tr.Observe(v%4096, v&(1<<40) != 0)
+	}
+	st := tr.Checkpoint()
+
+	replay := g
+	var first []bool
+	for i := 0; i < 20000; i++ {
+		v := replay.next()
+		first = append(first, tr.Observe(v%4096, v&(1<<40) != 0))
+	}
+	tr.Restore(st)
+	replay = g
+	for i := 0; i < 20000; i++ {
+		v := replay.next()
+		if got := tr.Observe(v%4096, v&(1<<40) != 0); got != first[i] {
+			t.Fatalf("branch %d diverged after restore: got %v want %v", i, got, first[i])
+		}
+	}
+}
+
+func TestCacheRestoreMismatchPanics(t *testing.T) {
+	small := NewCache(CacheConfig{Name: "small", SizeB: 4 << 10, Ways: 4, LineSize: 64})
+	big := NewCache(CacheConfig{Name: "big", SizeB: 32 << 10, Ways: 8, LineSize: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic restoring from a mismatched snapshot")
+		}
+	}()
+	big.Restore(small.Checkpoint())
+}

@@ -16,6 +16,14 @@
 # merged envelope against the same `albertarun -json` baseline — the
 # merge-determinism check. The job's cells breakdown must show every cell
 # executed remotely.
+#
+# Phase 3 (sampled mode, same fleet): run the job again with
+# {"sampled": true} and diff the merged envelope against
+# `albertarun -sampled -json`. Sampled counters are extrapolated, but
+# deterministically — so the envelope must still match byte for byte
+# (wall_seconds normalized) — and the sampled job must not have been
+# answered from the exact job's cells (sampled and exact cells never
+# alias).
 set -euo pipefail
 
 BENCH=${BENCH:-557.xz_r}
@@ -185,5 +193,33 @@ if ! diff <(normalize "$workdir/coord.json") <(normalize "$workdir/cli.json"); t
     echo "coordinator envelope differs from single-node envelope" >&2
     exit 1
 fi
+
+echo "== phase 3: sampled job on the same fleet vs albertarun -sampled -json"
+"$workdir/albertarun" -json -sampled -bench "$BENCH" -reps "$REPS" \
+    -table1 -table2 -fig1 -fig2 -kernels >"$workdir/cli-sampled.json"
+
+request_sampled=$(printf '{"benchmarks": ["%s"], "config": {"reps": %d, "sampled": true}}' "$BENCH" "$REPS")
+sid=$(submit "$CBASE" "$request_sampled")
+echo "== poll $sid (coordinator, sampled)"
+poll "$CBASE" "$sid"
+
+echo "== sampled job must have executed, not hit the exact job's cells"
+curl -fsS "$CBASE/v1/jobs/$sid" >"$workdir/coord-sampled-job.json"
+grep -q '"cached": 0' "$workdir/coord-sampled-job.json" || {
+    echo "sampled job was answered from exact cells — cell keys alias:" >&2
+    cat "$workdir/coord-sampled-job.json" >&2
+    exit 1
+}
+
+echo "== sampled merged envelope must match albertarun -sampled -json"
+curl -fsS "$CBASE/v1/jobs/$sid/result" >"$workdir/coord-sampled.json"
+if ! diff <(normalize "$workdir/coord-sampled.json") <(normalize "$workdir/cli-sampled.json"); then
+    echo "sampled coordinator envelope differs from albertarun -sampled" >&2
+    exit 1
+fi
+grep -q '"sampled": true' "$workdir/coord-sampled.json" || {
+    echo "sampled envelope carries no sampled markers" >&2
+    exit 1
+}
 
 echo "serve-smoke: OK"
