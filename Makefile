@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-budget bench-smoke diff-full diff-sampled serve-smoke check
+.PHONY: build vet lint lint-sarif leak-race test race bench bench-check bench-budget bench-smoke diff-full diff-sampled serve-smoke sweep-smoke check
 
 build:
 	$(GO) build ./...
@@ -74,5 +74,13 @@ diff-sampled:
 # must be byte-identical to the same baseline (wall_seconds normalized).
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end smoke of the workload-space sweep: 16 generated workloads ×
+# 3 benchmarks through cmd/albertasweep (serial and parallel runs must
+# emit byte-identical -json reports) and through POST /v1/sweeps (the
+# streamed report frame must equal the CLI's, and a repeated sweep must
+# answer every cell from the cache).
+sweep-smoke:
+	./scripts/sweep-smoke.sh
 
 check: build vet lint race

@@ -276,13 +276,13 @@ func BenchmarkWorkloadClustering(b *testing.B) {
 		results := runSubSuite(b, "557.xz_r", "519.lbm_r")
 		for _, name := range results.SortedBenchmarks() {
 			ms := results[name]
-			reps, cl, err := cluster.Representatives(ms, 3)
+			sel, err := cluster.Select(ms, cluster.Options{K: 3})
 			if err != nil {
 				b.Fatal(err)
 			}
 			if i == 0 {
-				fmt.Print(cluster.FormatClustering(name, ms, cl, reps))
-				b.ReportMetric(cl.Cost, "cluster-cost-"+name)
+				fmt.Print(cluster.FormatSelection(name, sel))
+				b.ReportMetric(sel.Clustering.Cost, "cluster-cost-"+name)
 			}
 		}
 		if i == 0 {

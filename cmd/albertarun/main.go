@@ -371,11 +371,11 @@ func runCluster(ctx context.Context, cfg *config, suite *core.Suite) error {
 		if k > len(ms) {
 			k = len(ms)
 		}
-		reps, cl, err := cluster.Representatives(ms, k)
+		sel, err := cluster.Select(ms, cluster.Options{K: k})
 		if err != nil {
 			return err
 		}
-		fmt.Print(cluster.FormatClustering(name, ms, cl, reps))
+		fmt.Print(cluster.FormatSelection(name, sel))
 	}
 	return nil
 }

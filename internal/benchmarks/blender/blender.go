@@ -369,7 +369,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 			s++
 		}
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Kind: SceneKind(i % 2), Detail: 3 + i%6, SceneSeed: s,
 			StartFrame: i, Frames: 1 + i%4, W: 64, H: 48,
 		})

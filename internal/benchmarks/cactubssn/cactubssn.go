@@ -314,7 +314,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Params: Params{
 				N:           12 + int(s%4)*4,
 				Steps:       6 + int(s%5)*4,

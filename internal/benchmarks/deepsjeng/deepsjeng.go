@@ -121,7 +121,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	var out []core.Workload
 	for i := 0; i < n; i++ {
 		out = append(out, workloadFromPool(
-			fmt.Sprintf("gen.%d", i), core.KindAlberta, seed+int64(i), 8, 3, 5))
+			core.GeneratedName(seed, i), core.KindAlberta, seed+int64(i), 8, 3, 5))
 	}
 	return out, nil
 }

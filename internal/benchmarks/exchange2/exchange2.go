@@ -79,7 +79,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	var out []core.Workload
 	for i := 0; i < n; i++ {
 		out = append(out, Workload{
-			Meta:        core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:        core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			SeedIndices: pickSeeds(seed+int64(i), 4+i%8),
 			PerSeed:     6 + i%10,
 			RNGSeed:     seed + int64(i),

@@ -183,8 +183,17 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 			Arrays:    1 + i%3,
 			Seed:      seed + int64(i),
 		}
+		// Clamp main's iteration count by the program shape: validation
+		// work scales as ITERS × Functions × (loop bound)^LoopDepth, and
+		// an unlucky draw at the heavy end (40 functions, depth-3 loops)
+		// can otherwise exceed the VM's validation step limit. Inventory
+		// workloads keep MaxIters zero — their programs are pinned by
+		// baselines and never change.
+		if cap := 512 / (p.Functions * p.LoopDepth * p.LoopDepth); cap < 32 {
+			p.MaxIters = max(2, cap)
+		}
 		out = append(out, Workload{
-			Meta:   core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:   core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Source: GenerateProgram(p),
 			Level:  cc.OptLevel(i % 4),
 		})

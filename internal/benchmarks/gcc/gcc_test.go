@@ -2,6 +2,7 @@ package gcc
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/benchmarks/gcc/cc"
@@ -200,5 +201,45 @@ func TestGenerateWorkloadsCompile(t *testing.T) {
 func TestReplaceWord(t *testing.T) {
 	if got := replaceWord("f0 + f01 + xf0 + f0", "f0", "Z"); got != "Z + f01 + xf0 + Z" {
 		t.Errorf("replaceWord = %q", got)
+	}
+}
+
+// TestGeneratedWorkloadsValidateAtHeavyShapes pins the MaxIters clamp:
+// sweep-generated workloads at the heavy end of the shape cycle (40
+// functions × depth-3 loops, indices ≡ 29 mod 30) must validate within
+// the VM step limit for any seed. Index 29 at seed 1 is the draw that
+// originally exceeded it.
+func TestGeneratedWorkloadsValidateAtHeavyShapes(t *testing.T) {
+	b := New()
+	for _, seed := range []int64{1, 7} {
+		ws, err := b.GenerateWorkloads(seed, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range []int{29, 59, 89} {
+			if _, err := b.Run(ws[i], perf.NewWithOptions(perf.Options{Stride: 64})); err != nil {
+				t.Errorf("seed %d index %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestMaxItersZeroLeavesProgramsUnchanged proves the clamp is inert when
+// unset: inventory workloads (MaxIters zero) keep their exact pre-clamp
+// program text, so pinned baselines cannot drift.
+func TestMaxItersZeroLeavesProgramsUnchanged(t *testing.T) {
+	p := GenParams{Functions: 40, LoopDepth: 3, ExprDepth: 4, Arrays: 4, Seed: 3}
+	plain := GenerateProgram(p)
+	p.MaxIters = 1000 // larger than any drawn ITERS: must not bind
+	if GenerateProgram(p) != plain {
+		t.Error("non-binding MaxIters changed the program")
+	}
+	p.MaxIters = 2
+	clamped := GenerateProgram(p)
+	if clamped == plain {
+		t.Error("binding MaxIters left the program unchanged")
+	}
+	if !strings.Contains(clamped, "#define ITERS 2\n") {
+		t.Error("clamped program does not define ITERS 2")
 	}
 }

@@ -26,6 +26,13 @@ type GenParams struct {
 	// this many parameters (used by the multi-file generator so module
 	// entry points can call helpers without parsing their signatures).
 	FixedArity int
+	// MaxIters, when positive, clamps main's ITERS constant. The sweep
+	// generator sets it from the program shape so validation work stays
+	// bounded for every (seed, index) — an unlucky deep-loop × many-
+	// function draw cannot exceed the VM step limit. Zero leaves the
+	// drawn value untouched (and the emitted program byte-identical to
+	// pre-MaxIters output: the clamp consumes no RNG draws).
+	MaxIters int
 	// Seed drives all choices.
 	Seed int64
 }
@@ -51,7 +58,11 @@ type generator struct {
 func GenerateProgram(p GenParams) string {
 	g := &generator{rng: rand.New(rand.NewSource(p.Seed)), p: p, arity: map[string]int{}}
 	// Preprocessor header exercises the preprocess stage.
-	g.line("#define ITERS %d", 8+g.rng.Intn(24))
+	iters := 8 + g.rng.Intn(24)
+	if p.MaxIters > 0 && iters > p.MaxIters {
+		iters = p.MaxIters
+	}
+	g.line("#define ITERS %d", iters)
 	g.line("#define SCALE %d", 1+g.rng.Intn(5))
 	g.line("#ifdef UNUSED_FLAG")
 	g.line("int never_used;")

@@ -372,7 +372,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	var out []core.Workload
 	for i := 0; i < n; i++ {
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			NX:   12 + (i%3)*4, NY: 10 + (i%2)*4, NZ: 10,
 			Kind: shapes[i%len(shapes)], Size: 0.2 + 0.1*float64(i%4),
 			Density: 0.04 * float64(i%3), Seed: seed + int64(i),

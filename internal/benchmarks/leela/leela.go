@@ -236,7 +236,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	}
 	var out []core.Workload
 	for i := 0; i < n; i++ {
-		w, err := buildWorkload(fmt.Sprintf("gen.%d", i), core.KindAlberta,
+		w, err := buildWorkload(core.GeneratedName(seed, i), core.KindAlberta,
 			seed+int64(i), []int{7, 9}, 20+i%10, 12, 6)
 		if err != nil {
 			return nil, err

@@ -91,7 +91,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 		p.Connectivity = 40 + int(p.Seed%4)*40
 		p.PeakSharpness = 0.5 + float64(p.Seed%3)
 		out = append(out, Workload{
-			Meta:   core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:   core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Params: p,
 		})
 	}

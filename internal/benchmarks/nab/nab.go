@@ -369,7 +369,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 		p := DefaultParams()
 		p.Steps = 20 + (i%4)*10
 		out = append(out, Workload{
-			Meta:   core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:   core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			PDB:    GeneratePDB(fmt.Sprintf("gen%d", i), 60+(i%6)*30, seed+int64(i)),
 			Params: p,
 		})

@@ -83,7 +83,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 			return nil, err
 		}
 		out = append(out, Workload{
-			Meta:   core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:   core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			NED:    net.FormatNED(),
 			Config: Config{DurationUS: 100_000, MeanInterarrivalUS: 60, Seed: seed + int64(i)},
 		})

@@ -352,7 +352,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Params: Params{
 				N: 10 + int(s%4)*2, Blocks: 2 + int(s%3),
 				Noise: 0.01 * float64(s%5), Lambda: 0.01 + 0.01*float64(s%3),

@@ -181,7 +181,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	var out []core.Workload
 	for i := 0; i < n; i++ {
 		out = append(out, Workload{
-			Meta:       core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:       core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Scene:      kinds[i%len(kinds)],
 			Complexity: 8 + (i%4)*6,
 			W:          64, H: 48,

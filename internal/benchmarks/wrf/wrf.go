@@ -362,7 +362,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Params: Params{
 				N: 24 + int(s%3)*8, Steps: 15 + int(s%4)*10, Dt: 0.02,
 				Dataset: StormDataset(s % 2),

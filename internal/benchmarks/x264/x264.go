@@ -167,7 +167,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	var out []core.Workload
 	for i := 0; i < n; i++ {
 		out = append(out, Workload{
-			Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Video: VideoParams{
 				W: 96 + (i%3)*16, H: 64 + (i%3)*16,
 				Frames: 6 + i%6, Motion: 1 + i%6, Noise: (i % 4) * 8,

@@ -161,12 +161,12 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 		s := seed + int64(i)
 		if i%2 == 0 {
 			out = append(out, Workload{
-				Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+				Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 				XML:  GenerateRecordsXML(500+int(s%7)*500, s), Stylesheet: RecordsStylesheet,
 			})
 		} else {
 			out = append(out, Workload{
-				Meta: core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+				Meta: core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 				XML:  GenerateAuctionXML(100+int(s%5)*100, 300, 700, s), Stylesheet: AuctionStylesheet,
 			})
 		}

@@ -175,7 +175,7 @@ func (b *Benchmark) GenerateWorkloads(seed int64, n int) ([]core.Workload, error
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		out = append(out, Workload{
-			Meta:      core.Meta{Name: fmt.Sprintf("gen.%d", i), Kind: core.KindAlberta},
+			Meta:      core.Meta{Name: core.GeneratedName(seed, i), Kind: core.KindAlberta},
 			Data:      kinds[i%len(kinds)],
 			Size:      (64 + int(s%8)*48) * kib,
 			BlockSize: 4 * kib,

@@ -7,8 +7,13 @@
 // diversity.
 //
 // Workloads are embedded as behaviour vectors (top-down fractions plus
-// log-scaled modeled cycles and the method-coverage distribution) and
-// clustered with deterministic k-medoids (PAM-style swap descent).
+// log-scaled modeled cycles and/or the method-coverage distribution,
+// chosen by Features) and clustered with deterministic k-medoids
+// (PAM-style swap descent). The FeatureSpace accumulates points
+// incrementally — a streaming sweep Adds each measurement as it completes
+// and releases it; only the compact Point survives — and Select runs the
+// reduction over everything accumulated, reporting the coverage loss of
+// the dropped workloads.
 package cluster
 
 import (
@@ -23,42 +28,165 @@ import (
 // ErrCluster reports an invalid clustering request.
 var ErrCluster = errors.New("cluster: invalid request")
 
-// FeatureSpace maps measurements into comparable vectors: the four
-// top-down fractions, a log-cycles scale term, and one dimension per
-// method seen in any measurement (coverage fraction).
+// Features selects the behaviour embedding.
+type Features int
+
+const (
+	// FeaturesCombined embeds the four top-down fractions, a log-cycles
+	// scale term, and one dimension per method (coverage fraction).
+	FeaturesCombined Features = iota
+	// FeaturesTopDown embeds only the top-down fractions and the
+	// log-cycles term — O(1) state per point, the choice for
+	// allocation-bounded sweeps.
+	FeaturesTopDown
+	// FeaturesCoverage embeds only the method-coverage distribution.
+	FeaturesCoverage
+)
+
+// String names the feature space (the -features flag vocabulary).
+func (f Features) String() string {
+	switch f {
+	case FeaturesCombined:
+		return "combined"
+	case FeaturesTopDown:
+		return "topdown"
+	case FeaturesCoverage:
+		return "coverage"
+	}
+	return fmt.Sprintf("Features(%d)", int(f))
+}
+
+// ParseFeatures is the inverse of String.
+func ParseFeatures(s string) (Features, error) {
+	switch s {
+	case "combined":
+		return FeaturesCombined, nil
+	case "topdown":
+		return FeaturesTopDown, nil
+	case "coverage":
+		return FeaturesCoverage, nil
+	}
+	return 0, fmt.Errorf("%w: unknown feature space %q (want combined, topdown or coverage)", ErrCluster, s)
+}
+
+func (f Features) usesTopDown() bool  { return f != FeaturesCoverage }
+func (f Features) usesCoverage() bool { return f != FeaturesTopDown }
+
+// Options configures a selection run.
+type Options struct {
+	// K is the number of representatives to keep. Required; must be
+	// 1 <= K <= number of points.
+	K int
+	// Features picks the behaviour embedding. The zero value is
+	// FeaturesCombined.
+	Features Features
+	// Seed perturbs the deterministic k-medoids initialization: 0 keeps
+	// the canonical greedy max-min seeding; any other value starts the
+	// seeding from a seed-derived point instead. Same seed, same points,
+	// same selection — always.
+	Seed int64
+}
+
+// Point is the compact per-workload state a FeatureSpace retains: the
+// behaviour features of one measurement, never the measurement itself.
+type Point struct {
+	Name    string
+	TopDown [4]float64 // front-end, back-end, bad-spec, retiring
+	Cycles  uint64
+	// Coverage is nil unless the feature space embeds coverage.
+	Coverage map[string]float64
+}
+
+// FeatureSpace accumulates behaviour points and embeds them into
+// comparable vectors. Dimensions are fixed by the Features choice plus
+// the union of method names seen, computed at Select time so points can
+// arrive incrementally in any order.
 type FeatureSpace struct {
-	methods []string
+	features Features
+	points   []Point
 }
 
-// NewFeatureSpace builds the embedding from the union of methods.
-func NewFeatureSpace(ms []report.Measurement) *FeatureSpace {
-	seen := map[string]bool{}
-	for _, m := range ms {
-		for meth := range m.Coverage {
-			seen[meth] = true
+// NewFeatureSpace returns an empty accumulator over the given embedding.
+func NewFeatureSpace(f Features) *FeatureSpace {
+	return &FeatureSpace{features: f}
+}
+
+// Features returns the embedding this space was built with.
+func (fs *FeatureSpace) Features() Features { return fs.features }
+
+// Len is the number of points accumulated.
+func (fs *FeatureSpace) Len() int { return len(fs.points) }
+
+// Compact reduces a measurement to the point state this feature space
+// needs: top-down fractions and cycles always, the coverage map only when
+// the embedding uses it. The returned Point shares the measurement's
+// Coverage map in that case — everything else in the measurement is free
+// to be released.
+func (fs *FeatureSpace) Compact(m report.Measurement) Point {
+	p := Point{
+		Name:    m.Workload,
+		TopDown: [4]float64{m.TopDown.FrontEnd, m.TopDown.BackEnd, m.TopDown.BadSpec, m.TopDown.Retiring},
+		Cycles:  m.Cycles,
+	}
+	if fs.features.usesCoverage() {
+		p.Coverage = m.Coverage
+	}
+	return p
+}
+
+// Add accumulates one measurement (Compact + AddPoint).
+func (fs *FeatureSpace) Add(m report.Measurement) {
+	fs.AddPoint(fs.Compact(m))
+}
+
+// AddPoint accumulates an already-compacted point.
+func (fs *FeatureSpace) AddPoint(p Point) {
+	fs.points = append(fs.points, p)
+}
+
+// Names returns the accumulated point names in insertion order.
+func (fs *FeatureSpace) Names() []string {
+	names := make([]string, len(fs.points))
+	for i, p := range fs.points {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Vectors embeds every accumulated point, in insertion order. The
+// coverage dimensions are the sorted union of method names over all
+// points, so the embedding depends only on the point set, not on arrival
+// order.
+func (fs *FeatureSpace) Vectors() [][]float64 {
+	var methods []string
+	if fs.features.usesCoverage() {
+		seen := map[string]bool{}
+		for _, p := range fs.points {
+			for meth := range p.Coverage {
+				seen[meth] = true
+			}
 		}
+		for meth := range seen {
+			methods = append(methods, meth)
+		}
+		sort.Strings(methods)
 	}
-	fs := &FeatureSpace{}
-	for meth := range seen {
-		fs.methods = append(fs.methods, meth)
+	vs := make([][]float64, len(fs.points))
+	for i, p := range fs.points {
+		v := make([]float64, 0, 5+len(methods))
+		if fs.features.usesTopDown() {
+			v = append(v, p.TopDown[0], p.TopDown[1], p.TopDown[2], p.TopDown[3],
+				// Scale matters but should not dominate: compress with
+				// log10 and a modest weight.
+				0.25*math.Log10(float64(p.Cycles+1)),
+			)
+		}
+		for _, meth := range methods {
+			v = append(v, p.Coverage[meth])
+		}
+		vs[i] = v
 	}
-	sort.Strings(fs.methods)
-	return fs
-}
-
-// Vector embeds one measurement.
-func (fs *FeatureSpace) Vector(m report.Measurement) []float64 {
-	v := make([]float64, 0, 5+len(fs.methods))
-	v = append(v,
-		m.TopDown.FrontEnd, m.TopDown.BackEnd, m.TopDown.BadSpec, m.TopDown.Retiring,
-		// Scale matters but should not dominate: compress with log10 and
-		// a modest weight.
-		0.25*math.Log10(float64(m.Cycles+1)),
-	)
-	for _, meth := range fs.methods {
-		v = append(v, m.Coverage[meth])
-	}
-	return v
+	return vs
 }
 
 // Distance is the Euclidean distance between behaviour vectors.
@@ -84,10 +212,99 @@ type Clustering struct {
 	Cost float64
 }
 
-// KMedoids clusters points into k groups with PAM-style swap descent. The
-// initialization is deterministic (greedy max-min seeding from the medoid
-// of the whole set), so results are reproducible.
+// CoverageLoss quantifies what dropping the non-representative workloads
+// costs: the distance of each dropped point to its retained
+// representative, summarized as max and mean. Zero loss means the kept
+// subset reproduces every dropped behaviour exactly (or nothing was
+// dropped).
+type CoverageLoss struct {
+	// Dropped is the number of non-representative points.
+	Dropped int `json:"dropped"`
+	// MaxDistance is the worst-represented dropped point's distance to
+	// its representative.
+	MaxDistance float64 `json:"max_distance"`
+	// MeanDistance is the mean such distance over all dropped points
+	// (0 when none were dropped).
+	MeanDistance float64 `json:"mean_distance"`
+}
+
+// Selection is the result of a representative-subset reduction.
+type Selection struct {
+	// Representatives are the medoid point names, in medoid index order.
+	Representatives []string
+	// Names are all point names in insertion order; Clustering indices
+	// refer to this slice.
+	Names []string
+	// Clustering is the underlying k-medoids result.
+	Clustering Clustering
+	// Loss quantifies the coverage cost of keeping only the
+	// representatives.
+	Loss CoverageLoss
+}
+
+// Select clusters everything accumulated and picks opts.K
+// representatives. opts.Features must match the embedding the space was
+// built with — the option exists so one Options value can drive both
+// construction and selection.
+func (fs *FeatureSpace) Select(opts Options) (Selection, error) {
+	if opts.Features != fs.features {
+		return Selection{}, fmt.Errorf("%w: options feature space %v does not match accumulator %v",
+			ErrCluster, opts.Features, fs.features)
+	}
+	if len(fs.points) == 0 {
+		return Selection{}, fmt.Errorf("%w: no points", ErrCluster)
+	}
+	vectors := fs.Vectors()
+	cl, err := kMedoids(vectors, opts.K, opts.Seed)
+	if err != nil {
+		return Selection{}, err
+	}
+	sel := Selection{
+		Names:      fs.Names(),
+		Clustering: cl,
+	}
+	for _, m := range cl.Medoids {
+		sel.Representatives = append(sel.Representatives, fs.points[m].Name)
+	}
+	// Coverage loss: distance of each dropped (non-medoid) point to its
+	// representative.
+	sum := 0.0
+	for i, slot := range cl.Assign {
+		if isMedoid(cl.Medoids, i) {
+			continue
+		}
+		d := Distance(vectors[i], vectors[cl.Medoids[slot]])
+		sel.Loss.Dropped++
+		sum += d
+		if d > sel.Loss.MaxDistance {
+			sel.Loss.MaxDistance = d
+		}
+	}
+	if sel.Loss.Dropped > 0 {
+		sel.Loss.MeanDistance = sum / float64(sel.Loss.Dropped)
+	}
+	return sel, nil
+}
+
+// Select embeds the measurements under opts.Features and reduces them to
+// opts.K representatives — the one-shot convenience over the incremental
+// FeatureSpace path.
+func Select(ms []report.Measurement, opts Options) (Selection, error) {
+	fs := NewFeatureSpace(opts.Features)
+	for _, m := range ms {
+		fs.Add(m)
+	}
+	return fs.Select(opts)
+}
+
+// KMedoids clusters points into k groups with PAM-style swap descent and
+// the canonical deterministic initialization (greedy max-min seeding from
+// the medoid of the whole set).
 func KMedoids(points [][]float64, k int) (Clustering, error) {
+	return kMedoids(points, k, 0)
+}
+
+func kMedoids(points [][]float64, k int, seed int64) (Clustering, error) {
 	n := len(points)
 	if k < 1 || k > n {
 		return Clustering{}, fmt.Errorf("%w: k=%d for %d points", ErrCluster, k, n)
@@ -100,17 +317,29 @@ func KMedoids(points [][]float64, k int) (Clustering, error) {
 			dist[i][j] = Distance(points[i], points[j])
 		}
 	}
-	// Seed 1: the 1-medoid of the whole set (minimum total distance).
+	// First medoid: the 1-medoid of the whole set (minimum total
+	// distance) for seed 0; a seed-derived point otherwise. Either way
+	// the choice is a pure function of (points, seed).
 	best := 0
-	bestSum := math.Inf(1)
-	for i := 0; i < n; i++ {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			s += dist[i][j]
+	if seed == 0 {
+		bestSum := math.Inf(1)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += dist[i][j]
+			}
+			if s < bestSum {
+				best, bestSum = i, s
+			}
 		}
-		if s < bestSum {
-			best, bestSum = i, s
-		}
+	} else {
+		// splitmix64 finalizer: spreads consecutive seeds over the index
+		// range so seed 1 and seed 2 start from unrelated points.
+		z := uint64(seed) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		best = int(z % uint64(n))
 	}
 	medoids := []int{best}
 	// Max-min seeding for the rest.
@@ -199,39 +428,21 @@ func totalCost(dist [][]float64, medoids []int) float64 {
 	return total
 }
 
-// Representatives clusters a benchmark's measurements and returns the
-// medoid workload names — the reduced workload set.
-func Representatives(ms []report.Measurement, k int) ([]string, *Clustering, error) {
-	if len(ms) == 0 {
-		return nil, nil, fmt.Errorf("%w: no measurements", ErrCluster)
-	}
-	fs := NewFeatureSpace(ms)
-	points := make([][]float64, len(ms))
-	for i, m := range ms {
-		points[i] = fs.Vector(m)
-	}
-	cl, err := KMedoids(points, k)
-	if err != nil {
-		return nil, nil, err
-	}
-	names := make([]string, 0, k)
-	for _, m := range cl.Medoids {
-		names = append(names, ms[m].Workload)
-	}
-	return names, &cl, nil
-}
-
-// FormatClustering renders a benchmark's cluster assignment.
-func FormatClustering(benchmark string, ms []report.Measurement, cl *Clustering, reps []string) string {
+// FormatSelection renders a benchmark's reduction: the clusters with
+// their representatives and members, then the coverage-loss summary.
+func FormatSelection(benchmark string, sel Selection) string {
+	cl := sel.Clustering
 	out := fmt.Sprintf("workload clusters: %s (k=%d, cost=%.4f)\n", benchmark, len(cl.Medoids), cl.Cost)
 	for slot, medoid := range cl.Medoids {
-		out += fmt.Sprintf("  cluster %d (representative %s):", slot+1, ms[medoid].Workload)
+		out += fmt.Sprintf("  cluster %d (representative %s):", slot+1, sel.Names[medoid])
 		for i, a := range cl.Assign {
 			if a == slot {
-				out += " " + ms[i].Workload
+				out += " " + sel.Names[i]
 			}
 		}
 		out += "\n"
 	}
+	out += fmt.Sprintf("  coverage loss: dropped=%d max=%.4f mean=%.4f\n",
+		sel.Loss.Dropped, sel.Loss.MaxDistance, sel.Loss.MeanDistance)
 	return out
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -134,21 +135,26 @@ func TestKMedoidsCostDecreasesWithK(t *testing.T) {
 	}
 }
 
-func TestRepresentativesGroupsByBehaviour(t *testing.T) {
-	ms := []report.Measurement{
+func behaviourBlobs() []report.Measurement {
+	return []report.Measurement{
 		blob("mem1", 0.05, 0.70, 0.05, 0.20, 1e6, "copy"),
 		blob("mem2", 0.06, 0.68, 0.05, 0.21, 1.1e6, "copy"),
 		blob("cpu1", 0.05, 0.10, 0.05, 0.80, 1e6, "math"),
 		blob("cpu2", 0.04, 0.12, 0.05, 0.79, 1.2e6, "math"),
 		blob("spec1", 0.10, 0.20, 0.45, 0.25, 1e6, "search"),
 	}
-	reps, cl, err := Representatives(ms, 3)
+}
+
+func TestSelectGroupsByBehaviour(t *testing.T) {
+	ms := behaviourBlobs()
+	sel, err := Select(ms, Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reps) != 3 {
-		t.Fatalf("reps = %v", reps)
+	if len(sel.Representatives) != 3 {
+		t.Fatalf("reps = %v", sel.Representatives)
 	}
+	cl := sel.Clustering
 	// The two memory-bound workloads must share a cluster, as must the
 	// two compute-bound ones.
 	if cl.Assign[0] != cl.Assign[1] {
@@ -160,31 +166,142 @@ func TestRepresentativesGroupsByBehaviour(t *testing.T) {
 	if cl.Assign[0] == cl.Assign[2] || cl.Assign[0] == cl.Assign[4] {
 		t.Error("distinct behaviours merged")
 	}
-	text := FormatClustering("test_r", ms, cl, reps)
-	if !strings.Contains(text, "cluster 1") || !strings.Contains(text, "representative") {
+	text := FormatSelection("test_r", sel)
+	if !strings.Contains(text, "cluster 1") || !strings.Contains(text, "representative") ||
+		!strings.Contains(text, "coverage loss") {
 		t.Errorf("format:\n%s", text)
 	}
 }
 
-func TestRepresentativesEmpty(t *testing.T) {
-	if _, _, err := Representatives(nil, 2); !errors.Is(err, ErrCluster) {
+func TestSelectEmpty(t *testing.T) {
+	if _, err := Select(nil, Options{K: 2}); !errors.Is(err, ErrCluster) {
 		t.Errorf("err = %v", err)
 	}
 }
 
-func TestFeatureSpaceStableDimensions(t *testing.T) {
-	ms := []report.Measurement{
-		blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"),
-		blob("b", 0.1, 0.4, 0.1, 0.4, 100, "y"),
+// TestSelectIncrementalMatchesOneShot proves the streaming accumulation
+// path selects exactly what the one-shot path does, whatever order the
+// points arrived in — the property that lets a parallel sweep feed
+// completion-order measurements and still agree with a serial run.
+func TestSelectIncrementalMatchesOneShot(t *testing.T) {
+	ms := behaviourBlobs()
+	want, err := Select(ms, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
 	}
-	fs := NewFeatureSpace(ms)
-	va := fs.Vector(ms[0])
-	vb := fs.Vector(ms[1])
-	if len(va) != len(vb) {
+	fs := NewFeatureSpace(FeaturesCombined)
+	for _, m := range ms {
+		fs.AddPoint(fs.Compact(m))
+	}
+	got, err := fs.Select(Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("incremental selection differs:\n one-shot %+v\n incremental %+v", want, got)
+	}
+}
+
+func TestSelectFeatureMismatch(t *testing.T) {
+	fs := NewFeatureSpace(FeaturesTopDown)
+	fs.Add(blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"))
+	if _, err := fs.Select(Options{K: 1, Features: FeaturesCombined}); !errors.Is(err, ErrCluster) {
+		t.Errorf("feature mismatch err = %v", err)
+	}
+	if _, err := fs.Select(Options{K: 1, Features: FeaturesTopDown}); err != nil {
+		t.Errorf("matching features err = %v", err)
+	}
+}
+
+func TestCompactDropsCoverageForTopDown(t *testing.T) {
+	m := blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x")
+	if p := NewFeatureSpace(FeaturesTopDown).Compact(m); p.Coverage != nil {
+		t.Error("topdown Compact retained the coverage map")
+	}
+	if p := NewFeatureSpace(FeaturesCombined).Compact(m); p.Coverage == nil {
+		t.Error("combined Compact dropped the coverage map")
+	}
+}
+
+func TestSelectCoverageLoss(t *testing.T) {
+	ms := behaviourBlobs()
+	sel, err := Select(ms, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Loss.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", sel.Loss.Dropped)
+	}
+	if sel.Loss.MaxDistance <= 0 || sel.Loss.MeanDistance <= 0 {
+		t.Errorf("loss = %+v, want positive distances", sel.Loss)
+	}
+	if sel.Loss.MeanDistance > sel.Loss.MaxDistance {
+		t.Errorf("mean %v exceeds max %v", sel.Loss.MeanDistance, sel.Loss.MaxDistance)
+	}
+	// k = n keeps everything: zero loss.
+	all, err := Select(ms, Options{K: len(ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Loss != (CoverageLoss{}) {
+		t.Errorf("k=n loss = %+v, want zero", all.Loss)
+	}
+}
+
+func TestSelectSeedPerturbsInitDeterministically(t *testing.T) {
+	ms := behaviourBlobs()
+	for _, seed := range []int64{0, 1, 7} {
+		a, err := Select(ms, Options{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Select(ms, Options{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: repeated selection differs", seed)
+		}
+		// Whatever the seeding, descent must keep the separable blobs
+		// grouped: each pair together, the pairs apart.
+		as := a.Clustering.Assign
+		if as[0] != as[1] || as[2] != as[3] || as[0] == as[2] || as[0] == as[4] {
+			t.Errorf("seed %d broke the blob partition: %v", seed, as)
+		}
+	}
+}
+
+func TestFeaturesStringRoundTrip(t *testing.T) {
+	for _, f := range []Features{FeaturesCombined, FeaturesTopDown, FeaturesCoverage} {
+		got, err := ParseFeatures(f.String())
+		if err != nil || got != f {
+			t.Errorf("ParseFeatures(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFeatures("bogus"); !errors.Is(err, ErrCluster) {
+		t.Errorf("bogus err = %v", err)
+	}
+}
+
+func TestFeatureSpaceStableDimensions(t *testing.T) {
+	fs := NewFeatureSpace(FeaturesCombined)
+	fs.Add(blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"))
+	fs.Add(blob("b", 0.1, 0.4, 0.1, 0.4, 100, "y"))
+	vs := fs.Vectors()
+	if len(vs[0]) != len(vs[1]) {
 		t.Fatal("vectors have differing dimensions")
 	}
 	// Identical top-down but different hot methods → nonzero distance.
-	if Distance(va, vb) == 0 {
+	if Distance(vs[0], vs[1]) == 0 {
 		t.Error("method coverage should differentiate the vectors")
+	}
+	// The topdown embedding ignores methods entirely: same top-down and
+	// cycles → zero distance.
+	td := NewFeatureSpace(FeaturesTopDown)
+	td.Add(blob("a", 0.1, 0.4, 0.1, 0.4, 100, "x"))
+	td.Add(blob("b", 0.1, 0.4, 0.1, 0.4, 100, "y"))
+	tv := td.Vectors()
+	if Distance(tv[0], tv[1]) != 0 {
+		t.Error("topdown embedding should ignore coverage")
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/perf"
 )
@@ -94,11 +96,91 @@ type Benchmark interface {
 }
 
 // Generator is implemented by benchmarks that can procedurally create new
-// workloads (the paper's generator scripts and programs). Implementations
-// must be deterministic in seed.
+// workloads (the paper's generator scripts and programs).
+//
+// The generated-workload contract, which sweeps and the service's cell
+// cache rely on:
+//
+//   - Determinism in seed: GenerateWorkloads(seed, n) must return the same
+//     n workloads — bit-identical inputs and, when executed, bit-identical
+//     checksums and profiler event streams — on every call, every process,
+//     every platform.
+//   - Prefix stability: GenerateWorkloads(seed, n)[i] must equal
+//     GenerateWorkloads(seed, m)[i] for every i < min(n, m), so a
+//     workload's identity does not depend on the sweep size that first
+//     produced it.
+//   - Provenance naming: workload i must be named GeneratedName(seed, i)
+//     and carry KindAlberta, so the name alone records how to regenerate
+//     the workload (ResolveWorkload does exactly that). Names of inventory
+//     workloads never collide with the generated namespace.
+//
+// internal/benchmarks' generator tests pin all three properties for every
+// generator-capable benchmark in the suite.
 type Generator interface {
 	// GenerateWorkloads creates n fresh Alberta-kind workloads from seed.
 	GenerateWorkloads(seed int64, n int) ([]Workload, error)
+}
+
+// GeneratedName is the canonical name of the i-th workload generated from
+// seed: "gen.s<seed>.<i>". The name is the workload's provenance — parsing
+// it back recovers the (seed, index) pair that regenerates the workload.
+func GeneratedName(seed int64, index int) string {
+	return fmt.Sprintf("gen.s%d.%d", seed, index)
+}
+
+// ParseGeneratedName recovers the provenance of a GeneratedName. ok is
+// false for any name outside the generated namespace.
+func ParseGeneratedName(name string) (seed int64, index int, ok bool) {
+	rest, found := strings.CutPrefix(name, "gen.s")
+	if !found {
+		return 0, 0, false
+	}
+	dot := strings.LastIndexByte(rest, '.')
+	if dot <= 0 || dot == len(rest)-1 {
+		return 0, 0, false
+	}
+	seed, err := strconv.ParseInt(rest[:dot], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	index, err = strconv.Atoi(rest[dot+1:])
+	if err != nil || index < 0 {
+		return 0, 0, false
+	}
+	// Round-trip exactness rejects aliases like "gen.s01.2".
+	if GeneratedName(seed, index) != name {
+		return 0, 0, false
+	}
+	return seed, index, true
+}
+
+// ResolveWorkload finds a workload by name: the benchmark's inventory
+// first, then — when the name carries generated provenance and the
+// benchmark implements Generator — by regenerating it from the recorded
+// seed and index. This is how a sweep cell can be executed anywhere (a
+// remote worker, a later process) from nothing but its benchmark and
+// workload names.
+func ResolveWorkload(b Benchmark, name string) (Workload, error) {
+	w, err := FindWorkload(b, name)
+	if err == nil {
+		return w, nil
+	}
+	seed, index, ok := ParseGeneratedName(name)
+	if !ok {
+		return nil, err
+	}
+	gen, isGen := b.(Generator)
+	if !isGen {
+		return nil, fmt.Errorf("%w: %s/%s (benchmark cannot generate workloads)", ErrNoWorkload, b.Name(), name)
+	}
+	ws, gerr := gen.GenerateWorkloads(seed, index+1)
+	if gerr != nil {
+		return nil, fmt.Errorf("core: regenerating %s/%s: %w", b.Name(), name, gerr)
+	}
+	if len(ws) <= index || ws[index].WorkloadName() != name {
+		return nil, fmt.Errorf("core: %s generator violated the provenance contract for %s", b.Name(), name)
+	}
+	return ws[index], nil
 }
 
 // PreparedWorkload is a fully constructed benchmark input: the result of

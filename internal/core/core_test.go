@@ -152,3 +152,58 @@ func TestMetaImplementsWorkload(t *testing.T) {
 		t.Error("Meta does not round-trip its fields")
 	}
 }
+
+func TestGeneratedNameRoundTrip(t *testing.T) {
+	cases := []struct {
+		seed  int64
+		index int
+	}{
+		{0, 0}, {42, 7}, {-3, 1}, {1 << 40, 999},
+	}
+	for _, c := range cases {
+		name := GeneratedName(c.seed, c.index)
+		seed, index, ok := ParseGeneratedName(name)
+		if !ok || seed != c.seed || index != c.index {
+			t.Errorf("ParseGeneratedName(%q) = (%d, %d, %v), want (%d, %d, true)",
+				name, seed, index, ok, c.seed, c.index)
+		}
+	}
+}
+
+func TestParseGeneratedNameRejects(t *testing.T) {
+	bad := []string{
+		"",            // empty
+		"refrate",     // inventory name
+		"alberta.1",   // inventory name
+		"gen.0",       // pre-contract form, no seed
+		"gen.s",       // no digits
+		"gen.s5",      // no index
+		"gen.s5.",     // empty index
+		"gen.s.3",     // empty seed
+		"gen.s01.2",   // alias: leading zero would not re-render
+		"gen.s5.03",   // alias in index
+		"gen.s5.-1",   // negative index
+		"gen.s5.3.1",  // seed "5.3" has a dot but fails ParseInt
+		"gen.s5.3 ",   // trailing junk
+		"Gen.s5.3",    // case matters
+	}
+	for _, name := range bad {
+		if _, _, ok := ParseGeneratedName(name); ok {
+			t.Errorf("ParseGeneratedName(%q) accepted, want rejection", name)
+		}
+	}
+}
+
+func TestResolveWorkloadInventoryAndErrors(t *testing.T) {
+	b := newFake("600.fake_s")
+	w, err := ResolveWorkload(b, "alberta.2")
+	if err != nil || w.WorkloadName() != "alberta.2" {
+		t.Fatalf("ResolveWorkload(alberta.2) = %v, %v", w, err)
+	}
+	if _, err := ResolveWorkload(b, "gen.s5.0"); err == nil {
+		t.Error("generated name resolved on a non-generator benchmark")
+	}
+	if _, err := ResolveWorkload(b, "nope"); err == nil {
+		t.Error("unknown name resolved")
+	}
+}

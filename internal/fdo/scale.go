@@ -1,0 +1,238 @@
+package fdo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/benchmarks/gcc/cc"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+// This file is the at-scale half of the FDO study: instead of the few
+// hand-picked inputs each Program bundles, GenerateInputs mints as many
+// deterministic inputs as the sweep asks for, ScaleCrossValidate clusters
+// their behaviour and trains on the selected representative subset, and
+// the held-out speedups quantify the paper's "hidden learning" concern
+// with a training set chosen by the redundancy-reduction methodology
+// rather than by hand.
+
+// mix64 is the splitmix64 finalizer — the deterministic scrambler behind
+// input generation (math/rand's global state is banned on the surface).
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// GenerateInputs mints n inputs for p from seed, deterministically: input
+// i is named core.GeneratedName(seed, i) (the same provenance contract
+// generated workloads carry) and sets every global the program's bundled
+// inputs vary, drawn from the [min, max] range those inputs span. Same
+// seed, same program, same inputs — always; and input i is the same
+// whether generated as part of n=10 or n=1000.
+func GenerateInputs(p *Program, seed int64, n int) []Input {
+	// The varied globals and their observed ranges, in sorted key order so
+	// generation never depends on map iteration.
+	lo, hi := map[string]int64{}, map[string]int64{}
+	var keys []string
+	for _, in := range p.Inputs {
+		for k, v := range in.Globals {
+			if _, ok := lo[k]; !ok {
+				lo[k], hi[k] = v, v
+				keys = append(keys, k)
+				continue
+			}
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Input, 0, n)
+	for i := 0; i < n; i++ {
+		g := make(map[string]int64, len(keys))
+		for ki, k := range keys {
+			span := uint64(hi[k]-lo[k]) + 1
+			h := mix64(uint64(seed)<<20 ^ uint64(i)<<8 ^ uint64(ki))
+			g[k] = lo[k] + int64(h%span)
+		}
+		out = append(out, Input{Name: core.GeneratedName(seed, i), Globals: g})
+	}
+	return out
+}
+
+// InputPoint measures one input's behaviour on the base build and embeds
+// it as a cluster point: top-down fractions, modeled cycles, and — when
+// the feature space uses it — the method-coverage distribution.
+func InputPoint(base *cc.Unit, in Input, features cluster.Features) (cluster.Point, error) {
+	prof := perf.New()
+	if _, err := cc.Run(base, cc.VMOptions{Globals: in.Globals, Prof: prof}); err != nil {
+		return cluster.Point{}, fmt.Errorf("fdo: profiling input %s: %w", in.Name, err)
+	}
+	rpt := prof.Report()
+	p := cluster.Point{
+		Name:    in.Name,
+		TopDown: [4]float64{rpt.TopDown.FrontEnd, rpt.TopDown.BackEnd, rpt.TopDown.BadSpec, rpt.TopDown.Retiring},
+		Cycles:  rpt.Cycles,
+	}
+	if features != cluster.FeaturesTopDown {
+		p.Coverage = rpt.Coverage
+	}
+	return p, nil
+}
+
+// ScaleStudy is the outcome of one program's at-scale hidden-learning
+// experiment: FDO trained on the cluster-selected representative inputs,
+// evaluated on every dropped input.
+type ScaleStudy struct {
+	Program string `json:"program"`
+	// Inputs is the generated input count; Seed minted them.
+	Inputs int   `json:"inputs"`
+	Seed   int64 `json:"seed"`
+	// TrainedOn are the representative inputs selected by clustering the
+	// behaviour points (k-medoids, same machinery as the workload sweep).
+	TrainedOn []string `json:"trained_on"`
+	// CoverageLoss quantifies how well the training subset spans the
+	// dropped inputs' behaviour.
+	CoverageLoss cluster.CoverageLoss `json:"coverage_loss"`
+	// SubsetGeoMean is the geomean held-out speedup of the build trained
+	// on the representatives, over every dropped input — the honest
+	// number a representative training set earns.
+	SubsetGeoMean float64 `json:"subset_geomean_speedup"`
+	// SelfGeoMean is the geomean speedup when each dropped input trains
+	// its own build and evaluates on itself — the criticized methodology,
+	// measured over the same inputs.
+	SelfGeoMean float64 `json:"self_geomean_speedup"`
+	// HiddenLearning is SelfGeoMean / SubsetGeoMean: how much of the
+	// self-trained number is learning the evaluation input rather than
+	// the program (1.0 = none).
+	HiddenLearning float64 `json:"hidden_learning"`
+	// Evaluated is the number of dropped (held-out) inputs measured.
+	Evaluated int `json:"evaluated"`
+}
+
+// ScaleConfig sizes a ScaleCrossValidate run.
+type ScaleConfig struct {
+	// Seed mints the inputs; N is how many (>= 2).
+	Seed int64
+	N    int
+	// K is the training-subset size (clamped to N-1 so at least one input
+	// is held out).
+	K int
+	// Features and ClusterSeed configure the subset selection.
+	Features    cluster.Features
+	ClusterSeed int64
+}
+
+// ScaleCrossValidate runs the at-scale hidden-learning experiment on one
+// program: generate cfg.N inputs, embed each input's base-build behaviour,
+// select cfg.K representatives by k-medoids, train FDO on the
+// representatives (combined profiling), and evaluate both that build and
+// the criticized self-trained builds on every dropped input. Everything
+// is deterministic in (program, cfg).
+func ScaleCrossValidate(p *Program, cfg ScaleConfig) (ScaleStudy, error) {
+	if cfg.N < 2 {
+		return ScaleStudy{}, fmt.Errorf("%w: %s: need at least 2 generated inputs (got %d)", ErrStudy, p.Name, cfg.N)
+	}
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.K > cfg.N-1 {
+		cfg.K = cfg.N - 1
+	}
+	base, err := cc.CompileSource(p.Source, p.Level, nil, nil)
+	if err != nil {
+		return ScaleStudy{}, fmt.Errorf("%w: %s does not compile: %v", ErrStudy, p.Name, err)
+	}
+	inputs := GenerateInputs(p, cfg.Seed, cfg.N)
+	byName := make(map[string]Input, len(inputs))
+	fs := cluster.NewFeatureSpace(cfg.Features)
+	for _, in := range inputs {
+		byName[in.Name] = in
+		pt, err := InputPoint(base, in, cfg.Features)
+		if err != nil {
+			return ScaleStudy{}, err
+		}
+		fs.AddPoint(pt)
+	}
+	sel, err := fs.Select(cluster.Options{K: cfg.K, Features: cfg.Features, Seed: cfg.ClusterSeed})
+	if err != nil {
+		return ScaleStudy{}, fmt.Errorf("fdo: %s: selecting training subset: %w", p.Name, err)
+	}
+
+	train := make([]Input, 0, len(sel.Representatives))
+	isTrain := map[string]bool{}
+	for _, name := range sel.Representatives {
+		train = append(train, byName[name])
+		isTrain[name] = true
+	}
+	profile, err := CollectProfile(base, train...)
+	if err != nil {
+		return ScaleStudy{}, err
+	}
+	subsetUnit, err := buildFDO(p, profile)
+	if err != nil {
+		return ScaleStudy{}, err
+	}
+
+	st := ScaleStudy{
+		Program:      p.Name,
+		Inputs:       cfg.N,
+		Seed:         cfg.Seed,
+		TrainedOn:    sel.Representatives,
+		CoverageLoss: sel.Loss,
+	}
+	subsetLogSum, selfLogSum := 0.0, 0.0
+	for _, in := range inputs {
+		if isTrain[in.Name] {
+			continue
+		}
+		ev, err := evaluate(p, base, subsetUnit, sel.Representatives, in)
+		if err != nil {
+			return ScaleStudy{}, err
+		}
+		subsetLogSum += logOf(ev.Speedup)
+
+		selfProfile, err := CollectProfile(base, in)
+		if err != nil {
+			return ScaleStudy{}, err
+		}
+		selfUnit, err := buildFDO(p, selfProfile)
+		if err != nil {
+			return ScaleStudy{}, err
+		}
+		selfEv, err := evaluate(p, base, selfUnit, []string{in.Name}, in)
+		if err != nil {
+			return ScaleStudy{}, err
+		}
+		selfLogSum += logOf(selfEv.Speedup)
+		st.Evaluated++
+	}
+	if st.Evaluated > 0 {
+		n := float64(st.Evaluated)
+		st.SubsetGeoMean = expOf(subsetLogSum / n)
+		st.SelfGeoMean = expOf(selfLogSum / n)
+		if st.SubsetGeoMean > 0 {
+			st.HiddenLearning = st.SelfGeoMean / st.SubsetGeoMean
+		}
+	}
+	return st, nil
+}
+
+// FormatScaleStudy renders an at-scale study result.
+func FormatScaleStudy(st ScaleStudy) string {
+	out := fmt.Sprintf("FDO at scale: %s (%d generated inputs, seed %d)\n", st.Program, st.Inputs, st.Seed)
+	out += fmt.Sprintf("  trained on %d representatives: %v\n", len(st.TrainedOn), st.TrainedOn)
+	out += fmt.Sprintf("  training-set coverage loss: dropped=%d max=%.4f mean=%.4f\n",
+		st.CoverageLoss.Dropped, st.CoverageLoss.MaxDistance, st.CoverageLoss.MeanDistance)
+	out += fmt.Sprintf("  geomean held-out speedup (subset-trained): %.3fx over %d inputs\n", st.SubsetGeoMean, st.Evaluated)
+	out += fmt.Sprintf("  geomean self-trained speedup (criticized): %.3fx\n", st.SelfGeoMean)
+	out += fmt.Sprintf("  hidden learning: %.3fx\n", st.HiddenLearning)
+	return out
+}

@@ -1,0 +1,110 @@
+package fdo
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestGenerateInputsDeterministicAndPrefixStable pins the generated
+// inputs to core.Generator's contract: same (program, seed) mints the
+// same inputs, input i is independent of n, and every name carries its
+// provenance.
+func TestGenerateInputsDeterministicAndPrefixStable(t *testing.T) {
+	p := ClassifierProgram()
+	a := GenerateInputs(p, 42, 10)
+	b := GenerateInputs(p, 42, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different inputs")
+	}
+	long := GenerateInputs(p, 42, 25)
+	if !reflect.DeepEqual(a, long[:10]) {
+		t.Fatal("input i depends on n: prefix stability violated")
+	}
+	other := GenerateInputs(p, 43, 10)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds generated identical inputs")
+	}
+	for i, in := range a {
+		if in.Name != core.GeneratedName(42, i) {
+			t.Errorf("input %d named %q, want %q", i, in.Name, core.GeneratedName(42, i))
+		}
+	}
+}
+
+// TestGenerateInputsStayInObservedRanges proves generated globals stay
+// inside the [min, max] span the bundled inputs establish, and that
+// every varied global is set.
+func TestGenerateInputsStayInObservedRanges(t *testing.T) {
+	p := ClassifierProgram()
+	lo, hi := map[string]int64{}, map[string]int64{}
+	for _, in := range p.Inputs {
+		for k, v := range in.Globals {
+			if cur, ok := lo[k]; !ok || v < cur {
+				lo[k] = v
+			}
+			if cur, ok := hi[k]; !ok || v > cur {
+				hi[k] = v
+			}
+		}
+	}
+	for _, in := range GenerateInputs(p, 7, 40) {
+		if len(in.Globals) != len(lo) {
+			t.Fatalf("%s sets %d globals, want %d", in.Name, len(in.Globals), len(lo))
+		}
+		for k, v := range in.Globals {
+			if v < lo[k] || v > hi[k] {
+				t.Errorf("%s: %s = %d outside observed [%d, %d]", in.Name, k, v, lo[k], hi[k])
+			}
+		}
+	}
+}
+
+// TestScaleCrossValidate runs the at-scale study end to end on one
+// program and pins its invariants: the training subset has K inputs, the
+// held-out count is N minus K, the speedups are positive, and the whole
+// study is deterministic in its config.
+func TestScaleCrossValidate(t *testing.T) {
+	p := ClassifierProgram()
+	cfg := ScaleConfig{Seed: 5, N: 4, K: 2, Features: cluster.FeaturesCombined}
+	st, err := ScaleCrossValidate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TrainedOn) != 2 {
+		t.Errorf("trained on %d inputs, want 2", len(st.TrainedOn))
+	}
+	if st.Evaluated != 2 {
+		t.Errorf("evaluated %d held-out inputs, want 2", st.Evaluated)
+	}
+	if st.SubsetGeoMean <= 0 || st.SelfGeoMean <= 0 || st.HiddenLearning <= 0 {
+		t.Errorf("non-positive speedups: %+v", st)
+	}
+	if st.CoverageLoss.Dropped != 2 {
+		t.Errorf("coverage loss dropped = %d, want 2", st.CoverageLoss.Dropped)
+	}
+	again, err := ScaleCrossValidate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, again) {
+		t.Errorf("study is not deterministic:\nfirst:  %+v\nsecond: %+v", st, again)
+	}
+}
+
+func TestScaleCrossValidateClampsAndRejects(t *testing.T) {
+	p := ClassifierProgram()
+	if _, err := ScaleCrossValidate(p, ScaleConfig{Seed: 1, N: 1, K: 1}); err == nil {
+		t.Error("N=1 accepted; want error (nothing to hold out)")
+	}
+	// K >= N clamps to N-1, leaving one held-out input.
+	st, err := ScaleCrossValidate(p, ScaleConfig{Seed: 1, N: 3, K: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TrainedOn) != 2 || st.Evaluated != 1 {
+		t.Errorf("K clamp: trained on %d, evaluated %d; want 2 and 1", len(st.TrainedOn), st.Evaluated)
+	}
+}

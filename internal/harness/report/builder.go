@@ -1,0 +1,136 @@
+package report
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Row is the compact per-cell record a Builder retains: every
+// deterministic scalar of a Measurement, without the Coverage map — the
+// dominant payload. WallSeconds is excluded by design: a streaming
+// summary must be bit-identical across worker counts and runs.
+type Row struct {
+	Benchmark string
+	Workload  string
+	Kind      core.Kind
+	Checksum  uint64
+	TopDown   stats.TopDown
+	Cycles    uint64
+}
+
+// Builder is the streaming counterpart of Assemble: cells arrive one at a
+// time, in any order — a parallel runner delivers completion order — and
+// the summaries fold in plan-index order, so serial and parallel runs of
+// the same plan summarize byte-identically. The Builder retains one
+// compact Row per cell (a few dozen bytes) but never the Measurement
+// itself, which is what lets a 10k-cell sweep hold O(workers)
+// Measurements instead of O(cells).
+type Builder struct {
+	rows  map[int]Row
+	total int
+}
+
+// NewBuilder returns an empty streaming builder.
+func NewBuilder() *Builder {
+	return &Builder{rows: map[int]Row{}}
+}
+
+// Add records the cell at plan position index. The Measurement is not
+// retained; only the compact Row survives the call.
+func (b *Builder) Add(index int, m Measurement) {
+	b.rows[index] = Row{
+		Benchmark: m.Benchmark,
+		Workload:  m.Workload,
+		Kind:      m.Kind,
+		Checksum:  m.Checksum,
+		TopDown:   m.TopDown,
+		Cycles:    m.Cycles,
+	}
+	if index+1 > b.total {
+		b.total = index + 1
+	}
+}
+
+// Len is the number of cells recorded.
+func (b *Builder) Len() int { return len(b.rows) }
+
+// BenchSummary is one benchmark's deterministic fold over its cells.
+type BenchSummary struct {
+	Benchmark string `json:"benchmark"`
+	Cells     int    `json:"cells"`
+	// Kinds counts cells by workload kind, keyed by Kind.String().
+	Kinds map[string]int `json:"kinds"`
+	// Cycles aggregates modeled cycles over the cells.
+	CyclesMin uint64 `json:"cycles_min"`
+	CyclesMax uint64 `json:"cycles_max"`
+	CyclesSum uint64 `json:"cycles_sum"`
+	// TopDownMean is the per-field mean of the top-down fractions, folded
+	// in plan order (so the float accumulation order is fixed).
+	TopDownMean stats.TopDown `json:"top_down_mean"`
+	// Checksum chains every cell's (workload, checksum) pair in plan
+	// order — one value that pins the benchmark's whole result set.
+	Checksum uint64 `json:"checksum"`
+}
+
+// Summaries folds the recorded rows into per-benchmark summaries, in
+// benchmark name order. The fold visits cells in plan-index order, so the
+// result is a pure function of the plan's cell set — never of completion
+// order.
+func (b *Builder) Summaries() []BenchSummary {
+	type accum struct {
+		s   BenchSummary
+		sum stats.TopDown
+		ck  core.Checksum
+	}
+	byBench := map[string]*accum{}
+	for idx := 0; idx < b.total; idx++ {
+		row, ok := b.rows[idx]
+		if !ok {
+			continue
+		}
+		a := byBench[row.Benchmark]
+		if a == nil {
+			a = &accum{s: BenchSummary{
+				Benchmark: row.Benchmark,
+				Kinds:     map[string]int{},
+				CyclesMin: row.Cycles,
+			}, ck: core.NewChecksum()}
+			byBench[row.Benchmark] = a
+		}
+		a.s.Cells++
+		a.s.Kinds[row.Kind.String()]++
+		if row.Cycles < a.s.CyclesMin {
+			a.s.CyclesMin = row.Cycles
+		}
+		if row.Cycles > a.s.CyclesMax {
+			a.s.CyclesMax = row.Cycles
+		}
+		a.s.CyclesSum += row.Cycles
+		a.sum.FrontEnd += row.TopDown.FrontEnd
+		a.sum.BackEnd += row.TopDown.BackEnd
+		a.sum.BadSpec += row.TopDown.BadSpec
+		a.sum.Retiring += row.TopDown.Retiring
+		a.ck = a.ck.AddString(row.Workload).AddUint64(row.Checksum)
+	}
+	names := make([]string, 0, len(byBench))
+	for name := range byBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]BenchSummary, 0, len(names))
+	for _, name := range names {
+		a := byBench[name]
+		n := float64(a.s.Cells)
+		a.s.TopDownMean = stats.TopDown{
+			FrontEnd: a.sum.FrontEnd / n,
+			BackEnd:  a.sum.BackEnd / n,
+			BadSpec:  a.sum.BadSpec / n,
+			Retiring: a.sum.Retiring / n,
+		}
+		a.s.Checksum = a.ck.Value()
+		out = append(out, a.s)
+	}
+	return out
+}

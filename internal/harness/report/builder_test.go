@@ -1,0 +1,75 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func builderCell(bench, work string, cycles uint64) Measurement {
+	return Measurement{
+		Benchmark: bench, Workload: work, Kind: core.KindAlberta,
+		Checksum: core.NewChecksum().AddString(bench).AddString(work).Value(),
+		TopDown:  stats.TopDown{FrontEnd: 0.1, BackEnd: 0.4, BadSpec: 0.1, Retiring: 0.4},
+		Cycles:   cycles,
+		// WallSeconds varies run to run; the builder must ignore it.
+		WallSeconds: float64(cycles),
+	}
+}
+
+// TestBuilderOrderIndependent pins the streaming determinism contract:
+// whatever order cells arrive in, the summary folds in plan-index order
+// and is identical.
+func TestBuilderOrderIndependent(t *testing.T) {
+	cells := []Measurement{
+		builderCell("b1", "w0", 100),
+		builderCell("b1", "w1", 300),
+		builderCell("b2", "w0", 50),
+		builderCell("b1", "w2", 200),
+	}
+	inOrder := NewBuilder()
+	for i, m := range cells {
+		inOrder.Add(i, m)
+	}
+	shuffled := NewBuilder()
+	for _, i := range []int{2, 0, 3, 1} {
+		shuffled.Add(i, cells[i])
+	}
+	a, b := inOrder.Summaries(), shuffled.Summaries()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("summaries depend on arrival order:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 2 || a[0].Benchmark != "b1" || a[0].Cells != 3 || a[1].Cells != 1 {
+		t.Fatalf("summary shape: %+v", a)
+	}
+	if a[0].CyclesMin != 100 || a[0].CyclesMax != 300 || a[0].CyclesSum != 600 {
+		t.Errorf("cycles fold: %+v", a[0])
+	}
+	if a[0].Kinds["alberta"] != 3 {
+		t.Errorf("kind fold: %+v", a[0].Kinds)
+	}
+}
+
+// TestBuilderChecksumSensitive: the per-benchmark checksum must move when
+// any cell's result moves, and missing cells must not alias a complete
+// set.
+func TestBuilderChecksumSensitive(t *testing.T) {
+	full := NewBuilder()
+	full.Add(0, builderCell("b1", "w0", 100))
+	full.Add(1, builderCell("b1", "w1", 100))
+	mutated := NewBuilder()
+	mutated.Add(0, builderCell("b1", "w0", 100))
+	m := builderCell("b1", "w1", 100)
+	m.Checksum++
+	mutated.Add(1, m)
+	if full.Summaries()[0].Checksum == mutated.Summaries()[0].Checksum {
+		t.Error("checksum ignores a cell's result")
+	}
+	partial := NewBuilder()
+	partial.Add(0, builderCell("b1", "w0", 100))
+	if full.Summaries()[0].Checksum == partial.Summaries()[0].Checksum {
+		t.Error("checksum ignores a missing cell")
+	}
+}

@@ -105,71 +105,118 @@ func (e *RunError) Unwrap() []error {
 	return errs
 }
 
-// Runner executes a suite's benchmark × workload matrix over a bounded
-// worker pool. Each worker owns one perf.Profiler and recycles it across
-// its cells via Reset; no profiler state flows between measurements, so
-// results are bit-identical across worker counts except for WallSeconds.
-// The returned report.Results always follow suite inventory order regardless
-// of scheduling.
+// Unit is one cell of a run plan: a benchmark and one of its workloads.
+// A plan built from a suite enumerates the benchmark × workload matrix in
+// inventory order; NewPlanRunner accepts an explicit plan — including
+// generated workloads that appear in no inventory.
+type Unit struct {
+	Benchmark core.Benchmark
+	Workload  core.Workload
+}
+
+// Cell identifies one completed plan position in a Sink delivery.
+type Cell struct {
+	// Index is the cell's position in the plan; Total the plan size.
+	// Deliveries arrive in completion order, so Index does not increase
+	// monotonically under Workers > 1 — consumers that need plan order
+	// key their state by Index.
+	Index int
+	Total int
+	// Benchmark and Workload name the cell.
+	Benchmark string
+	Workload  string
+}
+
+// Sink consumes completed measurements one at a time, in completion
+// order. The Runner serializes calls — a Sink needs no locking of its own
+// — and releases each Measurement after the call returns, so a sweep
+// holds at most O(Workers) Measurements regardless of plan size. A Sink
+// that retains only what it needs (a feature vector, a summary row)
+// keeps the whole run allocation-bounded. Returning a non-nil error
+// cancels the run; the Sink is not called again and Stream returns the
+// error.
+type Sink func(Cell, report.Measurement) error
+
+// Runner executes a run plan — a suite's benchmark × workload matrix or
+// an explicit Unit list — over a bounded worker pool. Each worker owns
+// one perf.Profiler and recycles it across its cells via Reset; no
+// profiler state flows between measurements, so results are bit-identical
+// across worker counts except for WallSeconds.
 type Runner struct {
 	suite *core.Suite
+	units []Unit // explicit plan when suite is nil
 	opts  Options
 }
 
-// NewRunner builds a Runner for the suite with the given options.
+// NewRunner builds a Runner over the suite's benchmark × workload matrix
+// in inventory order.
 func NewRunner(s *core.Suite, opts Options) *Runner {
 	return &Runner{suite: s, opts: opts}
 }
 
-// unit is one cell of the benchmark × workload matrix.
-type unit struct {
-	bench core.Benchmark
-	w     core.Workload
+// NewPlanRunner builds a Runner over an explicit plan. The plan order is
+// the cell Index order; IncludeTest has no effect (the plan already says
+// exactly what runs).
+func NewPlanRunner(units []Unit, opts Options) *Runner {
+	return &Runner{units: units, opts: opts}
 }
 
-// Run executes the matrix. Cancellation of ctx stops the run promptly
-// (between measurements; a benchmark's Run is not interruptible) and
-// returns ctx.Err(). With FailFast set, the first measurement error
-// cancels the rest and is returned alone; otherwise all failures are
-// collected into a *RunError and returned together with the successful
-// partial results.
-func (r *Runner) Run(ctx context.Context) (report.Results, error) {
-	// Normalize once; workers below read the normalized copy only.
-	opts, err := r.opts.Normalize()
-	if err != nil {
-		return nil, err
+// plan enumerates the run's units. Inventory errors abort the run
+// regardless of FailFast: they mean the suite itself is broken.
+func (r *Runner) plan(opts Options) ([]Unit, error) {
+	if r.suite == nil {
+		return r.units, nil
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// Enumerate the matrix in inventory order. Inventory errors abort the
-	// run regardless of FailFast: they mean the suite itself is broken.
-	var units []unit
+	var units []Unit
 	for _, b := range r.suite.Benchmarks() {
 		ws, err := measurementInventory(b, opts)
 		if err != nil {
 			return nil, err
 		}
 		for _, w := range ws {
-			units = append(units, unit{bench: b, w: w})
+			units = append(units, Unit{Benchmark: b, Workload: w})
 		}
+	}
+	return units, nil
+}
+
+// Stream executes the plan, handing each completed cell's Measurement to
+// sink and releasing it — the streaming path behind Run and the sweep
+// drivers. Cancellation of ctx stops the run promptly (between
+// measurements; a benchmark's Run is not interruptible) and returns
+// ctx.Err(). A sink error cancels the run and is returned. With FailFast
+// set, the first measurement error cancels the rest and is returned
+// alone; otherwise all failures are collected into a *RunError, returned
+// after every remaining cell has still been delivered to sink.
+func (r *Runner) Stream(ctx context.Context, sink Sink) error {
+	// Normalize once; workers below read the normalized copy only.
+	opts, err := r.opts.Normalize()
+	if err != nil {
+		return err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	units, err := r.plan(opts)
+	if err != nil {
+		return err
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Each unit writes only its own slot, so the slices need no lock; mu
-	// guards the shared progress counter and serializes Progress calls.
-	ms := make([]report.Measurement, len(units))
-	oks := make([]bool, len(units))
+	// Each unit writes only its own errs slot, so the slice needs no
+	// lock; mu guards the shared progress counter and serializes both
+	// Progress calls and sink deliveries.
 	errs := make([]*WorkloadError, len(units))
 	var (
 		mu        sync.Mutex
 		wg        sync.WaitGroup
 		completed int
 		firstErr  error // first failure by completion time (FailFast)
+		sinkErr   error // first sink rejection; stops further deliveries
 	)
 	emit := func(e Event) {
 		if opts.Progress != nil {
@@ -201,28 +248,38 @@ func (r *Runner) Run(ctx context.Context) (report.Results, error) {
 					prof.Reset()
 				}
 				mu.Lock()
-				emit(Event{Kind: EventWorkloadStart, Benchmark: u.bench.Name(),
-					Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
+				emit(Event{Kind: EventWorkloadStart, Benchmark: u.Benchmark.Name(),
+					Workload: u.Workload.WorkloadName(), Completed: completed, Total: len(units)})
 				mu.Unlock()
-				m, err := runWorkload(runCtx, u.bench, u.w, opts, prof)
+				m, err := runWorkload(runCtx, u.Benchmark, u.Workload, opts, prof)
 				mu.Lock()
 				completed++
 				switch {
 				case err == nil:
-					ms[idx], oks[idx] = m, true
-					emit(Event{Kind: EventWorkloadDone, Benchmark: u.bench.Name(),
-						Workload: u.w.WorkloadName(), Completed: completed, Total: len(units)})
+					emit(Event{Kind: EventWorkloadDone, Benchmark: u.Benchmark.Name(),
+						Workload: u.Workload.WorkloadName(), Completed: completed, Total: len(units)})
+					// The measurement leaves the runner here: after sink
+					// returns, no reference survives, so the live set is
+					// bounded by the worker count.
+					if sink != nil && sinkErr == nil {
+						cell := Cell{Index: idx, Total: len(units),
+							Benchmark: u.Benchmark.Name(), Workload: u.Workload.WorkloadName()}
+						if serr := sink(cell, m); serr != nil {
+							sinkErr = serr
+							cancel()
+						}
+					}
 				case runCtx.Err() != nil && errors.Is(err, runCtx.Err()):
 					// The measurement was interrupted by cancellation
 					// (parent context or a FailFast abort), not by a
 					// failure of its own; leave the slot empty.
 				default:
-					errs[idx] = &WorkloadError{Benchmark: u.bench.Name(), Workload: u.w.WorkloadName(), Err: err}
+					errs[idx] = &WorkloadError{Benchmark: u.Benchmark.Name(), Workload: u.Workload.WorkloadName(), Err: err}
 					if firstErr == nil {
 						firstErr = err
 					}
-					emit(Event{Kind: EventWorkloadError, Benchmark: u.bench.Name(),
-						Workload: u.w.WorkloadName(), Err: err, Completed: completed, Total: len(units)})
+					emit(Event{Kind: EventWorkloadError, Benchmark: u.Benchmark.Name(),
+						Workload: u.Workload.WorkloadName(), Err: err, Completed: completed, Total: len(units)})
 					if opts.FailFast {
 						cancel()
 					}
@@ -244,27 +301,62 @@ func (r *Runner) Run(ctx context.Context) (report.Results, error) {
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
+	}
+	if sinkErr != nil {
+		return fmt.Errorf("harness: sink: %w", sinkErr)
 	}
 
-	// Assemble in inventory order, skipping failed slots. Units that were
-	// never run (drained after a FailFast cancellation) carry neither a
-	// measurement nor an error and are simply absent.
-	res := report.Results{}
+	// Collect failures in plan (inventory) order. Units that were never
+	// run (drained after a FailFast cancellation) carry no error and are
+	// simply absent.
 	var failures []*WorkloadError
-	for idx, u := range units {
-		switch {
-		case errs[idx] != nil:
-			failures = append(failures, errs[idx])
-		case oks[idx]:
-			res[u.bench.Name()] = append(res[u.bench.Name()], ms[idx])
+	for _, e := range errs {
+		if e != nil {
+			failures = append(failures, e)
 		}
 	}
 	if len(failures) > 0 {
 		if opts.FailFast {
-			return nil, firstErr
+			return firstErr
 		}
-		return res, &RunError{Failures: failures}
+		return &RunError{Failures: failures}
+	}
+	return nil
+}
+
+// Run executes the plan and retains every measurement, assembled into
+// report.Results in plan (inventory) order regardless of scheduling. It
+// is Stream with a collecting sink — sweeps that cannot afford O(cells)
+// Measurements use Stream directly. With FailFast off, measurement
+// failures return the successful partial results alongside a *RunError.
+func (r *Runner) Run(ctx context.Context) (report.Results, error) {
+	var (
+		ms  []report.Measurement
+		oks []bool
+	)
+	err := r.Stream(ctx, func(c Cell, m report.Measurement) error {
+		if ms == nil {
+			ms = make([]report.Measurement, c.Total)
+			oks = make([]bool, c.Total)
+		}
+		ms[c.Index], oks[c.Index] = m, true
+		return nil
+	})
+	if err != nil {
+		var runErr *RunError
+		if !errors.As(err, &runErr) {
+			return nil, err
+		}
+	}
+	res := report.Results{}
+	for idx := range ms {
+		if oks[idx] {
+			res[ms[idx].Benchmark] = append(res[ms[idx].Benchmark], ms[idx])
+		}
+	}
+	if err != nil {
+		return res, err
 	}
 	return res, nil
 }

@@ -19,6 +19,8 @@ var SurfaceRoots = []string{
 	"internal/uarch",
 	"internal/fdo",
 	"internal/service",
+	"internal/sweep",
+	"internal/cluster",
 }
 
 // SurfaceDirs walks the analyzed trees under root, returning every

@@ -240,7 +240,11 @@ func (s *Server) handleCellExecute(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Benchmark)
 		return
 	}
-	wl, err := core.FindWorkload(b, req.Workload)
+	// ResolveWorkload, not FindWorkload: sweep cells name generated
+	// workloads that are in no inventory — a worker regenerates them from
+	// the provenance in the name (core.Generator's contract), so a
+	// coordinator can shard a sweep across the fleet like any other job.
+	wl, err := core.ResolveWorkload(b, req.Workload)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

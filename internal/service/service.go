@@ -93,7 +93,8 @@ type Server struct {
 	draining bool            //lint:guardedby mu
 	queue    chan *job
 
-	wg sync.WaitGroup // job workers
+	wg      sync.WaitGroup // job workers
+	sweepWG sync.WaitGroup // in-flight POST /v1/sweeps requests
 
 	// memBase is the allocation baseline captured at construction;
 	// /metrics reports deltas against it.
@@ -149,6 +150,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/cells:execute", s.handleCellExecute)
 	if !cfg.WorkerOnly {
 		s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+		s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 		s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -166,10 +168,11 @@ func NewServer(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain stops accepting new jobs (POST answers 503) and blocks until
-// every queued and running job reaches a terminal state. Safe to call
-// once; used for graceful SIGTERM shutdown. Worker-only servers drain
-// trivially — /v1/cells:execute rides request contexts, not the queue.
+// Drain stops accepting new jobs and sweeps (POST answers 503) and
+// blocks until every queued and running job — and every in-flight sweep
+// stream — reaches a terminal state. Safe to call once; used for
+// graceful SIGTERM shutdown. Worker-only servers drain trivially —
+// /v1/cells:execute rides request contexts, not the queue.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	already := s.draining
@@ -180,6 +183,7 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 	if !already {
 		s.wg.Wait()
+		s.sweepWG.Wait()
 		// Drop keep-alive connections to the worker fleet; their readLoop
 		// goroutines would otherwise outlive the server (leakcheck).
 		s.client.CloseIdleConnections()

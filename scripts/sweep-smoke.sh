@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# sweep-smoke.sh — end-to-end smoke test of the workload-space sweep.
+#
+# Runs the same 16-workloads × 3-benchmarks sweep through every frontend
+# and requires the identical reduction from each:
+#
+#   1. cmd/albertasweep serial (-parallel 1) vs parallel (-parallel 8):
+#      the -json reports must be byte-identical — selection is a pure
+#      function of the plan, not of cell completion order.
+#   2. albertad's POST /v1/sweeps (NDJSON): every cell arrives as a
+#      stream frame, and the final report frame must equal the CLI's
+#      report (key-sorted JSON comparison; the documents are fully
+#      deterministic — sweep reports carry no wall-clock fields).
+#   3. The same request again: every cell frame must report
+#      "source":"cached" — repeated sweep cells are free.
+#   4. The SSE variant (Accept: text/event-stream) must deliver the same
+#      frames as named events.
+set -euo pipefail
+
+command -v jq >/dev/null || { echo "sweep-smoke.sh requires jq" >&2; exit 1; }
+
+BENCHES=${BENCHES:-505.mcf_r,531.deepsjeng_r,557.xz_r}
+N=${N:-16}
+K=${K:-3}
+SEED=${SEED:-5}
+REPS=${REPS:-1}
+ADDR=${ADDR:-127.0.0.1:18441}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/albertasweep" ./cmd/albertasweep
+go build -o "$workdir/albertad" ./cmd/albertad
+
+echo "== CLI sweep, serial ($BENCHES, n=$N, k=$K, seed=$SEED)"
+"$workdir/albertasweep" -benches "$BENCHES" -n "$N" -k "$K" -seed "$SEED" \
+    -reps "$REPS" -parallel 1 -json >"$workdir/cli-serial.json"
+
+echo "== CLI sweep, parallel (8 workers) must select identically"
+"$workdir/albertasweep" -benches "$BENCHES" -n "$N" -k "$K" -seed "$SEED" \
+    -reps "$REPS" -parallel 8 -json >"$workdir/cli-parallel.json"
+if ! diff "$workdir/cli-serial.json" "$workdir/cli-parallel.json"; then
+    echo "serial and parallel sweeps selected different representatives" >&2
+    exit 1
+fi
+
+echo "== albertad on $ADDR"
+"$workdir/albertad" -addr "$ADDR" -parallel 2 >"$workdir/albertad.log" 2>&1 &
+pids+=($!)
+for i in $(seq 1 50); do
+    curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+BASE="http://$ADDR"
+
+benches_json=$(echo "$BENCHES" | jq -R 'split(",")')
+request=$(jq -n --argjson b "$benches_json" --argjson n "$N" --argjson k "$K" \
+    --argjson seed "$SEED" --argjson reps "$REPS" \
+    '{benchmarks: $b, per_benchmark: $n, k: $k, seed: $seed, config: {reps: $reps}}')
+
+echo "== POST /v1/sweeps (NDJSON stream)"
+curl -fsSN -X POST -d "$request" "$BASE/v1/sweeps" >"$workdir/stream.ndjson"
+
+total=$((N * 3))
+cells=$(jq -s '[.[] | select(.kind=="cell")] | length' "$workdir/stream.ndjson")
+[[ "$cells" == "$total" ]] || { echo "streamed $cells cell frames, want $total" >&2; exit 1; }
+selections=$(jq -s '[.[] | select(.kind=="selection")] | length' "$workdir/stream.ndjson")
+[[ "$selections" == 3 ]] || { echo "streamed $selections selection frames, want 3" >&2; exit 1; }
+
+echo "== service report frame must equal the CLI report"
+jq -s '[.[] | select(.kind=="report")][0].report' "$workdir/stream.ndjson" | jq -S . >"$workdir/service-report.json"
+jq -S . "$workdir/cli-serial.json" >"$workdir/cli-report.json"
+if ! diff "$workdir/service-report.json" "$workdir/cli-report.json"; then
+    echo "service sweep report differs from the CLI's" >&2
+    exit 1
+fi
+
+echo "== repeated sweep must answer every cell from the cache"
+curl -fsSN -X POST -d "$request" "$BASE/v1/sweeps" >"$workdir/stream2.ndjson"
+uncached=$(jq -s '[.[] | select(.kind=="cell" and .source!="cached")] | length' "$workdir/stream2.ndjson")
+[[ "$uncached" == 0 ]] || { echo "$uncached cells of the repeat sweep were re-executed" >&2; exit 1; }
+jq -s '[.[] | select(.kind=="report")][0].report' "$workdir/stream2.ndjson" | jq -S . >"$workdir/service-report2.json"
+if ! diff "$workdir/service-report2.json" "$workdir/cli-report.json"; then
+    echo "cached sweep selected differently" >&2
+    exit 1
+fi
+
+echo "== SSE variant streams the same frames as named events"
+curl -fsSN -X POST -H 'Accept: text/event-stream' -d "$request" "$BASE/v1/sweeps" >"$workdir/stream.sse"
+for ev in cell selection report; do
+    grep -q "^event: $ev\$" "$workdir/stream.sse" || { echo "SSE stream missing event: $ev" >&2; exit 1; }
+done
+
+echo "sweep-smoke: OK"
